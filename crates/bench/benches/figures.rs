@@ -1,0 +1,125 @@
+//! Criterion benchmarks: one group per paper figure plus the ablations,
+//! at reduced scale so `cargo bench` completes in minutes. Each benchmark
+//! measures the host-side cost of regenerating the figure's data (the
+//! simulated results themselves are printed by the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{
+    ablation_cache, ablation_poll, fig1, fig3, fig4_with_stagger, fig5_with_stagger, run_solo,
+    AppKind, SimEnv,
+};
+use desim::{SimDur, SimTime};
+use workloads::Presets;
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+fn env8() -> SimEnv {
+    SimEnv {
+        cpus: 8,
+        ..SimEnv::default()
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let presets = Presets::tiny();
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("pair_sweep", |b| {
+        b.iter(|| black_box(fig1(&env8(), &presets, &[2, 8, 16])));
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let presets = Presets::tiny();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for kind in AppKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("solo_overcommitted", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_solo(&env8(), &presets, kind, 16, None, LIMIT).wall));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("solo_controlled", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(
+                        run_solo(&env8(), &presets, kind, 16, Some(SimDur::from_secs(2)), LIMIT)
+                            .wall,
+                    )
+                });
+            },
+        );
+    }
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig3(&env8(), &presets, &[4, 12], SimDur::from_secs(2))));
+    });
+    g.finish();
+}
+
+
+
+fn bench_fig4(c: &mut Criterion) {
+    let presets = Presets::tiny();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("three_apps_staggered", |b| {
+        b.iter(|| {
+            black_box(fig4_with_stagger(
+                &env8(),
+                &presets,
+                12,
+                SimDur::from_secs(1),
+                SimDur::from_millis(500),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let presets = Presets::tiny();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("runnable_traces", |b| {
+        b.iter(|| {
+            black_box(fig5_with_stagger(
+                &env8(),
+                &presets,
+                12,
+                SimDur::from_secs(1),
+                SimDur::from_millis(500),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let presets = Presets::tiny();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("poll_interval", |b| {
+        b.iter(|| black_box(ablation_poll(&env8(), &presets, 12, &[1.0, 4.0])));
+    });
+    g.bench_function("cache_penalty", |b| {
+        b.iter(|| black_box(ablation_cache(&presets, 12, SimDur::from_secs(2))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_ablations
+);
+criterion_main!(figures);

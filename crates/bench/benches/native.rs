@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the native runtime: real threads on the host,
+//! measuring (a) the cost of the control machinery itself and (b) the
+//! overcommit effect the paper describes, with real matrix work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use native_rt::{Controller, Pool};
+use workloads::native::matmul::{matmul_rows, Matrix};
+
+/// Submits `jobs` row-band multiplications to `pool` and waits.
+fn run_matmul(pool: &Pool, a: &Arc<Matrix>, b: &Arc<Matrix>, band: usize) {
+    let n = a.rows;
+    let done = Arc::new(parking_lot::Mutex::new(Matrix::zeros(n, n)));
+    for start in (0..n).step_by(band) {
+        let (a, b, done) = (Arc::clone(a), Arc::clone(b), Arc::clone(&done));
+        pool.execute(move || {
+            let rows = start..(start + band).min(a.rows);
+            let mut local = Matrix::zeros(a.rows, b.cols);
+            matmul_rows(&a, &b, &mut local, rows.clone());
+            let mut out = done.lock();
+            let cols = out.cols;
+            for i in rows {
+                let off = i * cols;
+                out.data[off..off + cols].copy_from_slice(&local.data[off..off + cols]);
+            }
+        });
+    }
+    pool.wait_idle();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut g = c.benchmark_group("native_pool_overhead");
+    g.sample_size(20);
+    // Empty-ish jobs: measures queue + safe-point cost per job.
+    g.bench_function("tiny_jobs_fit", |b| {
+        let controller = Controller::new(cores, Duration::from_millis(50));
+        let pool = Pool::new(&controller, cores, false);
+        b.iter(|| {
+            for _ in 0..256 {
+                pool.execute(|| {
+                    black_box(0u64);
+                });
+            }
+            pool.wait_idle();
+        });
+    });
+    g.bench_function("tiny_jobs_overcommitted_controlled", |b| {
+        let controller = Controller::new(cores, Duration::from_millis(50));
+        let pool = Pool::new(&controller, cores * 3, false);
+        b.iter(|| {
+            for _ in 0..256 {
+                pool.execute(|| {
+                    black_box(0u64);
+                });
+            }
+            pool.wait_idle();
+        });
+    });
+    g.finish();
+}
+
+fn bench_matmul_overcommit(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let n = 256;
+    let a = Arc::new(Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 13) as f64));
+    let bm = Arc::new(Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 17) % 11) as f64));
+    let mut g = c.benchmark_group("native_matmul");
+    g.sample_size(10);
+    for (label, workers, controlled) in [
+        ("fit", cores, true),
+        ("overcommit_3x_controlled", 3 * cores, true),
+        ("overcommit_3x_uncontrolled", 3 * cores, false),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |bch, _| {
+            // `controlled=false` is emulated by a controller that thinks
+            // the machine has `workers` processors (target == workers, so
+            // nothing ever suspends).
+            let cpus = if controlled { cores } else { 3 * cores };
+            let controller = Controller::new(cpus, Duration::from_millis(20));
+            let pool = Pool::new(&controller, workers, false);
+            bch.iter(|| run_matmul(&pool, &a, &bm, 8));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(native, bench_pool_overhead, bench_matmul_overcommit);
+criterion_main!(native);

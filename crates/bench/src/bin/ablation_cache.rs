@@ -1,0 +1,52 @@
+//! Ablation C — cache-miss-penalty sensitivity.
+//!
+//! Section 2 predicts that "scalable multiprocessors" with 50–100-cycle
+//! miss penalties will suffer far more from cache corruption, so process
+//! control matters more there. We run the Figure-1 pair (matmul + fft,
+//! 16 + 16 processes... at 24 each to overcommit) on the Multimax-like
+//! machine and the scalable one, with and without control.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::ablation_cache;
+use desim::SimDur;
+use metrics::table;
+
+fn main() {
+    let presets = presets_from_args();
+    let nprocs = if quick_mode() { 8 } else { 24 };
+    println!("Ablation C: miss-penalty sensitivity (matmul+fft, {nprocs} procs each)");
+    let rows = ablation_cache(&presets, nprocs, SimDur::from_secs(6));
+    let trows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(machine, ctl, walls)| {
+            let mut row = vec![
+                (*machine).to_string(),
+                if *ctl { "yes" } else { "no" }.to_string(),
+            ];
+            row.extend(walls.iter().map(|w| format!("{w:.1}")));
+            row
+        })
+        .collect();
+    let t = table(&["machine", "control", "matmul(s)", "fft(s)"], &trows);
+    println!("\n{t}");
+    // The headline ratio: how much more control buys on the scalable box.
+    let gain = |m: &str| -> f64 {
+        let un: f64 = rows
+            .iter()
+            .find(|(mm, c, _)| *mm == m && !c)
+            .map(|(_, _, w)| w.iter().sum())
+            .unwrap_or(0.0);
+        let ct: f64 = rows
+            .iter()
+            .find(|(mm, c, _)| *mm == m && *c)
+            .map(|(_, _, w)| w.iter().sum())
+            .unwrap_or(1.0);
+        un / ct
+    };
+    println!(
+        "control gain: multimax {:.2}x, scalable {:.2}x",
+        gain("multimax"),
+        gain("scalable")
+    );
+    write_result("ablation_cache.txt", &t);
+}

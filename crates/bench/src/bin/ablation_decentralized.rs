@@ -1,0 +1,123 @@
+//! Ablation D — centralized server vs the decentralized variant the paper
+//! tried first and rejected (Section 4.2: "We experimented with the
+//! decentralized approach and found it to be too inefficient for our
+//! purposes. It also introduced stability problems...").
+//!
+//! Every application samples `rpstat` itself and estimates a fair share
+//! with no registry of controllable applications. Two defects show up:
+//! each application pays the rpstat cost separately, and a burst of
+//! single-process (uncontrollable) load is mistaken for equal claimants,
+//! shrinking everyone's target.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{fig4_launches, AppLaunch, SimEnv, PAPER_STAGGER};
+use desim::{SimDur, SimTime};
+use metrics::table;
+use simkernel::AppId;
+use uthreads::{launch, ThreadsConfig};
+use workloads::load::spawn_batch_load;
+use workloads::Presets;
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+/// Runs the Figure-4 scenario with decentralized control and optional
+/// uncontrollable batch load; returns per-app wall times.
+fn run_decentralized(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll: SimDur,
+    batch_load: u32,
+) -> Vec<f64> {
+    let mut kernel = env.make_kernel();
+    if batch_load > 0 {
+        spawn_batch_load(&mut kernel, AppId(100), batch_load, SimDur::from_secs(40), 512);
+    }
+    let mut handles = Vec::new();
+    for (i, l) in launches.iter().enumerate() {
+        kernel.run_until(l.start);
+        let cfg = ThreadsConfig::new(l.nprocs)
+            .with_decentralized_control(poll, SimDur::from_micros(500));
+        let id = AppId(i as u32);
+        handles.push((id, l.start, launch(&mut kernel, id, cfg, l.kind.spec(presets))));
+    }
+    let ids: Vec<AppId> = handles.iter().map(|(id, _, _)| *id).collect();
+    assert!(kernel.run_until_apps_done(&ids, LIMIT), "decentralized run hung");
+    handles
+        .iter()
+        .map(|(id, start, _)| {
+            kernel
+                .app_done_time(*id)
+                .expect("finished")
+                .since(*start)
+                .as_secs_f64()
+        })
+        .collect()
+}
+
+/// Same scenario, centralized control (and the same optional batch load).
+fn run_centralized(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll: SimDur,
+    batch_load: u32,
+) -> Vec<f64> {
+    let mut kernel = env.make_kernel();
+    let port = bench::spawn_server(&mut kernel);
+    if batch_load > 0 {
+        spawn_batch_load(&mut kernel, AppId(100), batch_load, SimDur::from_secs(40), 512);
+    }
+    let mut handles = Vec::new();
+    for (i, l) in launches.iter().enumerate() {
+        kernel.run_until(l.start);
+        let cfg = ThreadsConfig::new(l.nprocs).with_control(port, poll);
+        let id = AppId(i as u32);
+        handles.push((id, l.start, launch(&mut kernel, id, cfg, l.kind.spec(presets))));
+    }
+    let ids: Vec<AppId> = handles.iter().map(|(id, _, _)| *id).collect();
+    assert!(kernel.run_until_apps_done(&ids, LIMIT), "centralized run hung");
+    handles
+        .iter()
+        .map(|(id, start, _)| {
+            kernel
+                .app_done_time(*id)
+                .expect("finished")
+                .since(*start)
+                .as_secs_f64()
+        })
+        .collect()
+}
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv::default();
+    let poll = SimDur::from_secs(6);
+    let (nprocs, stagger) = if quick_mode() {
+        (8u32, SimDur::from_millis(500))
+    } else {
+        (16u32, PAPER_STAGGER)
+    };
+    let launches = fig4_launches(nprocs, stagger);
+    println!("Ablation D: centralized vs decentralized control, with/without 4 batch jobs");
+    let mut trows = Vec::new();
+    for batch in [0u32, 4] {
+        let cen = run_centralized(&env, &presets, &launches, poll, batch);
+        let dec = run_decentralized(&env, &presets, &launches, poll, batch);
+        for (i, l) in launches.iter().enumerate() {
+            trows.push(vec![
+                l.kind.name().to_string(),
+                batch.to_string(),
+                format!("{:.1}", cen[i]),
+                format!("{:.1}", dec[i]),
+                format!("{:+.1}%", (dec[i] / cen[i] - 1.0) * 100.0),
+            ]);
+        }
+    }
+    let t = table(
+        &["app", "batch jobs", "centralized(s)", "decentralized(s)", "delta"],
+        &trows,
+    );
+    println!("\n{t}");
+    write_result("ablation_decentralized.txt", &t);
+}

@@ -1,0 +1,73 @@
+//! Ablation F — grain-size sensitivity: "The problem is worst in
+//! fine-grained systems, where critical sections are entered frequently
+//! and are fairly large relative to the grain size" (Section 2).
+//!
+//! We hold total work constant (matmul, 24 processes on 16 CPUs,
+//! uncontrolled vs controlled) and sweep the task grain; the threads
+//! package's queue-lock operation (0.8 ms) is a fixed critical section per
+//! task, so finer grain = larger critical-section fraction. The
+//! uncontrolled run should degrade sharply as grain shrinks, while the
+//! controlled run pays only the (preemption-free) lock contention.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{run_solo, AppKind, SimEnv};
+use desim::{SimDur, SimTime};
+use metrics::table;
+use workloads::{MatmulParams, Presets};
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+fn main() {
+    let base = presets_from_args();
+    let env = SimEnv::default();
+    let total_work = f64::from(base.matmul.tasks) * base.matmul.task_cost.as_secs_f64();
+    let (nprocs, grains_ms): (u32, Vec<u64>) = if quick_mode() {
+        (8, vec![20, 80])
+    } else {
+        (24, vec![5, 10, 20, 40, 80, 160])
+    };
+    println!(
+        "Ablation F: task-grain sweep, matmul ({total_work:.0}s total work), {nprocs} procs, 16 CPUs"
+    );
+    let mut rows = Vec::new();
+    for ms in grains_ms {
+        let tasks = (total_work / (ms as f64 / 1_000.0)).round() as u32;
+        let presets = Presets {
+            matmul: MatmulParams {
+                tasks,
+                task_cost: SimDur::from_millis(ms),
+            },
+            ..base
+        };
+        let plain = run_solo(&env, &presets, AppKind::Matmul, nprocs, None, LIMIT);
+        let ctl = run_solo(
+            &env,
+            &presets,
+            AppKind::Matmul,
+            nprocs,
+            Some(SimDur::from_secs(6)),
+            LIMIT,
+        );
+        rows.push(vec![
+            format!("{ms}"),
+            tasks.to_string(),
+            format!("{:.1}", plain.wall),
+            format!("{:.1}", ctl.wall),
+            format!("{:.2}x", plain.wall / ctl.wall),
+            format!("{:.0}", plain.stats.spin.as_secs_f64()),
+        ]);
+    }
+    let t = table(
+        &[
+            "grain(ms)",
+            "tasks",
+            "uncontrolled(s)",
+            "controlled(s)",
+            "control gain",
+            "uncontrolled spin(s)",
+        ],
+        &rows,
+    );
+    println!("\n{t}");
+    write_result("ablation_grain.txt", &t);
+}

@@ -1,0 +1,68 @@
+//! Ablation A — the Figure-4 scenario under every kernel scheduling
+//! policy, with no process control, plus FIFO + process control for
+//! reference.
+//!
+//! This puts the paper's Section 3 argument to the test: coscheduling and
+//! spinlock flags fix busy-waiting but keep paying context-switch and
+//! cache costs; space partitioning (the paper's own Section 7 proposal)
+//! and user-level process control avoid multiplexing altogether.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{ablation_policies, fig4_launches, run_scenario, SimEnv, PAPER_STAGGER};
+use desim::{SimDur, SimTime};
+use metrics::table;
+
+fn main() {
+    let presets = presets_from_args();
+    println!("Ablation A: scheduling policies on the Figure-4 scenario (16 CPUs)");
+    let rows = if quick_mode() {
+        // Reduced: fifo + cosched + partition only.
+        let mut out = Vec::new();
+        for policy in [
+            bench::PolicyKind::Fifo,
+            bench::PolicyKind::Cosched,
+            bench::PolicyKind::Partition,
+        ] {
+            let env = SimEnv {
+                cpus: 8,
+                policy,
+                ..SimEnv::default()
+            };
+            let (outs, _) = run_scenario(
+                &env,
+                &presets,
+                &fig4_launches(8, SimDur::from_millis(500)),
+                None,
+                SimTime::ZERO + SimDur::from_secs(3_600),
+            );
+            out.push((
+                policy.name().to_string(),
+                false,
+                outs.iter().map(|o| o.wall).collect(),
+            ));
+        }
+        out
+    } else {
+        ablation_policies(&presets, 16, SimDur::from_secs(6))
+    };
+    let _ = PAPER_STAGGER;
+    let trows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, ctl, walls)| {
+            let mut row = vec![
+                name.clone(),
+                if *ctl { "yes" } else { "no" }.to_string(),
+            ];
+            row.extend(walls.iter().map(|w| format!("{w:.1}")));
+            let total: f64 = walls.iter().sum();
+            row.push(format!("{total:.1}"));
+            row
+        })
+        .collect();
+    let t = table(
+        &["policy", "control", "fft(s)", "gauss(s)", "matmul(s)", "sum(s)"],
+        &trows,
+    );
+    println!("\n{t}");
+    write_result("ablation_policies.txt", &t);
+}

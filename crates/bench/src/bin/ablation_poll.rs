@@ -1,0 +1,37 @@
+//! Ablation B — sensitivity to the poll interval.
+//!
+//! The paper polls the server every 6 seconds. Shorter intervals converge
+//! faster (less time spent overcommitted after load changes) at the price
+//! of more IPC; very long intervals leave applications running with stale
+//! targets for most of their lifetime.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{ablation_poll, SimEnv};
+use metrics::table;
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv::default();
+    let (nprocs, intervals): (u32, Vec<f64>) = if quick_mode() {
+        (8, vec![1.0, 4.0])
+    } else {
+        (16, vec![0.5, 1.0, 2.0, 4.0, 6.0, 10.0, 20.0, 30.0])
+    };
+    println!("Ablation B: poll-interval sweep on the Figure-4 scenario");
+    let rows = ablation_poll(&env, &presets, nprocs, &intervals);
+    let trows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(secs, walls)| {
+            let mut row = vec![format!("{secs}")];
+            row.extend(walls.iter().map(|w| format!("{w:.1}")));
+            row.push(format!("{:.1}", walls.iter().sum::<f64>()));
+            row
+        })
+        .collect();
+    let t = table(
+        &["poll(s)", "fft(s)", "gauss(s)", "matmul(s)", "sum(s)"],
+        &trows,
+    );
+    println!("\n{t}");
+    write_result("ablation_poll.txt", &t);
+}

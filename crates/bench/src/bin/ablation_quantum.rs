@@ -1,0 +1,90 @@
+//! Ablation E — quantum-length sensitivity.
+//!
+//! Back-of-envelope, the spin waste from preempted lock holders is
+//! quantum-independent: halving the quantum doubles how often holders get
+//! caught but halves how long spinners wait. What *does* change is the
+//! fixed per-switch overhead (context switch + cache reload), which grows
+//! as the quantum shrinks. This harness runs the Figure-1 pair
+//! (matmul + fft, 24 processes each, uncontrolled) across quanta.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{run_scenario, AppKind, AppLaunch, PolicyKind, SimEnv};
+use desim::{SimDur, SimTime};
+use metrics::table;
+use simkernel::{Kernel, KernelConfig};
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+/// Like `SimEnv::make_kernel` but with an explicit quantum.
+fn kernel_with_quantum(cpus: usize, quantum: SimDur) -> Kernel {
+    let cfg = KernelConfig::multimax()
+        .with_cpus(cpus)
+        .with_quantum(quantum);
+    Kernel::new(cfg, PolicyKind::Fifo.build(quantum))
+}
+
+fn main() {
+    let presets = presets_from_args();
+    let (nprocs, quanta_ms): (u32, Vec<u64>) = if quick_mode() {
+        (8, vec![50, 100])
+    } else {
+        (24, vec![25, 50, 100, 200, 400])
+    };
+    println!("Ablation E: quantum sweep (matmul+fft, {nprocs} procs each, uncontrolled)");
+    let mut rows = Vec::new();
+    for ms in quanta_ms {
+        let mut kernel = kernel_with_quantum(16, SimDur::from_millis(ms));
+        let launches = [
+            AppLaunch {
+                kind: AppKind::Matmul,
+                nprocs,
+                start: SimTime::ZERO,
+            },
+            AppLaunch {
+                kind: AppKind::Fft,
+                nprocs,
+                start: SimTime::ZERO,
+            },
+        ];
+        // Manual launch (run_scenario would rebuild the kernel with the
+        // default quantum).
+        let mut handles = Vec::new();
+        for (i, l) in launches.iter().enumerate() {
+            let id = simkernel::AppId(i as u32);
+            let cfg = uthreads::ThreadsConfig::new(l.nprocs);
+            handles.push((
+                id,
+                uthreads::launch(&mut kernel, id, cfg, l.kind.spec(&presets)),
+            ));
+        }
+        let ids: Vec<simkernel::AppId> = handles.iter().map(|(id, _)| *id).collect();
+        assert!(kernel.run_until_apps_done(&ids, LIMIT));
+        let spin: f64 = ids
+            .iter()
+            .map(|&id| kernel.app_stats(id).spin.as_secs_f64())
+            .sum();
+        let refill: f64 = ids
+            .iter()
+            .map(|&id| kernel.app_stats(id).refill.as_secs_f64())
+            .sum();
+        let mut row = vec![format!("{ms}")];
+        for &id in &ids {
+            row.push(format!(
+                "{:.1}",
+                kernel.app_done_time(id).expect("done").as_secs_f64()
+            ));
+        }
+        row.push(format!("{spin:.0}"));
+        row.push(format!("{refill:.1}"));
+        rows.push(row);
+    }
+    let t = table(
+        &["quantum(ms)", "matmul(s)", "fft(s)", "spin(s)", "refill(s)"],
+        &rows,
+    );
+    println!("\n{t}");
+    write_result("ablation_quantum.txt", &t);
+    // Silence the unused-import lint for the shared helpers this binary
+    // intentionally bypasses.
+    let _ = (run_scenario, SimEnv::default());
+}

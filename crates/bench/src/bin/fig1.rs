@@ -1,0 +1,50 @@
+//! Figure 1 — "Speed-up when a matrix multiplication application and an
+//! FFT application are run simultaneously and the number of processes per
+//! application is varied."
+//!
+//! Both applications start together on the 16-processor machine with no
+//! process control; the per-application process count sweeps 1→24. The
+//! paper's result: speed-ups climb until the combined process count
+//! reaches the machine size (8 per application), then collapse — the more
+//! processes, the worse (matmul 2.8×, fft 2.4× at 24).
+
+use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::{fig1, SimEnv};
+use metrics::table;
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv::default();
+    let nprocs: Vec<u32> = if quick_mode() {
+        vec![1, 4, 8, 12]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24]
+    };
+    println!(
+        "Figure 1: matmul + fft run simultaneously, {} CPUs, policy {}, no control",
+        env.cpus,
+        env.policy.name()
+    );
+    let series = fig1(&env, &presets, &nprocs);
+
+    let rows: Vec<Vec<String>> = nprocs
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            vec![
+                n.to_string(),
+                format!("{:.2}", series[0].points[i].1),
+                format!("{:.2}", series[1].points[i].1),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        table(&["procs/app", "matmul speedup", "fft speedup"], &rows)
+    );
+    emit_series("Figure 1", "fig1.csv", &series);
+    write_result(
+        "fig1.txt",
+        &table(&["procs/app", "matmul speedup", "fft speedup"], &rows),
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 3 — each application run alone, speed-up vs process count,
+//! unmodified threads package (dashed in the paper) vs process control
+//! (solid).
+//!
+//! The paper's result: the two curves coincide up to 16 processes
+//! (control overhead is negligible), and beyond 16 the unmodified package
+//! degrades while the controlled one stays flat — the gap grows with the
+//! process count.
+
+use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::{fig3, SimEnv};
+use desim::SimDur;
+use metrics::{table, Series};
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv::default();
+    let poll = SimDur::from_secs(6);
+    let nprocs: Vec<u32> = if quick_mode() {
+        vec![1, 8, 12]
+    } else {
+        vec![1, 2, 4, 8, 12, 16, 20, 24]
+    };
+    println!(
+        "Figure 3: each application alone, {} CPUs, unmodified vs process control (6 s poll)",
+        env.cpus
+    );
+    let results = fig3(&env, &presets, &nprocs, poll);
+
+    let mut txt = String::new();
+    for (kind, plain, ctl) in &results {
+        let rows: Vec<Vec<String>> = nprocs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                vec![
+                    n.to_string(),
+                    format!("{:.2}", plain.points[i].1),
+                    format!("{:.2}", ctl.points[i].1),
+                ]
+            })
+            .collect();
+        let t = table(&["procs", "unmodified", "controlled"], &rows);
+        println!("\n--- {} ---\n{}", kind.name(), t);
+        txt.push_str(&format!("--- {} ---\n{}\n", kind.name(), t));
+        emit_series(
+            &format!("Figure 3: {}", kind.name()),
+            &format!("fig3_{}.csv", kind.name()),
+            &[plain.clone(), ctl.clone()],
+        );
+    }
+    write_result("fig3.txt", &txt);
+
+    // A compact all-apps chart of the controlled curves.
+    let ctl_series: Vec<Series> = results.iter().map(|(_, _, c)| c.clone()).collect();
+    emit_series("Figure 3 (controlled curves)", "fig3_controlled.csv", &ctl_series);
+}

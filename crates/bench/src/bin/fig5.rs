@@ -1,0 +1,66 @@
+//! Figure 5 — the number of runnable processes in the system as a
+//! function of time, for the Figure-4 runs (top: with process control,
+//! bottom: without).
+//!
+//! The paper's result: with control the total returns to 16 (the machine
+//! size) within roughly one 6-second poll after each application starts,
+//! the processors divide equally while applications coexist, and
+//! suspended processes resume as applications finish. Without control the
+//! total climbs to 48.
+
+use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::{fig5, fig5_with_stagger, SimEnv};
+use desim::SimDur;
+use metrics::{series_csv, table, Series};
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv::default();
+    let (controlled, uncontrolled) = if quick_mode() {
+        fig5_with_stagger(&env, &presets, 8, SimDur::from_secs(2), SimDur::from_millis(500))
+    } else {
+        fig5(&env, &presets, 16, SimDur::from_secs(6))
+    };
+    println!(
+        "Figure 5: runnable processes over time for the Figure-4 scenario ({} CPUs)",
+        env.cpus
+    );
+    emit_series("with process control", "fig5_controlled.csv", &controlled);
+    emit_series("without process control", "fig5_uncontrolled.csv", &uncontrolled);
+
+    // Numeric samples every 5 s for the record.
+    let sample_table = |series: &[Series]| -> String {
+        let x_max = series
+            .iter()
+            .flat_map(|s| s.points.last().map(|&(x, _)| x))
+            .fold(0.0f64, f64::max);
+        let mut rows = Vec::new();
+        let mut x = 0.0;
+        while x <= x_max {
+            let mut row = vec![format!("{x:.0}")];
+            for s in series {
+                row.push(format!("{:.0}", s.step_at(x).unwrap_or(0.0)));
+            }
+            rows.push(row);
+            x += 5.0;
+        }
+        let mut header = vec!["t(s)"];
+        let labels: Vec<String> = series.iter().map(|s| s.label.clone()).collect();
+        header.extend(labels.iter().map(String::as_str));
+        table(&header, &rows)
+    };
+    let txt = format!(
+        "WITH CONTROL\n{}\nWITHOUT CONTROL\n{}",
+        sample_table(&controlled),
+        sample_table(&uncontrolled)
+    );
+    println!("\n{txt}");
+    write_result("fig5.txt", &txt);
+    write_result("fig5_all.csv", &series_csv(
+        &controlled
+            .iter()
+            .chain(&uncontrolled)
+            .cloned()
+            .collect::<Vec<_>>(),
+    ));
+}

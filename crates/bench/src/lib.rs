@@ -1,0 +1,22 @@
+//! `bench` — figure-reproduction harnesses and criterion benchmarks.
+//!
+//! One binary per figure of the paper (`fig1`, `fig3`, `fig4`, `fig5`) and
+//! per ablation (`ablation_policies`, `ablation_poll`, `ablation_cache`,
+//! `ablation_decentralized`), each printing the table/series the paper
+//! plots; see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! results.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+
+pub use figures::{
+    ablation_cache, ablation_policies, ablation_poll, baselines, fig1, fig3, fig4, fig4_launches,
+    fig4_with_stagger, fig5, fig5_with_stagger, Fig4Row, PAPER_STAGGER,
+};
+pub use scenario::{
+    run_scenario, run_solo, spawn_server, AppKind, AppLaunch, PolicyKind, RunOutcome, SimEnv,
+    SERVER_APP,
+};

@@ -1,0 +1,50 @@
+//! Output plumbing shared by the figure binaries: stdout tables/charts
+//! plus CSV files under `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use metrics::{ascii_chart, series_csv, Series};
+
+/// Where figure CSVs land (relative to the working directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Writes `content` to `results/<name>`; prints the path. Errors are
+/// reported but not fatal (the stdout tables are the primary output).
+pub fn write_result(name: &str, content: &str) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match fs::write(&path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a titled ASCII chart of the series and writes their CSV.
+pub fn emit_series(title: &str, csv_name: &str, series: &[Series]) {
+    println!("\n== {title} ==\n");
+    print!("{}", ascii_chart(series, 72, 18));
+    write_result(csv_name, &series_csv(series));
+}
+
+/// Parses the single supported CLI flag, `--quick`, which switches a
+/// binary to the scaled-down presets (used in CI and smoke tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Presets selected by the CLI mode.
+pub fn presets_from_args() -> workloads::Presets {
+    if quick_mode() {
+        println!("(quick mode: tiny presets)");
+        workloads::Presets::tiny()
+    } else {
+        workloads::Presets::paper()
+    }
+}

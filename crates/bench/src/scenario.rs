@@ -1,0 +1,264 @@
+//! Scenario drivers shared by the figure binaries and criterion benches.
+
+use desim::{SimDur, SimTime};
+use procctl::{Server, ServerConfig};
+use simkernel::policy::{
+    Affinity, Coscheduling, FifoRoundRobin, GroupMode, GroupPolicy, PriorityDecay, SpacePartition,
+    SpinlockFlag,
+};
+use simkernel::{AppId, Kernel, KernelConfig, PortId, SchedPolicy};
+use uthreads::{launch, AppMetrics, AppSpec, ThreadsApp, ThreadsConfig};
+use workloads::{fft_spec, gauss_spec, matmul_spec, sort_spec, Presets};
+
+/// Application id reserved for the central server daemon.
+pub const SERVER_APP: AppId = AppId(999);
+
+/// Kernel scheduling policies selectable by scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// UMAX-like global FIFO round-robin (the paper's baseline).
+    Fifo,
+    /// Encore-style usage-decay priorities.
+    PrioDecay,
+    /// Ousterhout coscheduling (gang slices).
+    Cosched,
+    /// Zahorjan spinlock-flag preemption avoidance.
+    SpinFlag,
+    /// Edler groups with every application in gang mode.
+    GangGroups,
+    /// Squillante–Lazowska cache-affinity scheduling.
+    Affinity,
+    /// The paper's §7 space partitioning.
+    Partition,
+}
+
+impl PolicyKind {
+    /// All policies, for sweeps.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Fifo,
+        PolicyKind::PrioDecay,
+        PolicyKind::Cosched,
+        PolicyKind::SpinFlag,
+        PolicyKind::GangGroups,
+        PolicyKind::Affinity,
+        PolicyKind::Partition,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self, quantum: SimDur) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(FifoRoundRobin::new()),
+            PolicyKind::PrioDecay => Box::new(PriorityDecay::default()),
+            PolicyKind::Cosched => Box::new(Coscheduling::new(quantum)),
+            PolicyKind::SpinFlag => Box::new(SpinlockFlag::new()),
+            PolicyKind::GangGroups => Box::new(GroupPolicy::new(
+                quantum,
+                std::collections::HashMap::new(),
+                GroupMode::Gang,
+            )),
+            PolicyKind::Affinity => Box::new(Affinity::new(quantum)),
+            PolicyKind::Partition => Box::new(SpacePartition::new()),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo-rr",
+            PolicyKind::PrioDecay => "prio-decay",
+            PolicyKind::Cosched => "cosched",
+            PolicyKind::SpinFlag => "spin-flag",
+            PolicyKind::GangGroups => "edler-gang",
+            PolicyKind::Affinity => "affinity",
+            PolicyKind::Partition => "partition",
+        }
+    }
+}
+
+/// Simulation environment for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimEnv {
+    /// Processor count (the paper's machine had 16).
+    pub cpus: usize,
+    /// Kernel scheduling policy.
+    pub policy: PolicyKind,
+    /// Use the high-miss-penalty "scalable machine" config.
+    pub scalable: bool,
+    /// Retain kernel traces (needed for Figure 5; off for benches).
+    pub trace: bool,
+}
+
+impl Default for SimEnv {
+    fn default() -> Self {
+        SimEnv {
+            cpus: 16,
+            policy: PolicyKind::Fifo,
+            scalable: false,
+            trace: false,
+        }
+    }
+}
+
+impl SimEnv {
+    /// Builds the kernel for this environment.
+    pub fn make_kernel(&self) -> Kernel {
+        let mut cfg = if self.scalable {
+            KernelConfig::scalable()
+        } else {
+            KernelConfig::multimax()
+        }
+        .with_cpus(self.cpus);
+        cfg.trace = self.trace;
+        let policy = self.policy.build(cfg.quantum);
+        Kernel::new(cfg, policy)
+    }
+}
+
+/// The four evaluated applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Matrix multiplication.
+    Matmul,
+    /// One-dimensional FFT.
+    Fft,
+    /// Parallel merge sort.
+    Sort,
+    /// Gaussian elimination.
+    Gauss,
+}
+
+impl AppKind {
+    /// The figure-3 ordering.
+    pub const ALL: [AppKind; 4] = [AppKind::Fft, AppKind::Sort, AppKind::Gauss, AppKind::Matmul];
+
+    /// Builds the application's task-graph spec.
+    pub fn spec(self, presets: &Presets) -> AppSpec {
+        match self {
+            AppKind::Matmul => matmul_spec(&presets.matmul),
+            AppKind::Fft => fft_spec(&presets.fft),
+            AppKind::Sort => sort_spec(&presets.sort),
+            AppKind::Gauss => gauss_spec(&presets.gauss),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Matmul => "matmul",
+            AppKind::Fft => "fft",
+            AppKind::Sort => "sort",
+            AppKind::Gauss => "gauss",
+        }
+    }
+}
+
+/// Spawns the central server; returns its request port.
+pub fn spawn_server(kernel: &mut Kernel) -> PortId {
+    let port = kernel.create_port();
+    kernel.spawn_root(SERVER_APP, 64, Box::new(Server::new(ServerConfig::new(port))));
+    port
+}
+
+/// One application in a multiprogrammed scenario.
+pub struct AppLaunch {
+    /// Which application.
+    pub kind: AppKind,
+    /// Worker process count.
+    pub nprocs: u32,
+    /// Simulated start time.
+    pub start: SimTime,
+}
+
+/// Result of one application's run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Application.
+    pub kind: AppKind,
+    /// Wall-clock seconds from its start to its completion.
+    pub wall: f64,
+    /// Kernel-side accounting.
+    pub stats: simkernel::AppStats,
+    /// Threads-package counters.
+    pub metrics: AppMetrics,
+}
+
+/// Runs a multiprogrammed scenario: the given applications, optionally
+/// under process control (`poll_interval = Some(..)` spawns the server and
+/// enables control in every application). Returns per-app outcomes plus
+/// the kernel (for trace extraction).
+///
+/// # Panics
+///
+/// Panics if any application fails to finish before `limit`.
+pub fn run_scenario(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll_interval: Option<SimDur>,
+    limit: SimTime,
+) -> (Vec<RunOutcome>, Kernel) {
+    let mut kernel = env.make_kernel();
+    let server_port = poll_interval.map(|_| spawn_server(&mut kernel));
+    let mut order: Vec<(usize, SimTime)> = launches
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i, l.start))
+        .collect();
+    order.sort_by_key(|&(_, t)| t);
+    let mut apps: Vec<Option<(AppId, ThreadsApp)>> = (0..launches.len()).map(|_| None).collect();
+    for (idx, start) in order {
+        kernel.run_until(start);
+        let l = &launches[idx];
+        let mut cfg = ThreadsConfig::new(l.nprocs);
+        if let (Some(port), Some(interval)) = (server_port, poll_interval) {
+            cfg = cfg.with_control(port, interval);
+        }
+        let app_id = AppId(idx as u32);
+        let handle = launch(&mut kernel, app_id, cfg, l.kind.spec(presets));
+        apps[idx] = Some((app_id, handle));
+    }
+    let ids: Vec<AppId> = apps.iter().map(|a| a.as_ref().expect("launched").0).collect();
+    assert!(
+        kernel.run_until_apps_done(&ids, limit),
+        "scenario did not finish by {limit} (policy {})",
+        env.policy.name()
+    );
+    let outcomes = launches
+        .iter()
+        .zip(&apps)
+        .map(|(l, a)| {
+            let (id, handle) = a.as_ref().expect("launched");
+            let done = kernel.app_done_time(*id).expect("app finished");
+            RunOutcome {
+                kind: l.kind,
+                wall: done.since(l.start).as_secs_f64(),
+                stats: kernel.app_stats(*id),
+                metrics: handle.metrics(),
+            }
+        })
+        .collect();
+    (outcomes, kernel)
+}
+
+/// Convenience: run one application alone; returns its wall-clock seconds.
+pub fn run_solo(
+    env: &SimEnv,
+    presets: &Presets,
+    kind: AppKind,
+    nprocs: u32,
+    poll_interval: Option<SimDur>,
+    limit: SimTime,
+) -> RunOutcome {
+    let (mut outs, _) = run_scenario(
+        env,
+        presets,
+        &[AppLaunch {
+            kind,
+            nprocs,
+            start: SimTime::ZERO,
+        }],
+        poll_interval,
+        limit,
+    );
+    outs.pop().expect("one outcome")
+}

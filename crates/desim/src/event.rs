@@ -1,0 +1,216 @@
+//! Deterministic event calendar.
+//!
+//! The calendar is a priority queue of `(time, payload)` pairs. Events that
+//! share a timestamp are delivered in insertion order, so simulation runs are
+//! exactly reproducible: the queue behaves as a *stable* priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: Option<E>,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable, cancellable event calendar.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{Calendar, SimDur, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::ZERO + SimDur::from_secs(2), "late");
+/// cal.schedule(SimTime::ZERO + SimDur::from_secs(1), "early");
+/// let (t, e) = cal.pop().unwrap();
+/// assert_eq!((t.nanos(), e), (1_000_000_000, "early"));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers scheduled but not yet delivered or cancelled.
+    pending: std::collections::HashSet<u64>,
+    /// Sequence numbers of cancelled events not yet physically removed.
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time` and returns a cancellation
+    /// handle. Events at equal times are delivered in the order scheduled.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            payload: Some(payload),
+        });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending (i.e. not yet delivered or cancelled); cancelling a
+    /// delivered or already-cancelled handle is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: remember the id and drop the entry when it surfaces
+        // at the head of the heap.
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skim();
+        let mut entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        let payload = entry.payload.take().expect("entry payload present");
+        Some((entry.time, payload))
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap.
+    fn skim(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDur::from_secs(s)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(at(3), 3u32);
+        cal.schedule(at(1), 1u32);
+        cal.schedule(at(2), 2u32);
+        let out: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stable_at_equal_times() {
+        let mut cal = Calendar::new();
+        for i in 0..100u32 {
+            cal.schedule(at(7), i);
+        }
+        let out: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(at(1), "a");
+        cal.schedule(at(2), "b");
+        assert!(cal.cancel(a));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("b"));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(at(1), ());
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(at(1), "a");
+        cal.schedule(at(5), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(at(5)));
+    }
+
+    #[test]
+    fn empty_calendar_behaves() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.peek_time(), None);
+        assert!(cal.pop().is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Online statistics used by the simulator's instrumentation.
+
+use crate::time::{SimDur, SimTime};
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 for the empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. run-queue
+/// length over simulated time.
+///
+/// Feed it every change point with [`TimeWeighted::set`]; query the average
+/// over the observed interval with [`TimeWeighted::average`].
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts observing at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            start,
+            peak: value,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now` precedes the previous change.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_time);
+        self.weighted_sum += self.last_value * dt.as_secs_f64();
+        self.last_time = now;
+        self.last_value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Largest value observed so far.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average of the signal on `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_secs_f64();
+        if total == 0.0 {
+            return self.last_value;
+        }
+        let tail = now.since(self.last_time).as_secs_f64();
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+}
+
+/// A fixed-bucket histogram of durations, used for e.g. scheduling latency.
+#[derive(Clone, Debug)]
+pub struct DurHistogram {
+    /// Upper bounds of each bucket (exclusive), ascending; an implicit
+    /// overflow bucket follows the last bound.
+    bounds: Vec<SimDur>,
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+}
+
+impl DurHistogram {
+    /// Creates a histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<SimDur>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        DurHistogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// A useful default: exponentially spaced bounds from 1 us to ~17 min.
+    pub fn exponential() -> Self {
+        let bounds = (0..31).map(|i| SimDur(1_000u64 << i)).collect();
+        DurHistogram::new(bounds)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDur) {
+        let idx = self.bounds.partition_point(|&b| b <= d);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns += d.nanos() as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded samples, or zero when empty.
+    pub fn mean(&self) -> SimDur {
+        if self.total == 0 {
+            SimDur::ZERO
+        } else {
+            SimDur((self.sum_ns / self.total as u128) as u64)
+        }
+    }
+
+    /// Approximate quantile: returns the upper bound of the bucket containing
+    /// the q-th sample (q in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> SimDur {
+        if self.total == 0 {
+            return SimDur::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    SimDur::MAX
+                };
+            }
+        }
+        SimDur::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        tw.set(t0 + SimDur::from_secs(10), 4.0); // 0 for 10 s
+        tw.set(t0 + SimDur::from_secs(20), 2.0); // 4 for 10 s
+        let avg = tw.average(t0 + SimDur::from_secs(40)); // 2 for 20 s
+        // (0*10 + 4*10 + 2*20) / 40 = 2.0
+        assert!((avg - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 7.0);
+        assert_eq!(tw.average(SimTime::ZERO), 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = DurHistogram::new(vec![
+            SimDur::from_millis(1),
+            SimDur::from_millis(10),
+            SimDur::from_millis(100),
+        ]);
+        for _ in 0..90 {
+            h.record(SimDur::from_micros(500)); // bucket 0
+        }
+        for _ in 0..10 {
+            h.record(SimDur::from_millis(50)); // bucket 2
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), SimDur::from_millis(1));
+        assert_eq!(h.quantile(0.95), SimDur::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = DurHistogram::new(vec![SimDur::from_millis(1)]);
+        h.record(SimDur::from_secs(5));
+        assert_eq!(h.quantile(1.0), SimDur::MAX);
+        assert_eq!(h.mean(), SimDur::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        DurHistogram::new(vec![SimDur(5), SimDur(2)]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Simulated time.
+//!
+//! All simulation time is kept as an integer number of nanoseconds since the
+//! start of the run. Using integers (rather than floats) keeps the simulator
+//! exactly deterministic and makes event ordering total. Workload "cycles"
+//! are converted to nanoseconds by the machine model, so one simulated
+//! nanosecond corresponds to one cycle of a 1 GHz-equivalent processor.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of simulated time, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(pub u64);
+
+/// One microsecond.
+pub const USEC: SimDur = SimDur(1_000);
+/// One millisecond.
+pub const MSEC: SimDur = SimDur(1_000_000);
+/// One second.
+pub const SEC: SimDur = SimDur(1_000_000_000);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        debug_assert!(earlier <= self, "time went backwards");
+        SimDur(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDur {
+    /// The empty span.
+    pub const ZERO: SimDur = SimDur(0);
+    /// The largest representable span.
+    pub const MAX: SimDur = SimDur(u64::MAX);
+
+    /// Builds a span from a nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimDur {
+        SimDur(ns)
+    }
+
+    /// Builds a span from a microsecond count.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimDur {
+        SimDur(us * 1_000)
+    }
+
+    /// Builds a span from a millisecond count.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimDur {
+        SimDur(ms * 1_000_000)
+    }
+
+    /// Builds a span from a second count.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimDur {
+        SimDur(s * 1_000_000_000)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// nanosecond and saturating at the representable range.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDur {
+        debug_assert!(s >= 0.0, "negative duration");
+        SimDur((s * 1e9).round().clamp(0.0, u64::MAX as f64) as u64)
+    }
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this span expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true if the span is empty.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the span by a non-negative factor, rounding to the nearest
+    /// nanosecond.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDur {
+        debug_assert!(factor >= 0.0, "negative scale factor");
+        SimDur((self.0 as f64 * factor).round().clamp(0.0, u64::MAX as f64) as u64)
+    }
+
+    /// Returns the smaller of two spans.
+    #[inline]
+    pub fn min(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.min(rhs.0))
+    }
+
+    /// Returns the larger of two spans.
+    #[inline]
+    pub fn max(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.max(rhs.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for SimDur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fmt_ns(self.0))
+    }
+}
+
+/// Formats a nanosecond count with a human-scale unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::ZERO + SimDur::from_millis(5);
+        assert_eq!(t.nanos(), 5_000_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDur::from_millis(5));
+        assert_eq!((t - SimDur::from_millis(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDur::from_secs(1), SEC);
+        assert_eq!(SimDur::from_millis(1), MSEC);
+        assert_eq!(SimDur::from_micros(1), USEC);
+        assert_eq!(SimDur::from_secs_f64(0.25), SimDur::from_millis(250));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime(10);
+        let b = SimTime(20);
+        assert_eq!(a.saturating_since(b), SimDur::ZERO);
+        assert_eq!(b.saturating_since(a), SimDur(10));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDur(100).mul_f64(1.5), SimDur(150));
+        assert_eq!(SimDur(3).mul_f64(0.5), SimDur(2)); // round-half-up
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDur(12).to_string(), "12ns");
+        assert_eq!(SimDur(12_000).to_string(), "12.000us");
+        assert_eq!(SimDur(12_000_000).to_string(), "12.000ms");
+        assert_eq!(SimDur(12_000_000_000).to_string(), "12.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_underflow_panics() {
+        let _ = SimDur(1) - SimDur(2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the simulation engine.
+
+use desim::{Calendar, DurHistogram, SimDur, SimRng, SimTime, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the calendar yields events sorted by time, and insertion
+    /// order is preserved among equal timestamps (stability).
+    #[test]
+    fn calendar_is_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime(t), (t, i));
+        }
+        let mut out = Vec::new();
+        while let Some((t, payload)) = cal.pop() {
+            prop_assert_eq!(t.nanos(), payload.0);
+            out.push(payload);
+        }
+        prop_assert_eq!(out.len(), times.len());
+        // Expected: stable sort of (time, insertion index).
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().enumerate()
+            .map(|(i, t)| (t, i)).collect();
+        expected.sort(); // (time, seq) lexicographic == stable by time
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn calendar_cancellation_is_exact(
+        times in prop::collection::vec(0u64..50, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask[*i % cancel_mask.len()] {
+                prop_assert!(cal.cancel(*id));
+            } else {
+                kept.push(*i);
+            }
+        }
+        prop_assert_eq!(cal.len(), kept.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = cal.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// `range_u64` stays within bounds for arbitrary non-empty ranges.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..100 {
+            let x = r.range_u64(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    /// The same seed always reproduces the same stream.
+    #[test]
+    fn rng_is_deterministic(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// A time-weighted average always lies between the signal's min and max.
+    #[test]
+    fn time_weighted_average_bounded(values in prop::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, values[0]);
+        let mut t = SimTime::ZERO;
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            t = SimTime::ZERO + SimDur::from_secs(i as u64);
+            tw.set(t, v);
+        }
+        let end = t + SimDur::from_secs(1);
+        let avg = tw.average(end);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {} not in [{}, {}]", avg, lo, hi);
+    }
+
+    /// Histogram quantiles are monotone in q and total count is conserved.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut h = DurHistogram::exponential();
+        for &s in &samples {
+            h.record(SimDur(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+}

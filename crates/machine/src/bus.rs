@@ -1,0 +1,83 @@
+//! Shared-bus contention model.
+//!
+//! The Encore Multimax is a bus-based machine: every cache miss crosses a
+//! single shared bus, so miss latency grows with the number of processors
+//! concurrently refilling. We model this with a simple linear factor — exact
+//! queueing behaviour is not needed for the paper's figures, only the
+//! property that cache corruption hurts *more* when many processors are
+//! context-switching at once.
+
+/// Bus contention parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BusConfig {
+    /// Slope of the contention multiplier: with all other processors busy
+    /// missing, a refill costs `(1 + contention_factor)` times its
+    /// uncontended latency. Zero disables contention.
+    pub contention_factor: f64,
+}
+
+impl BusConfig {
+    /// Multiplier applied to miss latency when `refilling` of the machine's
+    /// `total` processors are concurrently refilling their caches
+    /// (including the one asking).
+    pub fn contention_multiplier(&self, refilling: usize, total: usize) -> f64 {
+        debug_assert!(total >= 1);
+        debug_assert!(refilling >= 1, "the asking processor is refilling");
+        if total <= 1 {
+            return 1.0;
+        }
+        let others = (refilling.min(total) - 1) as f64 / (total - 1) as f64;
+        1.0 + self.contention_factor * others
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_contention_when_alone() {
+        let bus = BusConfig {
+            contention_factor: 0.5,
+        };
+        assert_eq!(bus.contention_multiplier(1, 16), 1.0);
+    }
+
+    #[test]
+    fn full_contention_hits_cap() {
+        let bus = BusConfig {
+            contention_factor: 0.5,
+        };
+        let m = bus.contention_multiplier(16, 16);
+        assert!((m - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_refilling_count() {
+        let bus = BusConfig {
+            contention_factor: 1.0,
+        };
+        let mut prev = 0.0;
+        for r in 1..=16 {
+            let m = bus.contention_multiplier(r, 16);
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn uniprocessor_is_uncontended() {
+        let bus = BusConfig {
+            contention_factor: 2.0,
+        };
+        assert_eq!(bus.contention_multiplier(1, 1), 1.0);
+    }
+
+    #[test]
+    fn zero_factor_disables() {
+        let bus = BusConfig {
+            contention_factor: 0.0,
+        };
+        assert_eq!(bus.contention_multiplier(16, 16), 1.0);
+    }
+}

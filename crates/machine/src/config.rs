@@ -1,0 +1,118 @@
+//! Machine configuration presets.
+
+use desim::SimDur;
+
+use crate::bus::BusConfig;
+use crate::cache::CacheConfig;
+
+/// Identifies a physical processor.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CpuId(pub usize);
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Static description of the simulated shared-memory multiprocessor.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of physical processors.
+    pub num_cpus: usize,
+    /// Fixed kernel cost of a context switch (register save/restore, address
+    /// space switch), excluding cache-refill time which the cache model adds.
+    pub context_switch_cost: SimDur,
+    /// Cache behaviour.
+    pub cache: CacheConfig,
+    /// Shared-bus behaviour.
+    pub bus: BusConfig,
+}
+
+impl MachineConfig {
+    /// A 16-processor Encore-Multimax-like machine: moderate per-line miss
+    /// cost, bus-based, ~100 us context switches.
+    ///
+    /// The absolute constants are not calibrated to the NS32332; they are
+    /// chosen so that the *ratios* that drive the paper's figures (quantum ≫
+    /// switch cost ≫ per-line miss) are representative of 1989 hardware.
+    pub fn multimax16() -> Self {
+        MachineConfig {
+            num_cpus: 16,
+            context_switch_cost: SimDur::from_micros(100),
+            cache: CacheConfig {
+                line_refill_cost: SimDur::from_nanos(500),
+                capacity_lines: 2_048,
+                evict_tau: SimDur::from_millis(20),
+            },
+            bus: BusConfig {
+                contention_factor: 0.5,
+            },
+        }
+    }
+
+    /// A "scalable multiprocessor" in the paper's Section 2 sense: same
+    /// organisation but remote-miss latencies of 50–100 processor cycles,
+    /// i.e. per-line refills an order of magnitude more expensive relative
+    /// to compute.
+    pub fn scalable16() -> Self {
+        MachineConfig {
+            num_cpus: 16,
+            context_switch_cost: SimDur::from_micros(50),
+            cache: CacheConfig {
+                line_refill_cost: SimDur::from_micros(5),
+                capacity_lines: 4_096,
+                evict_tau: SimDur::from_millis(20),
+            },
+            bus: BusConfig {
+                contention_factor: 1.0,
+            },
+        }
+    }
+
+    /// Same machine with a different processor count.
+    pub fn with_cpus(mut self, n: usize) -> Self {
+        assert!(n > 0, "a machine needs at least one processor");
+        self.num_cpus = n;
+        self
+    }
+
+    /// Replaces the cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Iterates over the CPU identifiers of this machine.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.num_cpus).map(CpuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let m = MachineConfig::multimax16();
+        assert_eq!(m.num_cpus, 16);
+        assert!(m.context_switch_cost > SimDur::ZERO);
+        let s = MachineConfig::scalable16();
+        assert!(s.cache.line_refill_cost > m.cache.line_refill_cost);
+    }
+
+    #[test]
+    fn with_cpus_overrides() {
+        let m = MachineConfig::multimax16().with_cpus(4);
+        assert_eq!(m.num_cpus, 4);
+        assert_eq!(m.cpus().count(), 4);
+        assert_eq!(m.cpus().next(), Some(CpuId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_cpus_rejected() {
+        MachineConfig::multimax16().with_cpus(0);
+    }
+}

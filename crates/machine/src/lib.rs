@@ -1,0 +1,23 @@
+//! `machine` — model of a bus-based shared-memory multiprocessor.
+//!
+//! This crate supplies the hardware-level costs that drive the Tucker–Gupta
+//! reproduction: context-switch cost, per-processor cache warmth (and the
+//! reload penalty paid after corruption), and shared-bus contention. The
+//! simulated kernel in the `simkernel` crate consults this model on every
+//! dispatch.
+//!
+//! Two presets are provided: [`MachineConfig::multimax16`], resembling the
+//! 16-processor Encore Multimax the paper measured, and
+//! [`MachineConfig::scalable16`], resembling the "scalable multiprocessors
+//! with 50–100 cycle miss penalties" the paper predicts will suffer far more
+//! from cache corruption (used by the miss-penalty ablation).
+
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod config;
+
+pub use bus::BusConfig;
+pub use cache::{CacheConfig, CacheSim};
+pub use config::{CpuId, MachineConfig};

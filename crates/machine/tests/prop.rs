@@ -1,0 +1,70 @@
+//! Property tests for the machine model.
+
+use desim::SimDur;
+use machine::{BusConfig, CacheConfig, CacheSim, CpuId};
+use proptest::prelude::*;
+
+fn cfg() -> CacheConfig {
+    CacheConfig {
+        line_refill_cost: SimDur::from_nanos(1_000),
+        capacity_lines: 1_000,
+        evict_tau: SimDur::from_millis(10),
+    }
+}
+
+proptest! {
+    /// Warmth is always a fraction, penalties never exceed a fully cold
+    /// reload, and useful work never exceeds elapsed time — under arbitrary
+    /// interleavings of dispatch/run across two processes.
+    #[test]
+    fn cache_invariants_hold(ops in prop::collection::vec((0u8..2, 0u8..2, 1u64..5_000), 1..300)) {
+        let mut cs = CacheSim::new(cfg(), 2);
+        for (what, who, amount) in ops {
+            let tag = who as u64 + 1;
+            let cpu = CpuId(0);
+            if what == 0 {
+                let pen = cs.dispatch(cpu, tag, 100, 1.0);
+                // A fully cold reload of 100 lines at 1 us/line.
+                prop_assert!(pen <= SimDur::from_micros(100));
+            } else {
+                let dur = SimDur::from_micros(amount);
+                let useful = cs.run(cpu, tag, dur);
+                prop_assert!(useful <= dur);
+            }
+            prop_assert!((0.0..=1.0).contains(&cs.warmth(cpu, tag)));
+        }
+    }
+
+    /// Bus contention multiplier is always >= 1 and monotone.
+    #[test]
+    fn bus_multiplier_sane(factor in 0.0f64..4.0, total in 1usize..64) {
+        let bus = BusConfig { contention_factor: factor };
+        let mut prev = 1.0;
+        for refilling in 1..=total {
+            let m = bus.contention_multiplier(refilling, total);
+            prop_assert!(m >= 1.0);
+            prop_assert!(m + 1e-12 >= prev);
+            prev = m;
+        }
+    }
+
+    /// Total refill time paid equals the cold-lines cost charged at dispatch,
+    /// no matter how execution is sliced.
+    #[test]
+    fn refill_conserved_across_slices(slices in prop::collection::vec(1u64..50, 1..40)) {
+        let mut cs = CacheSim::new(cfg(), 1);
+        let pen = cs.dispatch(CpuId(0), 7, 100, 1.0);
+        prop_assert_eq!(pen, SimDur::from_micros(100));
+        let mut refill_paid = SimDur::ZERO;
+        for us in slices {
+            let dur = SimDur::from_micros(us);
+            let useful = cs.run(CpuId(0), 7, dur);
+            refill_paid += dur - useful;
+        }
+        prop_assert!(refill_paid <= pen);
+        // Once enough time has elapsed, the full penalty has been paid.
+        let useful = cs.run(CpuId(0), 7, SimDur::from_micros(200));
+        refill_paid += SimDur::from_micros(200) - useful;
+        prop_assert_eq!(refill_paid, pen);
+    }
+}

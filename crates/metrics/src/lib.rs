@@ -1,0 +1,15 @@
+//! `metrics` — instrumentation and figure-data plumbing.
+//!
+//! Turns `simkernel` traces into the data series behind the paper's
+//! figures (speed-up curves, wall-clock bars, runnable-process traces) and
+//! renders them as aligned text tables, quick ASCII charts, and CSV.
+
+#![warn(missing_docs)]
+
+mod render;
+mod series;
+mod trace;
+
+pub use render::{ascii_chart, series_csv, table};
+pub use series::Series;
+pub use trace::{preemption_count, runnable_app_series, runnable_total_series};

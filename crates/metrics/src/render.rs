@@ -1,0 +1,199 @@
+//! Plain-text rendering: tables, ASCII charts, CSV.
+//!
+//! The figure harnesses print both a table (for EXPERIMENTS.md) and a
+//! quick ASCII chart (for eyeballing curve shapes in a terminal).
+
+use crate::series::Series;
+
+/// Renders an aligned text table. `header` and every row must have the
+/// same arity.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = *w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|_| "-").collect::<Vec<_>>(),
+        &widths,
+    ));
+    // Re-render the separator as full-width dashes.
+    let sep: String = widths
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let dashes = "-".repeat(*w);
+            if i > 0 {
+                format!("  {dashes}")
+            } else {
+                dashes
+            }
+        })
+        .collect::<String>()
+        + "\n";
+    let first_nl = out.find('\n').expect("header line present") + 1;
+    out.truncate(first_nl);
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Renders several series as an ASCII chart, one glyph per series.
+/// X values are binned onto `width` columns; Y is scaled to `height` rows.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small");
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (mut x_min, mut x_max, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || x_max <= x_min {
+        return String::from("(no data)\n");
+    }
+    y_max = y_max.max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max * (height - 1 - i) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_here:8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>10}{:<w$.1}{:>w2$.1}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_min,
+        x_max,
+        w = width / 2,
+        w2 = width - width / 2,
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Serializes series to CSV: `x,label1,label2,...` — one row per distinct
+/// x across all series (step-filled for series without that exact x).
+pub fn series_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in series {
+            match s.step_at(x) {
+                Some(y) => out.push_str(&format!(",{y}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["procs", "speedup"],
+            &[
+                vec!["1".into(), "1.00".into()],
+                vec!["16".into(), "12.34".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("procs"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("12.34"));
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn chart_renders_data() {
+        let mut s = Series::new("line");
+        for i in 0..10 {
+            s.push(f64::from(i), f64::from(i));
+        }
+        let out = ascii_chart(&[s], 20, 6);
+        assert!(out.contains('*'));
+        assert!(out.contains("line"));
+    }
+
+    #[test]
+    fn chart_empty_is_graceful() {
+        assert_eq!(ascii_chart(&[Series::new("e")], 20, 6), "(no data)\n");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(0.5, 5.0);
+        let csv = series_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines.len(), 4); // header + x ∈ {0, 0.5, 1}
+        assert!(lines[1].starts_with("0,1,"));
+        assert_eq!(lines[2], "0.5,1,5");
+    }
+}

@@ -1,0 +1,113 @@
+//! Time series and data series for figure reproduction.
+
+/// A labeled 2-D data series (one curve of a figure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label, e.g. `"matmul (controlled)"`.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |&(px, _)| px <= x),
+            "points must be pushed in x order"
+        );
+        self.points.push((x, y));
+    }
+
+    /// Largest y value, or 0 when empty.
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(0.0, f64::max)
+    }
+
+    /// Value at `x` treating the series as a step function (the value of
+    /// the last point at or before `x`); `None` before the first point.
+    pub fn step_at(&self, x: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(px, _)| px <= x);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
+
+    /// Resamples a step-function series onto a regular grid from
+    /// `x0` to `x1` with the given step — convenient for plotting
+    /// runnable-count traces (Figure 5).
+    pub fn resample_step(&self, x0: f64, x1: f64, dx: f64) -> Series {
+        assert!(dx > 0.0);
+        let mut out = Series::new(self.label.clone());
+        let mut x = x0;
+        while x <= x1 + 1e-9 {
+            out.push(x, self.step_at(x).unwrap_or(0.0));
+            x += dx;
+        }
+        out
+    }
+
+    /// Time-weighted mean of a step series over `[x0, x1]`.
+    pub fn step_mean(&self, x0: f64, x1: f64) -> f64 {
+        assert!(x1 > x0);
+        let mut acc = 0.0;
+        let mut x = x0;
+        let mut v = self.step_at(x0).unwrap_or(0.0);
+        for &(px, py) in self.points.iter().filter(|&&(px, _)| px > x0 && px < x1) {
+            acc += v * (px - x);
+            x = px;
+            v = py;
+        }
+        acc += v * (x1 - x);
+        acc / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Series {
+        let mut s = Series::new("test");
+        s.push(0.0, 1.0);
+        s.push(10.0, 3.0);
+        s.push(20.0, 2.0);
+        s
+    }
+
+    #[test]
+    fn step_lookup() {
+        let s = s();
+        assert_eq!(s.step_at(-1.0), None);
+        assert_eq!(s.step_at(0.0), Some(1.0));
+        assert_eq!(s.step_at(9.9), Some(1.0));
+        assert_eq!(s.step_at(10.0), Some(3.0));
+        assert_eq!(s.step_at(100.0), Some(2.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let r = s().resample_step(0.0, 20.0, 5.0);
+        let ys: Vec<f64> = r.points.iter().map(|&(_, y)| y).collect();
+        assert_eq!(ys, vec![1.0, 1.0, 3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn step_mean_weighted() {
+        // 1 for [0,10), 3 for [10,20), mean over [0,20) = 2.
+        let m = s().step_mean(0.0, 20.0);
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_max_works() {
+        assert_eq!(s().y_max(), 3.0);
+        assert_eq!(Series::new("empty").y_max(), 0.0);
+    }
+}

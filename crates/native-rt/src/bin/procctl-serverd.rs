@@ -1,0 +1,74 @@
+//! `procctl-serverd` — the standalone process-control server daemon.
+//!
+//! The deployable form of the paper's centralized user-level server:
+//! listens on a Unix domain socket, answers REGISTER/POLL/BYE from
+//! application processes, and partitions the machine's processors among
+//! them (optionally subtracting system-wide runnable load sampled from
+//! `/proc`, the modern `rpstat`).
+//!
+//! ```text
+//! USAGE: procctl-serverd <socket-path> [--cpus N] [--account-system-load]
+//! ```
+
+#[cfg(unix)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut path: Option<String> = None;
+    let mut cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut account = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cpus" => {
+                i += 1;
+                cpus = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--cpus needs a positive integer"));
+            }
+            "--account-system-load" => account = true,
+            "--help" | "-h" => usage(""),
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| usage("missing socket path"));
+    if cpus == 0 {
+        usage("--cpus must be at least 1");
+    }
+
+    let mut cfg = native_rt::UdsServerConfig::new(&path, cpus);
+    cfg.account_system_load = account;
+    let server = native_rt::UdsServer::start(cfg).unwrap_or_else(|e| {
+        eprintln!("procctl-serverd: cannot bind {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "procctl-serverd: serving {} processors on {} (system-load accounting {})",
+        cpus,
+        server.path().display(),
+        if account { "on" } else { "off" },
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+#[cfg(unix)]
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("procctl-serverd: {err}");
+    }
+    eprintln!("USAGE: procctl-serverd <socket-path> [--cpus N] [--account-system-load]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("procctl-serverd requires Unix domain sockets");
+    std::process::exit(1);
+}

@@ -1,0 +1,175 @@
+//! The in-process central controller — the native analog of the paper's
+//! user-level server.
+//!
+//! Thread pools register with one [`Controller`]; a background thread
+//! periodically recomputes each pool's target number of *unsuspended*
+//! workers with the same fair-partition arithmetic the simulated server
+//! uses ([`procctl::partition`]), capped by each pool's worker count, at
+//! least one each. Pools read their target atomically at safe points.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use procctl::{partition, AppDemand};
+
+/// Per-pool slot the controller writes targets into.
+#[derive(Debug)]
+pub struct TargetSlot {
+    /// Desired number of unsuspended workers.
+    pub target: AtomicUsize,
+    /// Total workers in the pool (the cap).
+    pub nworkers: usize,
+}
+
+struct Registry {
+    pools: Vec<Weak<TargetSlot>>,
+}
+
+/// The centralized controller.
+pub struct Controller {
+    cpus: usize,
+    registry: Arc<Mutex<Registry>>,
+    stop: Arc<AtomicBool>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl Controller {
+    /// Creates a controller for a machine with `cpus` processors,
+    /// recomputing targets every `interval`.
+    pub fn new(cpus: usize, interval: Duration) -> Self {
+        assert!(cpus >= 1);
+        let registry = Arc::new(Mutex::new(Registry { pools: Vec::new() }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticker = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("procctl-server".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        Self::recompute(&registry, cpus);
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn controller thread")
+        };
+        Controller {
+            cpus,
+            registry,
+            stop,
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Registers a pool; returns its target slot (initialized to the whole
+    /// machine until the first recompute, like the simulated server).
+    pub fn register(&self, nworkers: usize) -> Arc<TargetSlot> {
+        let slot = Arc::new(TargetSlot {
+            target: AtomicUsize::new(self.cpus.min(nworkers.max(1))),
+            nworkers,
+        });
+        self.registry.lock().pools.push(Arc::downgrade(&slot));
+        Self::recompute(&self.registry, self.cpus);
+        slot
+    }
+
+    /// Recomputes all live pools' targets now (also called by the ticker).
+    pub fn recompute_now(&self) {
+        Self::recompute(&self.registry, self.cpus);
+    }
+
+    fn recompute(registry: &Mutex<Registry>, cpus: usize) {
+        let mut reg = registry.lock();
+        // Drop dead pools (their `Arc` slots were released on pool drop —
+        // the native analog of the BYE message).
+        reg.pools.retain(|w| w.strong_count() > 0);
+        let slots: Vec<Arc<TargetSlot>> = reg.pools.iter().filter_map(Weak::upgrade).collect();
+        drop(reg);
+        if slots.is_empty() {
+            return;
+        }
+        let demands: Vec<AppDemand> = slots
+            .iter()
+            .map(|s| AppDemand::new(s.nworkers as u32))
+            .collect();
+        let targets = partition(cpus as u32, 0, &demands);
+        for (slot, t) in slots.iter().zip(targets) {
+            slot.target.store((t as usize).max(1), Ordering::Release);
+        }
+    }
+
+    /// Number of processors this controller partitions.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+}
+
+impl Drop for Controller {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pool_gets_whole_machine() {
+        let c = Controller::new(8, Duration::from_millis(50));
+        let slot = c.register(16);
+        assert_eq!(slot.target.load(Ordering::Acquire), 8);
+    }
+
+    #[test]
+    fn two_pools_split() {
+        let c = Controller::new(8, Duration::from_millis(50));
+        let a = c.register(16);
+        let b = c.register(16);
+        c.recompute_now();
+        assert_eq!(a.target.load(Ordering::Acquire), 4);
+        assert_eq!(b.target.load(Ordering::Acquire), 4);
+    }
+
+    #[test]
+    fn small_pool_capped_excess_redistributed() {
+        let c = Controller::new(8, Duration::from_millis(50));
+        let a = c.register(2);
+        let b = c.register(16);
+        c.recompute_now();
+        assert_eq!(a.target.load(Ordering::Acquire), 2);
+        assert_eq!(b.target.load(Ordering::Acquire), 6);
+    }
+
+    #[test]
+    fn dead_pools_release_their_share() {
+        let c = Controller::new(8, Duration::from_millis(50));
+        let a = c.register(16);
+        {
+            let _b = c.register(16);
+            c.recompute_now();
+            assert_eq!(a.target.load(Ordering::Acquire), 4);
+        } // b dropped
+        c.recompute_now();
+        assert_eq!(a.target.load(Ordering::Acquire), 8);
+    }
+
+    #[test]
+    fn ticker_recomputes_in_background() {
+        let c = Controller::new(8, Duration::from_millis(10));
+        let a = c.register(16);
+        let _b = c.register(16);
+        // Wait for the ticker (no explicit recompute_now).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while a.target.load(Ordering::Acquire) != 4 {
+            assert!(std::time::Instant::now() < deadline, "ticker never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `native-rt` — the paper's process-control scheme over real OS threads.
+//!
+//! Where the sibling crates *simulate* a 1989 multiprocessor, this crate
+//! demonstrates that the protocol is directly implementable with modern
+//! threading: a [`Controller`] (the centralized server) partitions the
+//! host's cores among registered [`Pool`]s, and each pool's workers
+//! suspend/resume themselves at safe points between jobs — park/unpark
+//! standing in for the paper's signal-and-wait. The `workloads::native`
+//! kernels (matmul, FFT, sort, gauss) provide real work to schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use native_rt::{Controller, Pool};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let controller = Controller::new(4, std::time::Duration::from_millis(20));
+//! let pool = Pool::new(&controller, 8, false); // 8 workers, 4-cpu target
+//! let done = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..32 {
+//!     let d = done.clone();
+//!     pool.execute(move || { d.fetch_add(1, Ordering::Relaxed); });
+//! }
+//! pool.wait_idle();
+//! assert_eq!(done.load(Ordering::Relaxed), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+mod controller;
+mod pool;
+pub mod proc_scan;
+#[cfg(unix)]
+mod uds;
+
+pub use controller::{Controller, TargetSlot};
+pub use pool::{Job, Pool, PoolMetrics};
+#[cfg(unix)]
+pub use uds::{PollerGuard, UdsClient, UdsServer, UdsServerConfig};

@@ -1,0 +1,352 @@
+//! A task-queue worker pool over real OS threads, with process control.
+//!
+//! The native analog of the modified threads package: workers pull jobs
+//! from a shared queue; **between** jobs — the safe suspension point — a
+//! worker compares the pool's count of unsuspended workers against the
+//! controller's target and either suspends itself (blocks on a private
+//! condition variable, the analog of waiting for a signal) or resumes a
+//! suspended colleague. Application code (the jobs) never sees any of it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::controller::{Controller, TargetSlot};
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool counters, mirroring the simulated package's [`uthreads::AppMetrics`].
+///
+/// [`uthreads::AppMetrics`]: ../uthreads/struct.AppMetrics.html
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolMetrics {
+    /// Jobs executed.
+    pub jobs_run: u64,
+    /// Worker self-suspensions.
+    pub suspends: u64,
+    /// Worker resumptions.
+    pub resumes: u64,
+}
+
+/// One suspended worker's wakeup channel (the "signal").
+struct ParkToken {
+    resumed: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when work arrives or the pool shuts down.
+    work_cv: Condvar,
+    /// Jobs submitted and not yet finished.
+    outstanding: AtomicUsize,
+    /// Signaled when `outstanding` hits zero.
+    idle_cv: Condvar,
+    idle_mu: Mutex<()>,
+    /// Unsuspended workers.
+    active: AtomicUsize,
+    suspended: Mutex<Vec<Arc<ParkToken>>>,
+    target: Arc<TargetSlot>,
+    shutdown: AtomicBool,
+    jobs_run: AtomicU64,
+    suspends: AtomicU64,
+    resumes: AtomicU64,
+    /// Busy-wait (1989-style) instead of sleeping when the queue is empty
+    /// but work is outstanding.
+    idle_spin: bool,
+}
+
+/// A controlled worker pool.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool of `nworkers` threads registered with `controller`.
+    /// `idle_spin` selects period-faithful busy-waiting (true) or polite
+    /// blocking (false) when the queue is momentarily empty.
+    pub fn new(controller: &Controller, nworkers: usize, idle_spin: bool) -> Self {
+        let target = controller.register(nworkers);
+        Self::with_slot(target, nworkers, idle_spin)
+    }
+
+    /// Creates a pool whose target is driven externally (e.g. by a
+    /// [`crate::UdsClient`] poller talking to a cross-process server)
+    /// through the given slot.
+    pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
+        assert!(nworkers >= 1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            outstanding: AtomicUsize::new(0),
+            idle_cv: Condvar::new(),
+            idle_mu: Mutex::new(()),
+            active: AtomicUsize::new(nworkers),
+            suspended: Mutex::new(Vec::new()),
+            target,
+            shutdown: AtomicBool::new(false),
+            jobs_run: AtomicU64::new(0),
+            suspends: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            idle_spin,
+        });
+        let workers = (0..nworkers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Submits a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.shared.queue.lock().push_back(Box::new(job));
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_mu.lock();
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Current number of unsuspended workers.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// The controller's current target for this pool.
+    pub fn target(&self) -> usize {
+        self.shared.target.target.load(Ordering::Acquire)
+    }
+
+    /// Pool counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            jobs_run: self.shared.jobs_run.load(Ordering::Acquire),
+            suspends: self.shared.suspends.load(Ordering::Acquire),
+            resumes: self.shared.resumes.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake sleepers and suspended workers so everyone can exit.
+        self.shared.work_cv.notify_all();
+        let tokens = std::mem::take(&mut *self.shared.suspended.lock());
+        for t in tokens {
+            *t.resumed.lock() = true;
+            t.cv.notify_one();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Arc<PoolShared>) {
+    loop {
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // --- Safe suspension point: no job held, no lock held. ---
+        let target = sh.target.target.load(Ordering::Acquire);
+        let active = sh.active.load(Ordering::Acquire);
+        if active > target && active > 1 {
+            // Suspend self (compare-and-swap guards racing suspenders).
+            if sh
+                .active
+                .compare_exchange(active, active - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                sh.suspends.fetch_add(1, Ordering::Relaxed);
+                let token = Arc::new(ParkToken {
+                    resumed: Mutex::new(false),
+                    cv: Condvar::new(),
+                });
+                sh.suspended.lock().push(Arc::clone(&token));
+                let mut resumed = token.resumed.lock();
+                // Bounded waits guard the race where the pool shuts down
+                // between our shutdown check and parking.
+                while !*resumed && !sh.shutdown.load(Ordering::Acquire) {
+                    token
+                        .cv
+                        .wait_for(&mut resumed, std::time::Duration::from_millis(50));
+                }
+                continue; // Re-enter the safe point.
+            }
+        } else if active < target {
+            let popped = sh.suspended.lock().pop();
+            if let Some(t) = popped {
+                sh.active.fetch_add(1, Ordering::AcqRel);
+                sh.resumes.fetch_add(1, Ordering::Relaxed);
+                *t.resumed.lock() = true;
+                t.cv.notify_one();
+            }
+        }
+        // --- Dequeue and run. ---
+        let job = sh.queue.lock().pop_front();
+        match job {
+            Some(job) => {
+                job();
+                sh.jobs_run.fetch_add(1, Ordering::Relaxed);
+                if sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _g = sh.idle_mu.lock();
+                    sh.idle_cv.notify_all();
+                }
+            }
+            None => {
+                if sh.idle_spin {
+                    // Period-faithful busy wait: burn a short slice, then
+                    // re-check (lets the OS preempt us naturally).
+                    for _ in 0..2_000 {
+                        std::hint::spin_loop();
+                    }
+                    std::thread::yield_now();
+                } else {
+                    let mut q = sh.queue.lock();
+                    if q.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
+                        sh.work_cv
+                            .wait_for(&mut q, std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn controller(cpus: usize) -> Controller {
+        Controller::new(cpus, Duration::from_millis(10))
+    }
+
+    #[test]
+    fn runs_all_jobs() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let k = Arc::clone(&counter);
+            pool.execute(move || {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.metrics().jobs_run, 100);
+    }
+
+    #[test]
+    fn oversized_pool_suspends_down_to_target() {
+        let c = controller(2);
+        let pool = Pool::new(&c, 8, false);
+        assert_eq!(pool.target(), 2);
+        // Keep some work flowing so workers pass safe points.
+        for _ in 0..200 {
+            pool.execute(|| std::thread::sleep(Duration::from_micros(200)));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.active() > 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never suspended: active={}",
+                pool.active()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pool.wait_idle();
+        assert!(pool.metrics().suspends >= 5);
+    }
+
+    #[test]
+    fn workers_resume_when_target_grows() {
+        let c = controller(4);
+        let a = Pool::new(&c, 8, false);
+        // Squeeze pool a with a competitor.
+        {
+            let b = Pool::new(&c, 8, false);
+            c.recompute_now();
+            assert_eq!(a.target(), 2);
+            for _ in 0..400 {
+                a.execute(|| std::thread::sleep(Duration::from_micros(100)));
+                b.execute(|| std::thread::sleep(Duration::from_micros(100)));
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while a.active() > 3 {
+                assert!(std::time::Instant::now() < deadline, "a never shrank");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            a.wait_idle();
+            b.wait_idle();
+        } // b drops; its share is released.
+        c.recompute_now();
+        assert_eq!(a.target(), 4);
+        for _ in 0..400 {
+            a.execute(|| std::thread::sleep(Duration::from_micros(100)));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.active() < 4 {
+            assert!(std::time::Instant::now() < deadline, "a never grew back");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        a.wait_idle();
+        assert!(a.metrics().resumes >= 1);
+    }
+
+    #[test]
+    fn drop_wakes_suspended_workers() {
+        let c = controller(1);
+        let pool = Pool::new(&c, 4, false);
+        for _ in 0..50 {
+            pool.execute(|| std::thread::sleep(Duration::from_micros(100)));
+        }
+        pool.wait_idle();
+        drop(pool); // Must not hang on suspended workers.
+    }
+
+    #[test]
+    fn arc_pool_handle_works() {
+        let c = controller(2);
+        let pool = Arc::new(Pool::new(&c, 2, false));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let k = Arc::clone(&counter);
+        pool.execute(move || {
+            k.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn spin_mode_also_completes() {
+        let c = controller(2);
+        let pool = Pool::new(&c, 4, true);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let k = Arc::clone(&counter);
+            pool.execute(move || {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+}

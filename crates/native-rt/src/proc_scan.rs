@@ -1,0 +1,154 @@
+//! `/proc`-based process inspection — the native analog of UMAX's
+//! "system call for determining information about the runnable processes
+//! in the system" (`rpstat`).
+//!
+//! Linux-only; on other platforms the functions return
+//! [`std::io::ErrorKind::Unsupported`].
+
+use std::io;
+
+/// Number of runnable ('R' state) threads of process `pid`, from
+/// `/proc/<pid>/task/*/stat`.
+#[cfg(target_os = "linux")]
+pub fn runnable_threads(pid: u32) -> io::Result<u32> {
+    let dir = format!("/proc/{pid}/task");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let stat_path = entry.path().join("stat");
+        match std::fs::read_to_string(&stat_path) {
+            Ok(stat) => {
+                if parse_stat_state(&stat) == Some('R') {
+                    count += 1;
+                }
+            }
+            // Threads exit between readdir and read; skip them.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(count)
+}
+
+/// Whether process `pid` still exists.
+#[cfg(target_os = "linux")]
+pub fn process_exists(pid: u32) -> bool {
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Total runnable threads across the whole system, excluding the given
+/// pids (the registered/controlled applications and the server itself) —
+/// what the paper calls "the number of runnable processes not belonging
+/// to controllable applications".
+///
+/// This walks all of `/proc`, so callers should cache the result for a
+/// sampling interval, exactly as the centralized server amortizes its
+/// single `rpstat` across all applications.
+#[cfg(target_os = "linux")]
+pub fn system_runnable_excluding(exclude: &[u32]) -> io::Result<u32> {
+    let mut total = 0;
+    for entry in std::fs::read_dir("/proc")? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        if exclude.contains(&pid) {
+            continue;
+        }
+        if let Ok(n) = runnable_threads(pid) {
+            total += n;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(not(target_os = "linux"))]
+mod unsupported {
+    use super::io;
+
+    /// Unsupported on this platform.
+    pub fn runnable_threads(_pid: u32) -> io::Result<u32> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unsupported on this platform.
+    pub fn process_exists(_pid: u32) -> bool {
+        false
+    }
+
+    /// Unsupported on this platform.
+    pub fn system_runnable_excluding(_exclude: &[u32]) -> io::Result<u32> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use unsupported::{process_exists, runnable_threads, system_runnable_excluding};
+
+/// Extracts the state field (third, after the parenthesized comm which may
+/// itself contain spaces and parentheses) from a `/proc/*/stat` line.
+fn parse_stat_state(stat: &str) -> Option<char> {
+    let after_comm = stat.rfind(')')?;
+    stat[after_comm + 1..].split_whitespace().next()?.chars().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_state_simple() {
+        assert_eq!(parse_stat_state("123 (bash) S 1 123"), Some('S'));
+        assert_eq!(parse_stat_state("9 (kworker/0:1) R 2 0"), Some('R'));
+    }
+
+    #[test]
+    fn parse_state_with_evil_comm() {
+        // comm may contain spaces and parens: ") R" inside must not fool us.
+        assert_eq!(parse_stat_state("7 (a) R (b) x) Z 1 7"), Some('Z'));
+        assert_eq!(parse_stat_state("8 (fn (x y)) R 1 8"), Some('R'));
+    }
+
+    #[test]
+    fn parse_state_malformed() {
+        assert_eq!(parse_stat_state("no parens here"), None);
+        assert_eq!(parse_stat_state("1 (x)"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn own_process_is_visible() {
+        let me = std::process::id();
+        assert!(process_exists(me));
+        // A busy-spinning thread guarantees at least one R state.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s2 = stop.clone();
+        let h = std::thread::spawn(move || {
+            while !s2.load(std::sync::atomic::Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        });
+        // Sample a few times; at least one sample must see a runnable
+        // thread (the spinner, or this thread itself while on-CPU).
+        let mut saw_runnable = false;
+        for _ in 0..50 {
+            if runnable_threads(me).expect("read own /proc") >= 1 {
+                saw_runnable = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        h.join().expect("spinner joins");
+        assert!(saw_runnable, "never observed a runnable thread in self");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn nonexistent_process_reported() {
+        // Pid 0 has no /proc entry on Linux.
+        assert!(!process_exists(0));
+        assert!(runnable_threads(0).is_err());
+    }
+}

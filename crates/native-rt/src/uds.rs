@@ -1,0 +1,445 @@
+//! Cross-process control over Unix domain sockets.
+//!
+//! The closest native analog of the paper's deployment: the server is a
+//! standalone daemon ("a user-level centralized server"), applications are
+//! *separate processes* that register over a socket, poll periodically,
+//! and say goodbye when done — the same REGISTER/POLL/BYE protocol as the
+//! simulated server, as newline-terminated text:
+//!
+//! ```text
+//! client → server:  REGISTER <pid> <nworkers>
+//! client → server:  POLL <pid>
+//! server → client:  TARGET <n>
+//! client → server:  BYE <pid>
+//! server → client:  OK            (acknowledges REGISTER and BYE)
+//! ```
+//!
+//! The server additionally prunes registered applications whose processes
+//! have died without a BYE (checked against `/proc`), and can optionally
+//! subtract system-wide uncontrollable load sampled from `/proc` — the
+//! real `rpstat` sweep.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use procctl::{partition, AppDemand};
+
+use crate::controller::TargetSlot;
+use crate::proc_scan;
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct UdsServerConfig {
+    /// Socket path.
+    pub path: PathBuf,
+    /// Processors to partition.
+    pub cpus: usize,
+    /// Subtract system-wide runnable threads (full `/proc` sweep) from the
+    /// partitionable processors. Off by default: on a busy development
+    /// host this makes targets jittery, and tests need determinism.
+    pub account_system_load: bool,
+    /// How long a system-load sample stays fresh.
+    pub sample_ttl: Duration,
+}
+
+impl UdsServerConfig {
+    /// Defaults: no system-load accounting, 1 s sample TTL.
+    pub fn new(path: impl Into<PathBuf>, cpus: usize) -> Self {
+        UdsServerConfig {
+            path: path.into(),
+            cpus,
+            account_system_load: false,
+            sample_ttl: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AppReg {
+    pid: u32,
+    nworkers: u32,
+}
+
+struct ServerState {
+    apps: Vec<AppReg>,
+    last_sample: Option<(Instant, u32)>,
+}
+
+impl ServerState {
+    /// The target for `pid`, recomputed from the current registry (the
+    /// paper's equal partition with caps and a floor of one).
+    fn target_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> u32 {
+        // Prune applications that died without saying BYE.
+        self.apps.retain(|a| proc_scan::process_exists(a.pid));
+        let uncontrolled = if cfg.account_system_load {
+            let fresh = self
+                .last_sample
+                .is_some_and(|(at, _)| at.elapsed() < cfg.sample_ttl);
+            if !fresh {
+                let exclude: Vec<u32> = self
+                    .apps
+                    .iter()
+                    .map(|a| a.pid)
+                    .chain([std::process::id()])
+                    .collect();
+                let n = proc_scan::system_runnable_excluding(&exclude).unwrap_or(0);
+                self.last_sample = Some((Instant::now(), n));
+            }
+            self.last_sample.map_or(0, |(_, n)| n)
+        } else {
+            0
+        };
+        let demands: Vec<AppDemand> = self
+            .apps
+            .iter()
+            .map(|a| AppDemand::new(a.nworkers))
+            .collect();
+        let targets = partition(cfg.cpus as u32, uncontrolled, &demands);
+        self.apps
+            .iter()
+            .zip(&targets)
+            .find(|(a, _)| a.pid == pid)
+            .map_or(cfg.cpus as u32, |(_, &t)| t.max(1))
+    }
+}
+
+/// The standalone control server.
+pub struct UdsServer {
+    cfg: UdsServerConfig,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl UdsServer {
+    /// Binds the socket and starts serving. An existing socket file at the
+    /// path is removed first (stale from a crashed server).
+    pub fn start(cfg: UdsServerConfig) -> io::Result<Self> {
+        let _ = std::fs::remove_file(&cfg.path);
+        let listener = UnixListener::bind(&cfg.path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(ServerState {
+            apps: Vec::new(),
+            last_sample: None,
+        }));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let cfg2 = cfg.clone();
+            std::thread::Builder::new()
+                .name("procctl-uds-server".into())
+                .spawn(move || {
+                    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let state = Arc::clone(&state);
+                                let cfg3 = cfg2.clone();
+                                let stop2 = Arc::clone(&stop);
+                                handlers.push(
+                                    std::thread::Builder::new()
+                                        .name("procctl-uds-conn".into())
+                                        .spawn(move || {
+                                            let _ = serve_connection(stream, &state, &cfg3, &stop2);
+                                        })
+                                        .expect("spawn connection handler"),
+                                );
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    for h in handlers {
+                        let _ = h.join();
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(UdsServer {
+            cfg,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket path clients should connect to.
+    pub fn path(&self) -> &Path {
+        &self.cfg.path
+    }
+}
+
+impl Drop for UdsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.cfg.path);
+    }
+}
+
+fn serve_connection(
+    stream: UnixStream,
+    state: &Mutex<ServerState>,
+    cfg: &UdsServerConfig,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        // Malformed requests are dropped, like the simulated server's.
+        let reply = match fields.as_slice() {
+            ["REGISTER", pid, n] => match (pid.parse::<u32>(), n.parse::<u32>()) {
+                (Ok(pid), Ok(n)) => {
+                    let mut st = state.lock();
+                    if !st.apps.iter().any(|a| a.pid == pid) {
+                        st.apps.push(AppReg { pid, nworkers: n });
+                    }
+                    Some("OK\n".to_string())
+                }
+                _ => None,
+            },
+            ["POLL", pid] => match pid.parse::<u32>() {
+                Ok(pid) => {
+                    let t = state.lock().target_of(pid, cfg);
+                    Some(format!("TARGET {t}\n"))
+                }
+                _ => None,
+            },
+            ["BYE", pid] => match pid.parse::<u32>() {
+                Ok(pid) => {
+                    state.lock().apps.retain(|a| a.pid != pid);
+                    Some("OK\n".to_string())
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(r) = reply {
+            writer.write_all(r.as_bytes())?;
+        }
+    }
+}
+
+/// Client-side connection to a [`UdsServer`].
+pub struct UdsClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    pid: u32,
+}
+
+impl UdsClient {
+    /// Connects and registers this process with `nworkers` workers.
+    pub fn register(path: impl AsRef<Path>, nworkers: u32) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        let mut client = UdsClient {
+            reader: BufReader::new(stream),
+            writer,
+            pid: std::process::id(),
+        };
+        client.send(&format!("REGISTER {} {}\n", client.pid, nworkers))?;
+        client.expect_line("OK")?;
+        Ok(client)
+    }
+
+    fn send(&mut self, msg: &str) -> io::Result<()> {
+        self.writer.write_all(msg.as_bytes())
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim().to_string())
+    }
+
+    fn expect_line(&mut self, what: &str) -> io::Result<()> {
+        let line = self.read_line()?;
+        if line == what {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected {what}, got {line}"),
+            ))
+        }
+    }
+
+    /// Polls the server for this process's current target.
+    pub fn poll(&mut self) -> io::Result<u32> {
+        let pid = self.pid;
+        self.send(&format!("POLL {pid}\n"))?;
+        let line = self.read_line()?;
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["TARGET", n] => n
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
+    /// Deregisters (the paper's courtesy goodbye).
+    pub fn bye(&mut self) -> io::Result<()> {
+        let pid = self.pid;
+        self.send(&format!("BYE {pid}\n"))?;
+        self.expect_line("OK")
+    }
+
+    /// Spawns a background thread that polls every `interval` and stores
+    /// the target into `slot` (for wiring a [`crate::Pool`] to a remote
+    /// server). The thread exits when the returned guard is dropped.
+    pub fn spawn_poller(
+        mut self,
+        slot: Arc<TargetSlot>,
+        interval: Duration,
+    ) -> PollerGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("procctl-uds-poller".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    if let Ok(t) = self.poll() {
+                        slot.target
+                            .store((t as usize).clamp(1, slot.nworkers), Ordering::Release);
+                    }
+                    std::thread::sleep(interval);
+                }
+                let _ = self.bye();
+            })
+            .expect("spawn poller");
+        PollerGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background poller (and sends BYE) when dropped.
+pub struct PollerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for PollerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("procctl-test-{}-{tag}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn register_poll_bye_roundtrip() {
+        let path = sock_path("roundtrip");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 16).expect("client");
+        assert_eq!(c.poll().expect("poll"), 8);
+        c.bye().expect("bye");
+    }
+
+    #[test]
+    fn single_small_app_capped() {
+        let path = sock_path("capped");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 3).expect("client");
+        assert_eq!(c.poll().expect("poll"), 3);
+    }
+
+    #[test]
+    fn two_clients_from_same_process_share() {
+        // Both registrations carry this test process's pid, so the server
+        // sees ONE application (registration is idempotent per pid) —
+        // matching the paper's root-pid identity.
+        let path = sock_path("same-pid");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut a = UdsClient::register(&path, 16).expect("a");
+        let mut b = UdsClient::register(&path, 16).expect("b");
+        assert_eq!(a.poll().expect("poll"), 8);
+        assert_eq!(b.poll().expect("poll"), 8);
+    }
+
+    #[test]
+    fn malformed_requests_ignored() {
+        let path = sock_path("malformed");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        // Slip garbage onto the wire; the server must drop it silently and
+        // keep serving.
+        c.send("NONSENSE 1 2 3\n").expect("send");
+        c.send("POLL notanumber\n").expect("send");
+        assert_eq!(c.poll().expect("poll after garbage"), 4);
+    }
+
+    #[test]
+    fn poller_updates_slot() {
+        let path = sock_path("poller");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 6)).expect("server");
+        let client = UdsClient::register(&path, 12).expect("client");
+        let slot = Arc::new(TargetSlot {
+            target: std::sync::atomic::AtomicUsize::new(12),
+            nworkers: 12,
+        });
+        let _guard = client.spawn_poller(Arc::clone(&slot), Duration::from_millis(20));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while slot.target.load(Ordering::Acquire) != 6 {
+            assert!(Instant::now() < deadline, "poller never updated the slot");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn server_survives_client_disconnect() {
+        let path = sock_path("disconnect");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        {
+            let _c = UdsClient::register(&path, 8).expect("first client");
+            // Dropped without BYE.
+        }
+        let mut c2 = UdsClient::register(&path, 8).expect("second client");
+        // The dead "application" shares this process's pid, which is very
+        // much alive, so it still counts — this mirrors the paper's
+        // reliance on pid liveness. Target is the equal share.
+        let t = c2.poll().expect("poll");
+        assert!(t == 8, "got {t}");
+    }
+}

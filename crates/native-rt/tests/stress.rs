@@ -1,0 +1,104 @@
+//! Stress and property tests for the native runtime (real threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use native_rt::{Controller, Pool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every job runs exactly once for arbitrary worker counts, machine
+    /// sizes, and job counts — including zero jobs and heavy overcommit.
+    #[test]
+    fn all_jobs_run_exactly_once(
+        cpus in 1usize..4,
+        workers in 1usize..10,
+        jobs in 0usize..300,
+    ) {
+        let controller = Controller::new(cpus, Duration::from_millis(10));
+        let pool = Pool::new(&controller, workers, false);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..jobs {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        prop_assert_eq!(counter.load(Ordering::Relaxed), jobs);
+        prop_assert_eq!(pool.metrics().jobs_run, jobs as u64);
+    }
+
+    /// Pools can be created and torn down repeatedly against one
+    /// controller without deadlock, and shares always sum feasibly.
+    #[test]
+    fn churn_does_not_wedge(pools in prop::collection::vec(1usize..8, 1..5)) {
+        let controller = Controller::new(4, Duration::from_millis(10));
+        for &workers in &pools {
+            let pool = Pool::new(&controller, workers, false);
+            for _ in 0..20 {
+                pool.execute(|| {
+                    std::thread::sleep(Duration::from_micros(50));
+                });
+            }
+            pool.wait_idle();
+            prop_assert!(pool.target() >= 1);
+            prop_assert!(pool.target() <= workers.max(4));
+            drop(pool);
+        }
+        controller.recompute_now();
+    }
+}
+
+/// Two pools hammered concurrently from submitter threads: totals must be
+/// exact and the controller's equal split honored.
+#[test]
+fn concurrent_submitters_two_pools() {
+    let controller = Controller::new(2, Duration::from_millis(10));
+    let a = Arc::new(Pool::new(&controller, 6, false));
+    let b = Arc::new(Pool::new(&controller, 6, false));
+    controller.recompute_now();
+    assert_eq!(a.target(), 1);
+    assert_eq!(b.target(), 1);
+    let count = Arc::new(AtomicUsize::new(0));
+    let submitters: Vec<_> = (0..4)
+        .map(|i| {
+            let pool = if i % 2 == 0 { Arc::clone(&a) } else { Arc::clone(&b) };
+            let c = Arc::clone(&count);
+            std::thread::spawn(move || {
+                for _ in 0..250 {
+                    let c2 = Arc::clone(&c);
+                    pool.execute(move || {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter");
+    }
+    a.wait_idle();
+    b.wait_idle();
+    assert_eq!(count.load(Ordering::Relaxed), 1000);
+    assert_eq!(a.metrics().jobs_run + b.metrics().jobs_run, 1000);
+}
+
+/// A suspended worker parked for a long stretch still wakes for shutdown.
+#[test]
+fn long_suspension_then_clean_shutdown() {
+    let controller = Controller::new(1, Duration::from_millis(10));
+    let pool = Pool::new(&controller, 4, false);
+    for _ in 0..50 {
+        pool.execute(|| std::thread::sleep(Duration::from_micros(100)));
+    }
+    pool.wait_idle();
+    // Let workers reach their suspension points and park.
+    std::thread::sleep(Duration::from_millis(150));
+    let m = pool.metrics();
+    assert!(m.suspends >= 1, "expected suspensions, got {m:?}");
+    drop(pool); // Must join everyone.
+}

@@ -1,0 +1,246 @@
+//! Application-side process control.
+//!
+//! The client half of the scheme lives inside the threads package (the
+//! paper modified Brown University Threads; our analog is the `uthreads`
+//! crate). At every *safe suspension point* — between finishing one task
+//! and dequeuing the next — a worker consults [`ClientControl::decide`]:
+//! if the application has more runnable processes than its target, the
+//! worker suspends itself; if fewer, it resumes a previously suspended
+//! colleague. Every [`ClientControl::poll_interval`] some worker sends the
+//! server a `POLL` and refreshes the target.
+//!
+//! The module also provides the *decentralized* variant the paper tried
+//! first and rejected ("too inefficient... stability problems"): every
+//! application samples `rpstat` itself and estimates its own fair share,
+//! with no registry of which applications are controllable.
+
+use std::collections::HashSet;
+
+use desim::{SimDur, SimTime};
+use simkernel::{AppId, Message, Pid, PortId, ProcStat};
+
+use crate::proto;
+
+/// What a worker at a safe suspension point should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Too many runnable processes: the asking worker should suspend.
+    SuspendSelf,
+    /// Too few: the asking worker should resume a suspended colleague.
+    Resume,
+    /// The count matches the target: carry on.
+    Continue,
+}
+
+/// Per-application process-control state (kept in the application's shared
+/// memory; all workers consult it).
+#[derive(Clone, Debug)]
+pub struct ClientControl {
+    /// The server's request mailbox.
+    pub server_port: PortId,
+    /// This application's reply mailbox.
+    pub reply_port: PortId,
+    /// The application's root process.
+    pub root: Pid,
+    /// How often to poll the server (6 s in the paper).
+    pub poll_interval: SimDur,
+    target: u32,
+    next_poll: SimTime,
+}
+
+impl ClientControl {
+    /// Creates control state. Until the first poll reply arrives the target
+    /// is `initial_target` (typically the number of processes the
+    /// application started with).
+    pub fn new(
+        server_port: PortId,
+        reply_port: PortId,
+        root: Pid,
+        initial_target: u32,
+        poll_interval: SimDur,
+    ) -> Self {
+        assert!(initial_target >= 1, "target must allow one runnable process");
+        ClientControl {
+            server_port,
+            reply_port,
+            root,
+            poll_interval,
+            target: initial_target,
+            next_poll: SimTime::ZERO,
+        }
+    }
+
+    /// The latest target.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// Directly sets the target (used by the decentralized variant and by
+    /// tests).
+    pub fn set_target(&mut self, t: u32) {
+        self.target = t.max(1);
+    }
+
+    /// Whether a poll is due; the winning worker must call
+    /// [`ClientControl::claim_poll`] before issuing the IPC so colleagues
+    /// do not pile on.
+    pub fn poll_due(&self, now: SimTime) -> bool {
+        now >= self.next_poll
+    }
+
+    /// Claims the pending poll.
+    pub fn claim_poll(&mut self, now: SimTime) {
+        self.next_poll = now + self.poll_interval;
+    }
+
+    /// Encodes this application's registration message.
+    pub fn register_msg(&self) -> Vec<u64> {
+        proto::encode_register(self.root, self.reply_port)
+    }
+
+    /// Encodes this application's poll message.
+    pub fn poll_msg(&self) -> Vec<u64> {
+        proto::encode_poll(self.root, self.reply_port)
+    }
+
+    /// Encodes this application's goodbye message.
+    pub fn bye_msg(&self) -> Vec<u64> {
+        proto::encode_bye(self.root)
+    }
+
+    /// Applies a server reply; returns false for malformed messages.
+    pub fn apply_reply(&mut self, msg: &Message) -> bool {
+        match proto::decode_target(msg) {
+            Some(t) => {
+                self.target = t.max(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The suspension rule from Section 5: "if the ideal number is less
+    /// than the actual number, the process suspends itself; if the ideal
+    /// number is greater than the actual number, the process wakes up a
+    /// previously suspended process." `active` is the application's count
+    /// of non-suspended workers. A worker never suspends below one active
+    /// process (starvation guard).
+    pub fn decide(&self, active: u32) -> Decision {
+        if active > self.target && active > 1 {
+            Decision::SuspendSelf
+        } else if active < self.target {
+            Decision::Resume
+        } else {
+            Decision::Continue
+        }
+    }
+}
+
+/// The decentralized estimator: with no central registry, an application
+/// guesses its fair share as `num_cpus / (number of applications with any
+/// runnable process)`, treating *every* application (including
+/// single-process uncontrollable ones) as an equal claimant. This
+/// mis-shares against sequential load and oscillates as other applications
+/// suspend and resume — the instability that pushed the paper to the
+/// centralized server.
+pub fn decentralized_target(stats: &[ProcStat], _my_app: AppId, num_cpus: usize) -> u32 {
+    let apps: HashSet<AppId> = stats
+        .iter()
+        .filter(|s| s.runnable)
+        .map(|s| s.app)
+        .collect();
+    let napps = apps.len().max(1);
+    ((num_cpus / napps) as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(target: u32) -> ClientControl {
+        let mut c = ClientControl::new(
+            PortId(0),
+            PortId(1),
+            Pid(1),
+            16,
+            SimDur::from_secs(6),
+        );
+        c.set_target(target);
+        c
+    }
+
+    #[test]
+    fn decide_matches_paper_rule() {
+        let c = cc(4);
+        assert_eq!(c.decide(6), Decision::SuspendSelf);
+        assert_eq!(c.decide(4), Decision::Continue);
+        assert_eq!(c.decide(2), Decision::Resume);
+    }
+
+    #[test]
+    fn never_suspend_last_process() {
+        let c = cc(1);
+        assert_eq!(c.decide(1), Decision::Continue);
+        // Even with a (bogus) target of 1 and two active, one suspends.
+        assert_eq!(c.decide(2), Decision::SuspendSelf);
+    }
+
+    #[test]
+    fn poll_claims_are_exclusive() {
+        let mut c = cc(4);
+        let t0 = SimTime::ZERO + SimDur::from_secs(10);
+        assert!(c.poll_due(t0));
+        c.claim_poll(t0);
+        assert!(!c.poll_due(t0));
+        assert!(c.poll_due(t0 + SimDur::from_secs(6)));
+    }
+
+    #[test]
+    fn reply_updates_target() {
+        let mut c = cc(4);
+        let msg = Message {
+            from: Pid(0),
+            body: crate::proto::encode_target(7),
+        };
+        assert!(c.apply_reply(&msg));
+        assert_eq!(c.target(), 7);
+        // Zero targets are clamped to the starvation floor.
+        let msg0 = Message {
+            from: Pid(0),
+            body: crate::proto::encode_target(0),
+        };
+        assert!(c.apply_reply(&msg0));
+        assert_eq!(c.target(), 1);
+    }
+
+    #[test]
+    fn malformed_reply_ignored() {
+        let mut c = cc(4);
+        let msg = Message {
+            from: Pid(0),
+            body: vec![42, 42],
+        };
+        assert!(!c.apply_reply(&msg));
+        assert_eq!(c.target(), 4);
+    }
+
+    #[test]
+    fn decentralized_shares_equally_over_apps() {
+        let stat = |pid: u32, app: u32, runnable: bool| ProcStat {
+            pid: Pid(pid),
+            parent: None,
+            app: AppId(app),
+            runnable,
+        };
+        let stats = vec![
+            stat(1, 0, true),
+            stat(2, 0, true),
+            stat(3, 1, true),
+            stat(4, 2, false), // no runnable process: not a claimant
+        ];
+        assert_eq!(decentralized_target(&stats, AppId(0), 16), 8);
+        // Sequential load counts as a full claimant — the flaw.
+        let with_seq = [stats, vec![stat(5, 3, true)]].concat();
+        assert_eq!(decentralized_target(&with_seq, AppId(0), 16), 5);
+    }
+}

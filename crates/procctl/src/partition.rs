@@ -1,0 +1,229 @@
+//! The server's processor-partitioning algorithm.
+//!
+//! Section 5 of the paper: the server "determines the number of runnable
+//! processes not belonging to controllable applications... subtracts this
+//! from the number of processors in the system... then partitions these
+//! processors among the applications fairly", with two provisos: an
+//! application is never assigned more processors than it has processes, and
+//! every application keeps at least one runnable process.
+//!
+//! The fair division with caps is a classic water-filling problem; we solve
+//! it exactly by iterative redistribution, with an optional per-application
+//! weight extension (the paper's "given that all three have the same
+//! priority" aside generalized).
+
+/// One controllable application, as the server sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppDemand {
+    /// Total processes the application currently has (runnable or
+    /// suspended) — the cap on how many processors it can use.
+    pub processes: u32,
+    /// Relative share weight (1.0 = equal priority).
+    pub weight: f64,
+}
+
+impl AppDemand {
+    /// An equal-priority application with `processes` processes.
+    pub fn new(processes: u32) -> Self {
+        AppDemand {
+            processes,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Computes each controllable application's target number of runnable
+/// processes.
+///
+/// `num_cpus` is the machine size; `uncontrolled` is the number of runnable
+/// processes belonging to applications outside the scheme's control. The
+/// result has one entry per element of `apps`, each at least 1 (unless the
+/// application has no processes at all, in which case 0) and at most
+/// `processes`.
+///
+/// # Examples
+///
+/// The paper's worked example (Section 5 / Figure 2): 8 processors, 2 used
+/// by uncontrollable processes, three applications with 2, 3, and 3
+/// processes:
+///
+/// ```
+/// use procctl::{partition, AppDemand};
+///
+/// let t = partition(8, 2, &[AppDemand::new(2), AppDemand::new(3), AppDemand::new(3)]);
+/// assert_eq!(t, vec![2, 2, 2]);
+/// ```
+pub fn partition(num_cpus: u32, uncontrolled: u32, apps: &[AppDemand]) -> Vec<u32> {
+    let n = apps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let available = num_cpus.saturating_sub(uncontrolled);
+
+    // Start from the starvation floor: one process each (0 for empty apps).
+    let mut targets: Vec<u32> = apps.iter().map(|a| u32::from(a.processes > 0)).collect();
+    let floor: u32 = targets.iter().sum();
+    let mut remaining = available.saturating_sub(floor);
+
+    // Water-fill the remaining processors by weight, capped per app.
+    // Each round distributes proportionally among apps with headroom;
+    // integer rounding goes to the largest fractional remainders.
+    loop {
+        let headroom: Vec<usize> = (0..n)
+            .filter(|&i| targets[i] < apps[i].processes)
+            .collect();
+        if remaining == 0 || headroom.is_empty() {
+            break;
+        }
+        let wsum: f64 = headroom.iter().map(|&i| apps[i].weight.max(0.0)).sum();
+        if wsum <= 0.0 {
+            break;
+        }
+        let mut granted_any = false;
+        // Ideal fractional grants for this round.
+        let mut fractional: Vec<(usize, f64)> = headroom
+            .iter()
+            .map(|&i| {
+                let ideal = remaining as f64 * apps[i].weight.max(0.0) / wsum;
+                let room = (apps[i].processes - targets[i]) as f64;
+                (i, ideal.min(room))
+            })
+            .collect();
+        // Grant integer parts first.
+        for &mut (i, ref mut f) in &mut fractional {
+            let whole = (*f).floor() as u32;
+            let grant = whole.min(remaining).min(apps[i].processes - targets[i]);
+            if grant > 0 {
+                targets[i] += grant;
+                remaining -= grant;
+                granted_any = true;
+            }
+            *f -= f64::from(grant);
+        }
+        // Then leftover single processors to the largest remainders.
+        fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        for (i, _) in fractional {
+            if remaining == 0 {
+                break;
+            }
+            if targets[i] < apps[i].processes {
+                targets[i] += 1;
+                remaining -= 1;
+                granted_any = true;
+            }
+        }
+        if !granted_any {
+            break;
+        }
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq_apps(ps: &[u32]) -> Vec<AppDemand> {
+        ps.iter().map(|&p| AppDemand::new(p)).collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // 8 CPUs, 2 uncontrolled, apps with 2/3/3 processes → 2/2/2.
+        let t = partition(8, 2, &eq_apps(&[2, 3, 3]));
+        assert_eq!(t, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn single_app_gets_whole_machine() {
+        let t = partition(16, 0, &eq_apps(&[24]));
+        assert_eq!(t, vec![16]);
+    }
+
+    #[test]
+    fn cap_at_process_count() {
+        let t = partition(16, 0, &eq_apps(&[4]));
+        assert_eq!(t, vec![4]);
+    }
+
+    #[test]
+    fn excess_from_capped_apps_redistributes() {
+        // 16 CPUs, apps with 2 and 30 processes: fair share would be 8/8,
+        // but the small app can only use 2, so the big one gets 14.
+        let t = partition(16, 0, &eq_apps(&[2, 30]));
+        assert_eq!(t, vec![2, 14]);
+    }
+
+    #[test]
+    fn every_app_keeps_one_process() {
+        // More apps than processors: everyone still gets 1 (the paper's
+        // no-starvation proviso), even though that oversubscribes.
+        let t = partition(4, 0, &eq_apps(&[8, 8, 8, 8, 8, 8]));
+        assert_eq!(t, vec![1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn uncontrolled_load_reduces_shares() {
+        let t = partition(16, 8, &eq_apps(&[16, 16]));
+        assert_eq!(t, vec![4, 4]);
+    }
+
+    #[test]
+    fn uncontrolled_exceeding_machine_leaves_floor() {
+        let t = partition(8, 20, &eq_apps(&[5, 5]));
+        assert_eq!(t, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_app_gets_zero() {
+        let t = partition(8, 0, &eq_apps(&[0, 8]));
+        assert_eq!(t, vec![0, 8]);
+    }
+
+    #[test]
+    fn no_apps() {
+        assert!(partition(8, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn remainder_goes_somewhere() {
+        // 16 CPUs, 3 equal apps: 16/3 = 5.33 → 6/5/5 in some order, total 16.
+        let t = partition(16, 0, &eq_apps(&[24, 24, 24]));
+        assert_eq!(t.iter().sum::<u32>(), 16);
+        assert!(t.iter().all(|&x| x == 5 || x == 6));
+    }
+
+    #[test]
+    fn weights_skew_shares() {
+        let apps = vec![
+            AppDemand {
+                processes: 16,
+                weight: 3.0,
+            },
+            AppDemand {
+                processes: 16,
+                weight: 1.0,
+            },
+        ];
+        let t = partition(16, 0, &apps);
+        assert_eq!(t.iter().sum::<u32>(), 16);
+        assert!(t[0] > t[1], "weighted app should get more: {t:?}");
+        assert_eq!(t[0], 12);
+    }
+
+    #[test]
+    fn weighted_still_capped() {
+        let apps = vec![
+            AppDemand {
+                processes: 3,
+                weight: 100.0,
+            },
+            AppDemand {
+                processes: 16,
+                weight: 1.0,
+            },
+        ];
+        let t = partition(16, 0, &apps);
+        assert_eq!(t, vec![3, 13]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the partitioning algorithm.
+
+use procctl::{partition, AppDemand};
+use proptest::prelude::*;
+
+fn demands() -> impl Strategy<Value = Vec<AppDemand>> {
+    prop::collection::vec((0u32..64).prop_map(AppDemand::new), 0..12)
+}
+
+proptest! {
+    /// Feasibility: each target is within [floor, cap], and the total never
+    /// exceeds the available processors unless forced up by the
+    /// one-process-per-app starvation floor.
+    #[test]
+    fn targets_feasible(cpus in 1u32..64, uncontrolled in 0u32..80, apps in demands()) {
+        let t = partition(cpus, uncontrolled, &apps);
+        prop_assert_eq!(t.len(), apps.len());
+        let mut floor = 0u32;
+        for (i, a) in apps.iter().enumerate() {
+            prop_assert!(t[i] <= a.processes, "target above cap");
+            if a.processes > 0 {
+                prop_assert!(t[i] >= 1, "starvation: app {} got 0", i);
+                floor += 1;
+            } else {
+                prop_assert_eq!(t[i], 0);
+            }
+        }
+        let available = cpus.saturating_sub(uncontrolled);
+        let total: u32 = t.iter().sum();
+        prop_assert!(total <= available.max(floor), "total {} > available {} (floor {})", total, available, floor);
+    }
+
+    /// Work conservation: if demand can absorb the available processors,
+    /// they are all handed out.
+    #[test]
+    fn work_conserving(cpus in 1u32..64, apps in demands()) {
+        let t = partition(cpus, 0, &apps);
+        let demand: u32 = apps.iter().map(|a| a.processes).sum();
+        let total: u32 = t.iter().sum();
+        prop_assert_eq!(total, demand.min(cpus).max(total.min(demand)),
+            "handed out {} of {} available with demand {}", total, cpus, demand);
+        // Restated plainly: total == min(cpus, demand) when the floor fits.
+        let napps = apps.iter().filter(|a| a.processes > 0).count() as u32;
+        if napps <= cpus {
+            prop_assert_eq!(total, demand.min(cpus));
+        }
+    }
+
+    /// Equal-weight fairness: among uncapped applications, shares differ by
+    /// at most one processor (envy-freeness up to integer rounding).
+    #[test]
+    fn equal_weights_envy_free(cpus in 1u32..64, apps in demands()) {
+        let t = partition(cpus, 0, &apps);
+        let uncapped: Vec<u32> = apps.iter().zip(&t)
+            .filter(|(a, &ti)| ti < a.processes)
+            .map(|(_, &ti)| ti)
+            .collect();
+        if let (Some(&max), Some(&min)) = (uncapped.iter().max(), uncapped.iter().min()) {
+            prop_assert!(max - min <= 1, "uncapped shares differ by {}: {:?}", max - min, t);
+        }
+    }
+
+    /// Monotonicity: more available processors never shrinks anyone's
+    /// share total.
+    #[test]
+    fn monotone_in_cpus(cpus in 1u32..63, uncontrolled in 0u32..16, apps in demands()) {
+        let t1: u32 = partition(cpus, uncontrolled, &apps).iter().sum();
+        let t2: u32 = partition(cpus + 1, uncontrolled, &apps).iter().sum();
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Determinism: the function is pure.
+    #[test]
+    fn deterministic(cpus in 1u32..64, uncontrolled in 0u32..16, apps in demands()) {
+        prop_assert_eq!(partition(cpus, uncontrolled, &apps), partition(cpus, uncontrolled, &apps));
+    }
+}

@@ -1,0 +1,134 @@
+//! Kernel configuration.
+
+use desim::SimDur;
+use machine::MachineConfig;
+
+/// Service-time table for kernel operations.
+///
+/// Every [`crate::Action`] occupies a processor for its service time before
+/// its effect is applied; these are the defaults, loosely calibrated to a
+/// late-1980s Unix (tens of microseconds per system call).
+#[derive(Clone, Copy, Debug)]
+pub struct SyscallCosts {
+    /// Uncontended spinlock acquire (test-and-set plus fences).
+    pub lock_acquire: SimDur,
+    /// Spinlock release.
+    pub lock_release: SimDur,
+    /// Posting a message to a mailbox.
+    pub ipc_send: SimDur,
+    /// Receiving (or polling) a mailbox.
+    pub ipc_recv: SimDur,
+    /// Sending a signal.
+    pub signal: SimDur,
+    /// Entering the signal-wait (suspension) state.
+    pub sigwait: SimDur,
+    /// Creating a process.
+    pub spawn: SimDur,
+    /// Voluntary yield.
+    pub yield_: SimDur,
+}
+
+impl Default for SyscallCosts {
+    fn default() -> Self {
+        SyscallCosts {
+            lock_acquire: SimDur::from_micros(2),
+            lock_release: SimDur::from_micros(1),
+            ipc_send: SimDur::from_micros(50),
+            ipc_recv: SimDur::from_micros(50),
+            signal: SimDur::from_micros(30),
+            sigwait: SimDur::from_micros(30),
+            spawn: SimDur::from_millis(2),
+            yield_: SimDur::from_micros(20),
+        }
+    }
+}
+
+/// Full configuration of the simulated kernel.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// The machine the kernel runs on.
+    pub machine: MachineConfig,
+    /// Scheduling quantum. UMAX-like systems used on the order of 100 ms.
+    pub quantum: SimDur,
+    /// Service times for kernel operations.
+    pub costs: SyscallCosts,
+    /// Period of the housekeeping tick delivered to the scheduling policy
+    /// (priority recomputation, gang rotation bookkeeping).
+    pub tick: SimDur,
+    /// Whether to retain a structured trace of scheduling events.
+    pub trace: bool,
+    /// Cap on how long a no-preempt hint (spinlock-flag policies) may defer
+    /// a quantum-expiry preemption, as a multiple of the quantum.
+    pub max_preempt_defer: u32,
+}
+
+impl KernelConfig {
+    /// UMAX-on-Multimax-like defaults: 16 processors, 100 ms quantum.
+    pub fn multimax() -> Self {
+        KernelConfig {
+            machine: MachineConfig::multimax16(),
+            quantum: SimDur::from_millis(100),
+            costs: SyscallCosts::default(),
+            tick: SimDur::from_millis(100),
+            trace: true,
+            max_preempt_defer: 10,
+        }
+    }
+
+    /// Same kernel on the high-miss-penalty "scalable" machine.
+    pub fn scalable() -> Self {
+        KernelConfig {
+            machine: MachineConfig::scalable16(),
+            ..KernelConfig::multimax()
+        }
+    }
+
+    /// Overrides the processor count.
+    pub fn with_cpus(mut self, n: usize) -> Self {
+        self.machine = self.machine.with_cpus(n);
+        self
+    }
+
+    /// Overrides the quantum.
+    pub fn with_quantum(mut self, q: SimDur) -> Self {
+        assert!(!q.is_zero(), "quantum must be positive");
+        self.quantum = q;
+        self
+    }
+
+    /// Disables tracing (for benchmark runs).
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = KernelConfig::multimax();
+        assert_eq!(c.machine.num_cpus, 16);
+        assert_eq!(c.quantum, SimDur::from_millis(100));
+        assert!(c.costs.spawn > c.costs.signal);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = KernelConfig::multimax()
+            .with_cpus(4)
+            .with_quantum(SimDur::from_millis(50))
+            .without_trace();
+        assert_eq!(c.machine.num_cpus, 4);
+        assert_eq!(c.quantum, SimDur::from_millis(50));
+        assert!(!c.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_quantum_rejected() {
+        KernelConfig::multimax().with_quantum(SimDur::ZERO);
+    }
+}

@@ -1,0 +1,80 @@
+//! The UMAX-like default policy: one global FIFO run queue, round-robin.
+
+use std::collections::VecDeque;
+
+use machine::CpuId;
+
+use crate::ids::Pid;
+use crate::policy::{PolicyView, ReadyReason, SchedPolicy};
+
+/// Global-FIFO round-robin scheduling.
+///
+/// This is the baseline the paper's measurements ran on: "unscheduled
+/// processes are placed on a FIFO queue, and the more unscheduled processes
+/// there are, the longer it takes for a preempted process to get to the
+/// front of the queue and be rescheduled" (Section 2).
+#[derive(Debug, Default)]
+pub struct FifoRoundRobin {
+    queue: VecDeque<Pid>,
+}
+
+impl FifoRoundRobin {
+    /// Creates the policy with an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedPolicy for FifoRoundRobin {
+    fn name(&self) -> &'static str {
+        "fifo-rr"
+    }
+
+    fn on_ready(&mut self, _view: &PolicyView<'_>, pid: Pid, _reason: ReadyReason) {
+        debug_assert!(!self.queue.contains(&pid), "{pid} enqueued twice");
+        self.queue.push_back(pid);
+    }
+
+    fn on_remove(&mut self, _view: &PolicyView<'_>, pid: Pid) {
+        self.queue.retain(|&p| p != pid);
+    }
+
+    fn pick(&mut self, _view: &PolicyView<'_>, _cpu: CpuId) -> Option<Pid> {
+        self.queue.pop_front()
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcb::ProcTable;
+    use desim::SimTime;
+
+    fn view<'a>(procs: &'a ProcTable, running: &'a [Option<Pid>]) -> PolicyView<'a> {
+        PolicyView {
+            procs,
+            running,
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let procs = ProcTable::new();
+        let running = [None];
+        let v = view(&procs, &running);
+        let mut p = FifoRoundRobin::new();
+        p.on_ready(&v, Pid(1), ReadyReason::New);
+        p.on_ready(&v, Pid(2), ReadyReason::New);
+        p.on_ready(&v, Pid(3), ReadyReason::Preempted);
+        assert_eq!(p.queue_len(), 3);
+        assert_eq!(p.pick(&v, CpuId(0)), Some(Pid(1)));
+        assert_eq!(p.pick(&v, CpuId(0)), Some(Pid(2)));
+        p.on_remove(&v, Pid(3));
+        assert_eq!(p.pick(&v, CpuId(0)), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pluggable kernel scheduling policies.
+//!
+//! The kernel mechanism (dispatch, quantum timers, accounting) is fixed; the
+//! *policy* decides which runnable process a free processor picks up, how
+//! long its quantum is, and whether a quantum-expiry preemption may be
+//! deferred. This is where the paper's related-work baselines live:
+//!
+//! - [`FifoRoundRobin`] — the UMAX default the paper measured against: one
+//!   global FIFO queue, fixed quantum. The paper's Section 2 notes that the
+//!   longer the queue, the longer a preempted process (possibly holding a
+//!   lock) waits to run again.
+//! - [`PriorityDecay`] — Encore-style usage-decay priorities; reproduces the
+//!   paper's Figure 4 observation that freshly started processes outrank
+//!   older ones.
+//! - [`Coscheduling`] — Ousterhout's gang scheduling (related work #1).
+//! - [`SpinlockFlag`] — Zahorjan-style preemption avoidance while a process
+//!   holds a lock (related work #2).
+//! - [`GroupPolicy`] — Edler et al.'s NYU Ultracomputer group scheduling
+//!   (related work #3).
+//! - [`Affinity`] — Squillante & Lazowska cache-affinity scheduling
+//!   (related work #4).
+//! - [`SpacePartition`] — the paper's own Section 7 proposal: processors
+//!   are partitioned into per-application groups with separate run queues.
+
+mod affinity;
+mod cosched;
+mod fifo;
+mod groups;
+mod priodecay;
+mod spinflag;
+
+pub use affinity::Affinity;
+pub use cosched::Coscheduling;
+pub use fifo::FifoRoundRobin;
+pub use groups::{GroupMode, GroupPolicy};
+pub use priodecay::PriorityDecay;
+pub use spinflag::SpinlockFlag;
+pub use partition::SpacePartition;
+
+mod partition;
+
+use desim::{SimDur, SimTime};
+use machine::CpuId;
+
+use crate::ids::{AppId, Pid};
+use crate::pcb::ProcTable;
+
+/// Why a process entered the ready queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadyReason {
+    /// Newly spawned.
+    New,
+    /// Involuntarily preempted at quantum expiry.
+    Preempted,
+    /// Woke from a blocked state (sleep, receive, suspension).
+    Unblocked,
+    /// Voluntarily yielded.
+    Yielded,
+}
+
+/// Read-only view of kernel state offered to policies.
+pub struct PolicyView<'a> {
+    pub(crate) procs: &'a ProcTable,
+    pub(crate) running: &'a [Option<Pid>],
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+impl PolicyView<'_> {
+    /// Application of a process.
+    pub fn app(&self, pid: Pid) -> AppId {
+        self.procs.get(pid).app
+    }
+
+    /// Whether the process currently holds at least one spinlock (the
+    /// "flag" of spinlock-flag policies).
+    pub fn holds_lock(&self, pid: Pid) -> bool {
+        self.procs.get(pid).locks_held > 0
+    }
+
+    /// The processor this process last ran on, if any.
+    pub fn last_cpu(&self, pid: Pid) -> Option<CpuId> {
+        self.procs.get(pid).last_cpu
+    }
+
+    /// Total CPU time the process has consumed.
+    pub fn cpu_time(&self, pid: Pid) -> SimDur {
+        self.procs.get(pid).cpu_time
+    }
+
+    /// Who is running on each processor.
+    pub fn running(&self) -> &[Option<Pid>] {
+        self.running
+    }
+
+    /// Number of processors.
+    pub fn num_cpus(&self) -> usize {
+        self.running.len()
+    }
+}
+
+/// A kernel scheduling policy.
+///
+/// The kernel guarantees: every pid passed to [`SchedPolicy::pick`]'s queue
+/// arrived via [`SchedPolicy::on_ready`] and has not been picked or removed
+/// since; `pick` must return only such pids (or `None` to leave the
+/// processor idle, as partitioned/gang policies sometimes do).
+pub trait SchedPolicy {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `pid` became runnable.
+    fn on_ready(&mut self, view: &PolicyView<'_>, pid: Pid, reason: ReadyReason);
+
+    /// `pid` is no longer runnable (blocked or exited). Policies must
+    /// tolerate pids not currently queued (e.g. a running process exiting).
+    fn on_remove(&mut self, view: &PolicyView<'_>, pid: Pid);
+
+    /// Chooses a process for an idle processor, removing it from the queue.
+    fn pick(&mut self, view: &PolicyView<'_>, cpu: CpuId) -> Option<Pid>;
+
+    /// Quantum to grant `pid` on `cpu`; defaults to the kernel's fixed
+    /// quantum. Gang policies return the time to the next rotation boundary.
+    fn quantum(
+        &mut self,
+        _view: &PolicyView<'_>,
+        _cpu: CpuId,
+        _pid: Pid,
+        default: SimDur,
+    ) -> SimDur {
+        default
+    }
+
+    /// Whether a quantum-expiry preemption of `pid` may proceed now.
+    /// Spinlock-flag policies answer `false` while the flag is set; the
+    /// kernel defers the preemption briefly (bounded by
+    /// `KernelConfig::max_preempt_defer`).
+    fn allow_preempt(&mut self, _view: &PolicyView<'_>, _pid: Pid) -> bool {
+        true
+    }
+
+    /// Periodic housekeeping (priority decay, partition resize).
+    fn on_tick(&mut self, _view: &PolicyView<'_>) {}
+
+    /// Number of processes currently queued (runnable but not running).
+    fn queue_len(&self) -> usize;
+}

@@ -1,0 +1,60 @@
+//! Spinlock-flag preemption avoidance, after Zahorjan et al.
+//!
+//! A process sets a flag while inside a spinlock-controlled critical
+//! section; the scheduler will not preempt a flagged process. The paper
+//! criticizes this approach (Section 3): it lets user code steer the kernel
+//! scheduler, and it needlessly protects processes holding *independent*
+//! locks (e.g. per-bucket hash-table locks). We reproduce it faithfully —
+//! including that weakness: the flag here is simply "holds at least one
+//! lock".
+//!
+//! The kernel bounds how long a preemption can be deferred
+//! (`KernelConfig::max_preempt_defer`) so a buggy process cannot
+//! monopolize a processor forever.
+
+use std::collections::VecDeque;
+
+use machine::CpuId;
+
+use crate::ids::Pid;
+use crate::policy::{PolicyView, ReadyReason, SchedPolicy};
+
+/// FIFO round-robin plus don't-preempt-lock-holders.
+#[derive(Debug, Default)]
+pub struct SpinlockFlag {
+    queue: VecDeque<Pid>,
+}
+
+impl SpinlockFlag {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedPolicy for SpinlockFlag {
+    fn name(&self) -> &'static str {
+        "spinlock-flag"
+    }
+
+    fn on_ready(&mut self, _view: &PolicyView<'_>, pid: Pid, _reason: ReadyReason) {
+        debug_assert!(!self.queue.contains(&pid), "{pid} enqueued twice");
+        self.queue.push_back(pid);
+    }
+
+    fn on_remove(&mut self, _view: &PolicyView<'_>, pid: Pid) {
+        self.queue.retain(|&p| p != pid);
+    }
+
+    fn pick(&mut self, _view: &PolicyView<'_>, _cpu: CpuId) -> Option<Pid> {
+        self.queue.pop_front()
+    }
+
+    fn allow_preempt(&mut self, view: &PolicyView<'_>, pid: Pid) -> bool {
+        !view.holds_lock(pid)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}

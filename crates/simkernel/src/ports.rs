@@ -1,0 +1,130 @@
+//! IPC mailboxes — the simulation's analog of UMAX sockets.
+//!
+//! The paper's central server communicates with applications through
+//! sockets; we model that with kernel mailboxes: FIFO message queues with a
+//! single blocked-receiver slot per port. Send never blocks.
+
+use std::collections::VecDeque;
+
+use crate::action::Message;
+use crate::ids::{Pid, PortId};
+
+#[derive(Debug, Default)]
+pub(crate) struct Port {
+    pub queue: VecDeque<Message>,
+    /// A process blocked in `Recv` on this port, if any. At most one
+    /// receiver may block per port (ports are point-to-point like the
+    /// paper's server socket plus per-application reply sockets).
+    pub waiting: Option<Pid>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct PortTable {
+    ports: Vec<Port>,
+}
+
+impl PortTable {
+    pub(crate) fn create(&mut self) -> PortId {
+        self.ports.push(Port::default());
+        PortId((self.ports.len() - 1) as u32)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: PortId) -> &mut Port {
+        &mut self.ports[id.0 as usize]
+    }
+
+    /// Posts a message; returns the pid of a blocked receiver to wake, if
+    /// one was waiting (the message stays queued for it to take).
+    pub(crate) fn post(&mut self, id: PortId, msg: Message) -> Option<Pid> {
+        let port = self.get_mut(id);
+        port.queue.push_back(msg);
+        port.waiting.take()
+    }
+
+    /// Takes the oldest message, if any.
+    pub(crate) fn take(&mut self, id: PortId) -> Option<Message> {
+        self.get_mut(id).queue.pop_front()
+    }
+
+    /// Records `pid` as blocked waiting on the port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another process is already blocked on the port.
+    pub(crate) fn block(&mut self, id: PortId, pid: Pid) {
+        let port = self.get_mut(id);
+        assert!(
+            port.waiting.is_none(),
+            "two processes blocked on {id}: {} and {pid}",
+            port.waiting.unwrap(),
+        );
+        port.waiting = Some(pid);
+    }
+
+    /// Clears the blocked receiver (e.g. on exit).
+    pub(crate) fn unblock(&mut self, id: PortId, pid: Pid) {
+        let port = self.get_mut(id);
+        if port.waiting == Some(pid) {
+            port.waiting = None;
+        }
+    }
+
+    /// Queue depth, for instrumentation.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn depth(&self, id: PortId) -> usize {
+        self.ports[id.0 as usize].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: u32, word: u64) -> Message {
+        Message {
+            from: Pid(from),
+            body: vec![word],
+        }
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut t = PortTable::default();
+        let p = t.create();
+        assert_eq!(t.post(p, msg(1, 10)), None);
+        assert_eq!(t.post(p, msg(1, 20)), None);
+        assert_eq!(t.take(p).unwrap().body, vec![10]);
+        assert_eq!(t.take(p).unwrap().body, vec![20]);
+        assert!(t.take(p).is_none());
+    }
+
+    #[test]
+    fn post_wakes_blocked_receiver() {
+        let mut t = PortTable::default();
+        let p = t.create();
+        t.block(p, Pid(7));
+        assert_eq!(t.post(p, msg(1, 10)), Some(Pid(7)));
+        // The message is still queued for the woken receiver.
+        assert_eq!(t.depth(p), 1);
+        // The waiting slot is cleared.
+        assert_eq!(t.post(p, msg(1, 20)), None);
+    }
+
+    #[test]
+    fn unblock_clears_only_matching() {
+        let mut t = PortTable::default();
+        let p = t.create();
+        t.block(p, Pid(7));
+        t.unblock(p, Pid(8)); // no-op
+        assert_eq!(t.post(p, msg(1, 1)), Some(Pid(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two processes blocked")]
+    fn double_block_panics() {
+        let mut t = PortTable::default();
+        let p = t.create();
+        t.block(p, Pid(1));
+        t.block(p, Pid(2));
+    }
+}

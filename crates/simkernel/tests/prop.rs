@@ -1,0 +1,186 @@
+//! Property tests for the kernel engine under randomized process scripts.
+
+use desim::{SimDur, SimTime};
+use proptest::prelude::*;
+use simkernel::policy::{
+    Affinity, Coscheduling, FifoRoundRobin, PriorityDecay, SpacePartition, SpinlockFlag,
+};
+use simkernel::{Action, AppId, Kernel, KernelConfig, SchedPolicy, Script};
+
+const LIMIT: SimTime = SimTime(7_200 * 1_000_000_000);
+
+/// A simplified op for script generation.
+#[derive(Clone, Copy, Debug)]
+enum GenOp {
+    Compute(u64),
+    Critical(u64),
+    Sleep(u64),
+    Yield,
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..40).prop_map(GenOp::Compute),
+            (1u64..10).prop_map(GenOp::Critical),
+            (1u64..30).prop_map(GenOp::Sleep),
+            Just(GenOp::Yield),
+        ],
+        1..12,
+    )
+}
+
+/// Builds a kernel script from generated ops, using `lock` for critical
+/// sections. Returns (script, total compute ms including critical).
+fn build_script(ops: &[GenOp], lock: simkernel::LockId) -> (Vec<Action>, u64) {
+    let mut actions = Vec::new();
+    let mut compute_ms = 0;
+    for op in ops {
+        match *op {
+            GenOp::Compute(ms) => {
+                compute_ms += ms;
+                actions.push(Action::Compute(SimDur::from_millis(ms)));
+            }
+            GenOp::Critical(ms) => {
+                compute_ms += ms;
+                actions.push(Action::AcquireLock(lock));
+                actions.push(Action::Compute(SimDur::from_millis(ms)));
+                actions.push(Action::ReleaseLock(lock));
+            }
+            GenOp::Sleep(ms) => actions.push(Action::Sleep(SimDur::from_millis(ms))),
+            GenOp::Yield => actions.push(Action::Yield),
+        }
+    }
+    (actions, compute_ms)
+}
+
+fn policies() -> Vec<Box<dyn SchedPolicy>> {
+    vec![
+        Box::new(FifoRoundRobin::new()),
+        Box::new(PriorityDecay::default()),
+        Box::new(Coscheduling::new(SimDur::from_millis(100))),
+        Box::new(SpinlockFlag::new()),
+        Box::new(Affinity::new(SimDur::from_millis(100))),
+        Box::new(SpacePartition::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any collection of lock-balanced processes runs to completion under
+    /// every scheduling policy, and the kernel charges at least the
+    /// requested compute time as work.
+    #[test]
+    fn random_processes_complete_under_all_policies(
+        cpus in 1usize..5,
+        procs in prop::collection::vec(gen_ops(), 1..8),
+        policy_idx in 0usize..6,
+    ) {
+        let policy = policies().swap_remove(policy_idx);
+        let mut k = Kernel::new(
+            KernelConfig::multimax().with_cpus(cpus).without_trace(),
+            policy,
+        );
+        let lock = k.create_lock();
+        let mut expected = Vec::new();
+        for (i, ops) in procs.iter().enumerate() {
+            let (script, ms) = build_script(ops, lock);
+            let pid = k.spawn_root(AppId(i as u32 % 3), 64, Box::new(Script::new(script)));
+            expected.push((pid, ms));
+        }
+        prop_assert!(k.run_to_completion(LIMIT), "hang under policy {}", k.policy_name());
+        prop_assert_eq!(k.runnable_count(), 0);
+        prop_assert_eq!(k.live_procs(), 0);
+        for (pid, ms) in expected {
+            let acct = k.proc_accounting(pid);
+            prop_assert!(
+                acct.work >= SimDur::from_millis(ms),
+                "{pid}: work {} < {}ms", acct.work, ms
+            );
+        }
+    }
+
+    /// The kernel's running runnable counter always equals what rpstat
+    /// reports, sampled at random points during execution.
+    #[test]
+    fn runnable_counter_matches_rpstat(
+        procs in prop::collection::vec(gen_ops(), 1..6),
+        checkpoints in prop::collection::vec(1u64..2_000, 1..8),
+    ) {
+        let mut k = Kernel::new(
+            KernelConfig::multimax().with_cpus(2).without_trace(),
+            Box::new(FifoRoundRobin::new()),
+        );
+        let lock = k.create_lock();
+        for (i, ops) in procs.iter().enumerate() {
+            let (script, _) = build_script(ops, lock);
+            k.spawn_root(AppId(i as u32), 64, Box::new(Script::new(script)));
+        }
+        let mut sorted = checkpoints.clone();
+        sorted.sort_unstable();
+        for ms in sorted {
+            k.run_until(SimTime::ZERO + SimDur::from_millis(ms));
+            let via_rpstat = k.rpstat().iter().filter(|p| p.runnable).count() as u32;
+            prop_assert_eq!(k.runnable_count(), via_rpstat);
+        }
+        prop_assert!(k.run_to_completion(LIMIT));
+    }
+
+    /// Simulation is deterministic under every policy: two identical runs
+    /// produce identical per-process accounting.
+    #[test]
+    fn deterministic_under_all_policies(
+        procs in prop::collection::vec(gen_ops(), 1..6),
+        policy_idx in 0usize..6,
+    ) {
+        let run = || {
+            let policy = policies().swap_remove(policy_idx);
+            let mut k = Kernel::new(
+                KernelConfig::multimax().with_cpus(3).without_trace(),
+                policy,
+            );
+            let lock = k.create_lock();
+            let mut pids = Vec::new();
+            for (i, ops) in procs.iter().enumerate() {
+                let (script, _) = build_script(ops, lock);
+                pids.push(k.spawn_root(AppId(i as u32), 64, Box::new(Script::new(script))));
+            }
+            assert!(k.run_to_completion(LIMIT));
+            pids.iter()
+                .map(|&p| {
+                    let a = k.proc_accounting(p);
+                    (a.work, a.spin, a.refill, a.dispatches, a.preemptions)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Lock mutual exclusion: with N processes each doing one critical
+    /// section on a shared lock, the lock records exactly N acquisitions
+    /// and total work is conserved (no one computes inside while spinning).
+    #[test]
+    fn lock_acquisitions_exact(n in 1u32..12, cs_ms in 1u64..20) {
+        let mut k = Kernel::new(
+            KernelConfig::multimax().with_cpus(4).without_trace(),
+            Box::new(FifoRoundRobin::new()),
+        );
+        let lock = k.create_lock();
+        for i in 0..n {
+            k.spawn_root(
+                AppId(i),
+                64,
+                Box::new(Script::new(vec![
+                    Action::AcquireLock(lock),
+                    Action::Compute(SimDur::from_millis(cs_ms)),
+                    Action::ReleaseLock(lock),
+                ])),
+            );
+        }
+        prop_assert!(k.run_to_completion(LIMIT));
+        prop_assert_eq!(k.lock_stats(lock).acquisitions, u64::from(n));
+        // Sections are serialized: the machine needed at least n * cs time.
+        prop_assert!(k.now() >= SimTime::ZERO + SimDur::from_millis(u64::from(n) * cs_ms));
+    }
+}

@@ -1,0 +1,25 @@
+//! `uthreads` — a task-queue threads package for the simulated kernel.
+//!
+//! The analog of the Brown University Threads package the paper built on:
+//! applications are decomposed into *tasks* (user-level threads) that
+//! worker *processes* pick from a spinlock-protected ready queue and
+//! execute coroutine-style. The package provides user-level barriers and
+//! channels, and — transparently to the application — the paper's dynamic
+//! process control: at every safe suspension point (between tasks, holding
+//! no lock) a worker compares the application's runnable-process count with
+//! the server's target and suspends itself or resumes a suspended
+//! colleague. "The interface to the threads commands was not changed when
+//! process control was added": the same [`AppSpec`] runs unmodified with
+//! control on or off ([`ThreadsConfig::with_control`]).
+
+#![warn(missing_docs)]
+
+mod app;
+mod shared;
+mod task;
+mod worker;
+
+pub use app::{launch, AppSpec, ThreadsApp};
+pub use shared::{AppMetrics, AppShared, ControlParams, ThreadsConfig};
+pub use task::{BarrierId, ChanId, FnTask, OpsBody, Task, TaskBody, TaskEvent, TaskOp};
+pub use worker::Worker;

@@ -1,0 +1,222 @@
+//! The application's shared memory, as seen by the threads package.
+//!
+//! Everything here corresponds to state the Brown threads package keeps in
+//! the (real) shared address space of an application's processes: the
+//! ready queue of tasks, barrier and channel state, and — with process
+//! control enabled — the control block consulted at safe suspension
+//! points. The simulation executes one process step at a time, so a plain
+//! `RefCell` models shared memory; the *timing* of contended access is
+//! modeled by the queue spinlock the workers take around every queue
+//! operation.
+
+use std::collections::VecDeque;
+
+use desim::SimDur;
+use procctl::ClientControl;
+use simkernel::{LockId, Pid};
+
+use crate::task::{Task, TaskEvent};
+
+/// Package-level counters, kept per application.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppMetrics {
+    /// Tasks executed to completion.
+    pub tasks_run: u64,
+    /// Times a worker suspended itself at a safe point.
+    pub suspends: u64,
+    /// Times a worker resumed a suspended colleague.
+    pub resumes: u64,
+    /// Server polls issued.
+    pub polls: u64,
+    /// Time workers spent in the idle loop waiting for work to appear.
+    pub idle_spin: SimDur,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    pub needed: u32,
+    pub arrived: u32,
+    pub parked: Vec<Task>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ChanState {
+    pub values: VecDeque<u64>,
+    pub parked: Vec<Task>,
+}
+
+/// Tuning of the threads package for one application.
+#[derive(Clone, Debug)]
+pub struct ThreadsConfig {
+    /// Number of worker processes to create.
+    pub nprocs: u32,
+    /// Per-worker working-set size, in cache lines.
+    pub ws_lines: u64,
+    /// Time spent under the queue lock per queue operation (dequeue,
+    /// enqueue, barrier arrival, channel operation). Smaller grain sizes
+    /// make this relatively larger — the paper's "fine-grained systems"
+    /// remark.
+    pub queue_op: SimDur,
+    /// How long an idle worker computes between ready-queue checks while
+    /// other tasks are still outstanding (busy-wait slice).
+    pub idle_spin: SimDur,
+    /// Process-control parameters; `None` reproduces the unmodified
+    /// package (the paper's dashed curves).
+    pub control: Option<ControlParams>,
+}
+
+/// How an application learns its target number of runnable processes.
+#[derive(Clone, Copy, Debug)]
+pub enum ControlMode {
+    /// Poll the central server (the paper's chosen design).
+    Centralized {
+        /// The server's request mailbox.
+        server_port: simkernel::PortId,
+    },
+    /// Sample `rpstat` directly and estimate a fair share with no central
+    /// registry — the variant the paper tried first and rejected as "too
+    /// inefficient" with "stability problems".
+    Decentralized {
+        /// Modeled CPU cost of each private `rpstat` sweep.
+        rpstat_cost: SimDur,
+    },
+}
+
+/// Process-control parameters for one application.
+#[derive(Clone, Copy, Debug)]
+pub struct ControlParams {
+    /// Where targets come from.
+    pub mode: ControlMode,
+    /// Poll period (6 s in the paper).
+    pub poll_interval: SimDur,
+    /// Share weight in thousandths (1000 = the paper's equal priority).
+    pub weight_milli: u32,
+}
+
+impl ThreadsConfig {
+    /// A package configuration with paper-like defaults and no process
+    /// control.
+    pub fn new(nprocs: u32) -> Self {
+        assert!(nprocs >= 1, "an application needs at least one process");
+        ThreadsConfig {
+            nprocs,
+            ws_lines: 1_024,
+            // A queue operation is a full user-level thread switch under
+            // the scheduler spinlock — hundreds of microseconds on a
+            // late-80s 2-MIPS processor.
+            queue_op: SimDur::from_micros(800),
+            idle_spin: SimDur::from_micros(500),
+            control: None,
+        }
+    }
+
+    /// Enables process control through the given central-server port.
+    pub fn with_control(mut self, server_port: simkernel::PortId, poll_interval: SimDur) -> Self {
+        self.control = Some(ControlParams {
+            mode: ControlMode::Centralized { server_port },
+            poll_interval,
+            weight_milli: 1_000,
+        });
+        self
+    }
+
+    /// Enables centralized process control with an explicit share weight
+    /// (thousandths; 1000 = equal priority).
+    pub fn with_weighted_control(
+        mut self,
+        server_port: simkernel::PortId,
+        poll_interval: SimDur,
+        weight_milli: u32,
+    ) -> Self {
+        assert!(weight_milli > 0, "zero weight would starve the application");
+        self.control = Some(ControlParams {
+            mode: ControlMode::Centralized { server_port },
+            poll_interval,
+            weight_milli,
+        });
+        self
+    }
+
+    /// Enables the decentralized (serverless) control variant.
+    pub fn with_decentralized_control(
+        mut self,
+        poll_interval: SimDur,
+        rpstat_cost: SimDur,
+    ) -> Self {
+        self.control = Some(ControlParams {
+            mode: ControlMode::Decentralized { rpstat_cost },
+            poll_interval,
+            weight_milli: 1_000,
+        });
+        self
+    }
+}
+
+/// The shared-memory block of one application.
+pub struct AppShared {
+    pub(crate) cfg: ThreadsConfig,
+    /// The task ready queue; entries carry the event that resumes the task.
+    pub(crate) queue: VecDeque<(Task, TaskEvent)>,
+    /// Tasks created and not yet finished (queued, running, or parked).
+    pub(crate) outstanding: u32,
+    pub(crate) barriers: Vec<BarrierState>,
+    pub(crate) channels: Vec<ChanState>,
+    /// The spinlock protecting the queue and all package state.
+    pub(crate) qlock: LockId,
+    /// Workers not currently suspended.
+    pub(crate) active: u32,
+    /// Suspended workers, most recently suspended last.
+    pub(crate) suspended: Vec<Pid>,
+    /// Set by the worker that discovers the work is complete.
+    pub(crate) done: bool,
+    /// A poll request is outstanding (guards the single reply mailbox).
+    pub(crate) poll_in_flight: bool,
+    pub(crate) control: Option<ClientControl>,
+    pub(crate) metrics: AppMetrics,
+}
+
+impl AppShared {
+    pub(crate) fn new(cfg: ThreadsConfig, qlock: LockId) -> Self {
+        let active = cfg.nprocs;
+        AppShared {
+            cfg,
+            queue: VecDeque::new(),
+            outstanding: 0,
+            barriers: Vec::new(),
+            channels: Vec::new(),
+            qlock,
+            active,
+            suspended: Vec::new(),
+            done: false,
+            poll_in_flight: false,
+            control: None,
+            metrics: AppMetrics::default(),
+        }
+    }
+
+    /// Enqueues a fresh task.
+    pub(crate) fn push_task(&mut self, task: Task) {
+        self.outstanding += 1;
+        self.queue.push_back((task, TaskEvent::Start));
+    }
+
+    /// Current number of non-suspended workers.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// Whether all tasks have finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Package counters.
+    pub fn metrics(&self) -> AppMetrics {
+        self.metrics
+    }
+
+    /// The latest process-control target, if control is enabled.
+    pub fn target(&self) -> Option<u32> {
+        self.control.as_ref().map(ClientControl::target)
+    }
+}

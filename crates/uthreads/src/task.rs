@@ -1,0 +1,193 @@
+//! User-level tasks ("threads" in Brown-threads terminology).
+//!
+//! A task is a chunk of the application's computation, scheduled onto
+//! kernel processes in a coroutine-like manner by the worker loop. Tasks
+//! express their work as a state machine over [`TaskOp`]s, mirroring how
+//! the kernel drives processes — but these operations are *user-level*:
+//! barriers and channels are implemented by the threads package in shared
+//! memory (under the package's queue lock), not by the kernel.
+
+use desim::SimDur;
+use simkernel::LockId;
+
+/// Identifies a user-level barrier within an application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BarrierId(pub u32);
+
+/// Identifies a user-level channel within an application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChanId(pub u32);
+
+/// What a task does next.
+#[derive(Debug)]
+pub enum TaskOp {
+    /// Compute for the given duration.
+    Compute(SimDur),
+    /// Acquire an application-level spinlock (a kernel-simulated lock the
+    /// harness created; contenders busy-wait).
+    Lock(LockId),
+    /// Release an application-level spinlock.
+    Unlock(LockId),
+    /// Wait at a barrier until all participants arrive. The task is parked
+    /// (its worker picks up other work); the last arriver releases everyone.
+    Barrier(BarrierId),
+    /// Send a value on a channel (never blocks).
+    Send(ChanId, u64),
+    /// Receive a value from a channel; parks the task until one arrives.
+    Recv(ChanId),
+    /// Create a new task and add it to the ready queue.
+    Spawn(Task),
+    /// Put this task back on the ready queue and release the worker — the
+    /// paper's parenthetical safe point: "a process can be safely
+    /// suspended after it has finished executing a task *(or has put it
+    /// back on the queue)*". Long-running tasks requeue periodically so
+    /// their worker passes a suspension point.
+    Requeue,
+    /// The task is finished.
+    Done,
+}
+
+/// Why a task is being stepped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskEvent {
+    /// First step.
+    Start,
+    /// The previous [`TaskOp::Compute`] finished.
+    ComputeDone,
+    /// The lock was acquired.
+    Locked,
+    /// The lock was released.
+    Unlocked,
+    /// The barrier opened.
+    BarrierPassed,
+    /// The send completed.
+    Sent,
+    /// A value arrived.
+    Received(u64),
+    /// The spawned task was enqueued.
+    Spawned,
+    /// The task was picked back up after a [`TaskOp::Requeue`].
+    Requeued,
+}
+
+/// A task body: the application-defined state machine.
+pub trait TaskBody {
+    /// Advances the task; called with the event that resumed it.
+    fn step(&mut self, event: TaskEvent) -> TaskOp;
+}
+
+/// A schedulable task.
+pub struct Task {
+    /// The application-defined body.
+    pub body: Box<dyn TaskBody>,
+    /// Free-form label for traces and debugging.
+    pub label: &'static str,
+}
+
+impl Task {
+    /// Wraps a body into a task.
+    pub fn new(label: &'static str, body: Box<dyn TaskBody>) -> Self {
+        Task { body, label }
+    }
+
+    /// A task that computes once and finishes — the workhorse of
+    /// embarrassingly parallel workloads.
+    pub fn compute(label: &'static str, dur: SimDur) -> Self {
+        Task::new(label, Box::new(ComputeBody { dur, started: false }))
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Task({})", self.label)
+    }
+}
+
+struct ComputeBody {
+    dur: SimDur,
+    started: bool,
+}
+
+impl TaskBody for ComputeBody {
+    fn step(&mut self, event: TaskEvent) -> TaskOp {
+        match event {
+            TaskEvent::Start => {
+                self.started = true;
+                TaskOp::Compute(self.dur)
+            }
+            TaskEvent::ComputeDone => TaskOp::Done,
+            other => unreachable!("compute task got {other:?}"),
+        }
+    }
+}
+
+/// A task driven by a closure — convenient for workload builders.
+pub struct FnTask<F>(pub F);
+
+impl<F> TaskBody for FnTask<F>
+where
+    F: FnMut(TaskEvent) -> TaskOp,
+{
+    fn step(&mut self, event: TaskEvent) -> TaskOp {
+        (self.0)(event)
+    }
+}
+
+/// A task that performs a fixed list of operations in order, then finishes.
+pub struct OpsBody {
+    ops: std::collections::VecDeque<TaskOp>,
+}
+
+impl OpsBody {
+    /// Creates the body from an op list.
+    pub fn new(ops: Vec<TaskOp>) -> Self {
+        OpsBody { ops: ops.into() }
+    }
+}
+
+impl TaskBody for OpsBody {
+    fn step(&mut self, _event: TaskEvent) -> TaskOp {
+        self.ops.pop_front().unwrap_or(TaskOp::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_task_runs_once() {
+        let mut t = Task::compute("t", SimDur::from_millis(1));
+        match t.body.step(TaskEvent::Start) {
+            TaskOp::Compute(d) => assert_eq!(d, SimDur::from_millis(1)),
+            other => panic!("expected compute, got {other:?}"),
+        }
+        assert!(matches!(t.body.step(TaskEvent::ComputeDone), TaskOp::Done));
+    }
+
+    #[test]
+    fn ops_body_plays_list() {
+        let mut b = OpsBody::new(vec![
+            TaskOp::Compute(SimDur::from_micros(1)),
+            TaskOp::Barrier(BarrierId(0)),
+        ]);
+        assert!(matches!(b.step(TaskEvent::Start), TaskOp::Compute(_)));
+        assert!(matches!(b.step(TaskEvent::ComputeDone), TaskOp::Barrier(_)));
+        assert!(matches!(b.step(TaskEvent::BarrierPassed), TaskOp::Done));
+    }
+
+    #[test]
+    fn fn_task_closures_work() {
+        let mut calls = 0;
+        let mut b = FnTask(move |_| {
+            calls += 1;
+            if calls == 1 {
+                TaskOp::Compute(SimDur::from_micros(5))
+            } else {
+                TaskOp::Done
+            }
+        });
+        assert!(matches!(b.step(TaskEvent::Start), TaskOp::Compute(_)));
+        assert!(matches!(b.step(TaskEvent::ComputeDone), TaskOp::Done));
+    }
+}

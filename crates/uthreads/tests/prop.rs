@@ -1,0 +1,183 @@
+//! Property tests for the threads package, driven end-to-end through the
+//! simulated kernel under randomized workload shapes and machine sizes.
+
+use desim::{SimDur, SimTime};
+use proptest::prelude::*;
+use simkernel::policy::FifoRoundRobin;
+use simkernel::{AppId, Kernel, KernelConfig};
+use uthreads::{launch, AppSpec, FnTask, Task, TaskEvent, TaskOp, ThreadsConfig};
+
+const LIMIT: SimTime = SimTime(7_200 * 1_000_000_000);
+
+fn kernel(cpus: usize) -> Kernel {
+    Kernel::new(
+        KernelConfig::multimax().with_cpus(cpus).without_trace(),
+        Box::new(FifoRoundRobin::new()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every task runs exactly once, for any mix of task sizes, worker
+    /// counts, and machine sizes.
+    #[test]
+    fn all_tasks_run_once(
+        cpus in 1usize..6,
+        nprocs in 1u32..10,
+        durs in prop::collection::vec(1u64..40, 1..40),
+    ) {
+        let mut k = kernel(cpus);
+        let tasks: Vec<Task> = durs
+            .iter()
+            .map(|&ms| Task::compute("t", SimDur::from_millis(ms)))
+            .collect();
+        let n = tasks.len() as u64;
+        let app = launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), AppSpec::tasks(tasks));
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT));
+        prop_assert_eq!(app.metrics().tasks_run, n);
+        prop_assert_eq!(k.runnable_count(), 0);
+    }
+
+    /// Total useful work accounted by the kernel is at least the sum of
+    /// requested compute (work conservation: nothing disappears).
+    #[test]
+    fn work_is_conserved(
+        nprocs in 1u32..8,
+        durs in prop::collection::vec(1u64..30, 1..30),
+    ) {
+        let mut k = kernel(4);
+        let total: u64 = durs.iter().sum();
+        let tasks: Vec<Task> = durs
+            .iter()
+            .map(|&ms| Task::compute("t", SimDur::from_millis(ms)))
+            .collect();
+        launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), AppSpec::tasks(tasks));
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT));
+        let work = k.app_stats(AppId(0)).work;
+        prop_assert!(
+            work >= SimDur::from_millis(total),
+            "work {} < requested {}ms", work, total
+        );
+    }
+
+    /// Barriers never deadlock and never let a participant through early,
+    /// for arbitrary participant counts and worker counts (including fewer
+    /// workers than participants — parked tasks must not hold workers).
+    #[test]
+    fn barriers_complete_for_any_shape(
+        participants in 2u32..12,
+        nprocs in 1u32..10,
+        rounds in 1u32..4,
+    ) {
+        let mut k = kernel(4);
+        let mut spec = AppSpec::tasks(vec![]);
+        let bar = spec.add_barrier(participants);
+        for _ in 0..participants {
+            let mut left = rounds;
+            spec.tasks.push(Task::new(
+                "phased",
+                Box::new(FnTask(move |ev: TaskEvent| match ev {
+                    TaskEvent::Start | TaskEvent::BarrierPassed => {
+                        if left == 0 {
+                            TaskOp::Done
+                        } else {
+                            TaskOp::Compute(SimDur::from_millis(2))
+                        }
+                    }
+                    TaskEvent::ComputeDone => {
+                        left -= 1;
+                        TaskOp::Barrier(bar)
+                    }
+                    other => unreachable!("{other:?}"),
+                })),
+            ));
+        }
+        let app = launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), spec);
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT), "barrier deadlock");
+        prop_assert_eq!(app.metrics().tasks_run, u64::from(participants));
+    }
+
+    /// Channels deliver every value exactly once, in FIFO order per
+    /// channel, across arbitrary producer/consumer interleavings.
+    #[test]
+    fn channels_deliver_in_order(
+        nprocs in 2u32..10,
+        items in 1u64..30,
+        produce_ms in 1u64..8,
+        consume_ms in 1u64..8,
+    ) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut k = kernel(4);
+        let mut spec = AppSpec::tasks(vec![]);
+        let ch = spec.add_channel();
+        let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+        let mut seq = 0u64;
+        spec.tasks.push(Task::new(
+            "producer",
+            Box::new(FnTask(move |ev: TaskEvent| match ev {
+                TaskEvent::Start | TaskEvent::Sent if seq < items => {
+                    seq += 1;
+                    TaskOp::Compute(SimDur::from_millis(produce_ms))
+                }
+                TaskEvent::ComputeDone => TaskOp::Send(ch, seq),
+                _ => TaskOp::Done,
+            })),
+        ));
+        let sink = got.clone();
+        let mut received = 0u64;
+        spec.tasks.push(Task::new(
+            "consumer",
+            Box::new(FnTask(move |ev: TaskEvent| {
+                match ev {
+                    TaskEvent::Received(v) => {
+                        sink.borrow_mut().push(v);
+                        received += 1;
+                        if received == items {
+                            return TaskOp::Done;
+                        }
+                        TaskOp::Compute(SimDur::from_millis(consume_ms))
+                    }
+                    _ => TaskOp::Recv(ch),
+                }
+            })),
+        ));
+        launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), spec);
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT));
+        let vals = got.borrow();
+        prop_assert_eq!(vals.clone(), (1..=items).collect::<Vec<u64>>());
+    }
+
+    /// Under process control, every worker is eventually woken at
+    /// completion, the suspend/resume counters balance against the final
+    /// state, and no tasks are lost — for arbitrary overcommit ratios.
+    #[test]
+    fn control_never_loses_workers_or_tasks(
+        cpus in 1usize..5,
+        nprocs in 2u32..16,
+        ntasks in 20u32..120,
+    ) {
+        let mut k = kernel(cpus);
+        let port = k.create_port();
+        k.spawn_root(
+            AppId(999),
+            64,
+            Box::new(procctl::Server::new(procctl::ServerConfig::new(port))),
+        );
+        let tasks: Vec<Task> = (0..ntasks)
+            .map(|_| Task::compute("t", SimDur::from_millis(25)))
+            .collect();
+        let cfg = ThreadsConfig::new(nprocs).with_control(port, SimDur::from_millis(500));
+        let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT), "workers stranded");
+        prop_assert_eq!(app.metrics().tasks_run, u64::from(ntasks));
+        // Every suspension was matched by a resume (worker-initiated or
+        // the completion wake-up).
+        prop_assert_eq!(k.app_runnable(AppId(0)), 0);
+        let m = app.metrics();
+        prop_assert!(m.resumes <= m.suspends, "more resumes than suspends");
+    }
+}

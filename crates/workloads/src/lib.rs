@@ -1,0 +1,27 @@
+//! `workloads` — the paper's applications, twice over.
+//!
+//! 1. [`sim`] — task-graph models of the four evaluated applications
+//!    (`matmul`, `fft`, `sort`, `gauss`) plus synthetic/producer-consumer
+//!    workloads, expressed as `uthreads` specs for the simulated kernel.
+//!    Each model reproduces the synchronization *shape* described in the
+//!    paper (Section 6) with calibrated compute durations.
+//! 2. [`native`] — the real numeric kernels (dense matmul, radix-2 FFT,
+//!    heapsort + merge tree, partial-pivot Gaussian elimination) used by
+//!    the `native-rt` thread pool.
+//!
+//! [`load`] generates *uncontrollable* processes (batch and interactive)
+//! for multiprogramming scenarios, and [`params`] holds paper-calibrated
+//! problem sizes.
+
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod native;
+pub mod params;
+pub mod sim;
+
+pub use params::{FftParams, GaussParams, MatmulParams, Presets, SortParams};
+pub use sim::{
+    fft_spec, fork_join_spec, gauss_spec, matmul_spec, producer_consumer_spec, sort_spec,
+    synthetic_cs_spec,
+};

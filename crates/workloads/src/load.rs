@@ -1,0 +1,91 @@
+//! Generators for *uncontrollable* load — processes outside the
+//! process-control scheme: batch jobs, compilers, editors, daemons.
+//! Section 7 motivates these: "there may be single-process applications
+//! like compilers, editors, and network daemons", and the server must
+//! subtract their processor usage before partitioning.
+
+use desim::SimDur;
+use simkernel::{Action, AppId, Kernel, Pid, Script};
+
+/// Spawns `procs` CPU-bound batch processes (think: compiles) that each
+/// compute for `each` and exit. Returns their pids.
+pub fn spawn_batch_load(
+    kernel: &mut Kernel,
+    app: AppId,
+    procs: u32,
+    each: SimDur,
+    ws_lines: u64,
+) -> Vec<Pid> {
+    (0..procs)
+        .map(|_| {
+            kernel.spawn_root(
+                app,
+                ws_lines,
+                Box::new(Script::new(vec![Action::Compute(each)])),
+            )
+        })
+        .collect()
+}
+
+/// Spawns an interactive-style process (think: editor): alternates short
+/// bursts of computation with think-time sleeps, `cycles` times.
+pub fn spawn_interactive_load(
+    kernel: &mut Kernel,
+    app: AppId,
+    burst: SimDur,
+    think: SimDur,
+    cycles: u32,
+    ws_lines: u64,
+) -> Pid {
+    let mut script = Vec::with_capacity(2 * cycles as usize);
+    for _ in 0..cycles {
+        script.push(Action::Compute(burst));
+        script.push(Action::Sleep(think));
+    }
+    kernel.spawn_root(app, ws_lines, Box::new(Script::new(script)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+    use simkernel::policy::FifoRoundRobin;
+    use simkernel::KernelConfig;
+
+    #[test]
+    fn batch_load_occupies_processors() {
+        let mut k = Kernel::new(
+            KernelConfig::multimax().with_cpus(2),
+            Box::new(FifoRoundRobin::new()),
+        );
+        let pids = spawn_batch_load(&mut k, AppId(9), 2, SimDur::from_millis(50), 64);
+        assert_eq!(pids.len(), 2);
+        assert_eq!(k.runnable_count(), 2);
+        assert!(k.run_to_completion(SimTime::ZERO + SimDur::from_secs(2)));
+        for pid in pids {
+            assert!(k.proc_accounting(pid).work >= SimDur::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn interactive_load_sleeps_between_bursts() {
+        let mut k = Kernel::new(
+            KernelConfig::multimax().with_cpus(1),
+            Box::new(FifoRoundRobin::new()),
+        );
+        let pid = spawn_interactive_load(
+            &mut k,
+            AppId(9),
+            SimDur::from_millis(10),
+            SimDur::from_millis(90),
+            5,
+            64,
+        );
+        assert!(k.run_to_completion(SimTime::ZERO + SimDur::from_secs(5)));
+        let acct = k.proc_accounting(pid);
+        assert!(acct.work >= SimDur::from_millis(50));
+        // Wall time ≈ 5 * (10 + 90) ms, far more than CPU time: it slept.
+        let done = k.app_done_time(AppId(9)).unwrap();
+        assert!(done >= SimTime::ZERO + SimDur::from_millis(450));
+    }
+}

@@ -1,0 +1,189 @@
+//! One-dimensional radix-2 FFT.
+//!
+//! An iterative Cooley–Tukey implementation whose butterfly passes are the
+//! parallel phases of the Norton–Silberger algorithm the paper used: each
+//! pass over the array can be split into independent chunks, with a
+//! barrier between passes.
+
+use std::f64::consts::PI;
+
+/// A complex number (we avoid an external dependency for one struct).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i·theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Bit-reversal permutation (the scramble pass before the butterflies).
+pub fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Executes the butterflies of one FFT stage (`len` = butterfly span) for
+/// the group range `groups` — the parallel chunk of one phase.
+///
+/// Stage `s` (1-based) has span `len = 2^s`; there are `n / len` groups,
+/// each independent of the others.
+pub fn fft_stage_groups(data: &mut [Complex], len: usize, groups: std::ops::Range<usize>) {
+    let n = data.len();
+    debug_assert!(len.is_power_of_two() && len <= n);
+    let half = len / 2;
+    let step = -2.0 * PI / len as f64; // forward transform
+    for g in groups {
+        let base = g * len;
+        debug_assert!(base + len <= n);
+        for k in 0..half {
+            let w = Complex::cis(step * k as f64);
+            let a = data[base + k];
+            let b = data[base + k + half].mul(w);
+            data[base + k] = a.add(b);
+            data[base + k + half] = a.sub(b);
+        }
+    }
+}
+
+/// Full sequential FFT (reference and convenience).
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        fft_stage_groups(data, len, 0..n / len);
+        len *= 2;
+    }
+}
+
+/// Naive DFT, used as the test oracle.
+pub fn dft_reference(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &x) in input.iter().enumerate() {
+                let w = Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64);
+                acc = acc.add(x.mul(w));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9
+    }
+
+    #[test]
+    fn matches_dft_on_random_data() {
+        let mut rng = 123u64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let input: Vec<Complex> = (0..64).map(|_| Complex::new(next(), next())).collect();
+        let expect = dft_reference(&input);
+        let mut data = input;
+        fft(&mut data);
+        for (a, b) in data.iter().zip(&expect) {
+            assert!(close(*a, *b), "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::default(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for x in &data {
+            assert!(close(*x, Complex::new(1.0, 0.0)));
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut data = vec![Complex::new(1.0, 0.0); 8];
+        fft(&mut data);
+        assert!(close(data[0], Complex::new(8.0, 0.0)));
+        for x in &data[1..] {
+            assert!(x.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stage_groups_compose_to_full_stage() {
+        let mut rng = 7u64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let base: Vec<Complex> = (0..32).map(|_| Complex::new(next(), next())).collect();
+        // One full stage vs the same stage split into chunks.
+        let mut whole = base.clone();
+        fft_stage_groups(&mut whole, 8, 0..4);
+        let mut split = base;
+        fft_stage_groups(&mut split, 8, 0..2);
+        fft_stage_groups(&mut split, 8, 2..4);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        bit_reverse_permute(&mut data);
+    }
+}

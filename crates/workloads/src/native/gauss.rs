@@ -1,0 +1,198 @@
+//! Gaussian elimination with partial pivoting and back substitution.
+//!
+//! "The solution is computed using partial pivoting and back substitution,
+//! and the row elimination is parallelized." The elimination of step `k`
+//! over a band of rows is the parallel unit ([`System::eliminate_rows`]); pivot
+//! selection and back substitution are the serial sections.
+
+use crate::native::matmul::Matrix;
+
+/// An augmented system `[A | b]` being reduced in place.
+#[derive(Clone, Debug)]
+pub struct System {
+    /// `n x (n+1)` augmented matrix.
+    pub m: Matrix,
+}
+
+impl System {
+    /// Builds the augmented system from `A` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square or `b` has the wrong length.
+    pub fn new(a: &Matrix, b: &[f64]) -> Self {
+        assert_eq!(a.rows, a.cols, "A must be square");
+        assert_eq!(b.len(), a.rows, "b must match A");
+        let n = a.rows;
+        let m = Matrix::from_fn(n, n + 1, |i, j| if j < n { a.at(i, j) } else { b[i] });
+        System { m }
+    }
+
+    /// Dimension of the system.
+    pub fn n(&self) -> usize {
+        self.m.rows
+    }
+
+    /// Serial pivot step: find the largest |entry| in column `k` at or
+    /// below row `k` and swap that row up. Returns false if the pivot is
+    /// (numerically) zero — a singular system.
+    pub fn pivot(&mut self, k: usize) -> bool {
+        let n = self.n();
+        let cols = self.m.cols;
+        let (mut best, mut best_val) = (k, self.m.at(k, k).abs());
+        for i in k + 1..n {
+            let v = self.m.at(i, k).abs();
+            if v > best_val {
+                best = i;
+                best_val = v;
+            }
+        }
+        if best_val < 1e-12 {
+            return false;
+        }
+        if best != k {
+            for j in 0..cols {
+                self.m.data.swap(k * cols + j, best * cols + j);
+            }
+        }
+        true
+    }
+
+    /// Parallel unit: eliminate column `k` from the rows in `rows`
+    /// (all must be > `k`). Different bands are independent.
+    pub fn eliminate_rows(&mut self, k: usize, rows: std::ops::Range<usize>) {
+        let cols = self.m.cols;
+        debug_assert!(rows.start > k && rows.end <= self.n());
+        let pivot = self.m.at(k, k);
+        debug_assert!(pivot.abs() > 0.0, "eliminate before pivoting");
+        for i in rows {
+            let factor = self.m.at(i, k) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in k..cols {
+                let above = self.m.data[k * cols + j];
+                self.m.data[i * cols + j] -= factor * above;
+            }
+        }
+    }
+
+    /// Serial back substitution on the reduced system.
+    pub fn back_substitute(&self) -> Vec<f64> {
+        let n = self.n();
+        let cols = self.m.cols;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = self.m.data[i * cols + n];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.m.at(i, j) * xj;
+            }
+            x[i] = acc / self.m.at(i, i);
+        }
+        x
+    }
+}
+
+/// Full sequential solve (reference). Returns `None` for singular systems.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let mut sys = System::new(a, b);
+    let n = sys.n();
+    for k in 0..n {
+        if !sys.pivot(k) {
+            return None;
+        }
+        if k + 1 < n {
+            sys.eliminate_rows(k, k + 1..n);
+        }
+    }
+    Some(sys.back_substitute())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![2.0, 1.0, 1.0, 3.0],
+        };
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_small_on_random_system() {
+        let n = 40;
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        // Diagonally dominant to stay well-conditioned.
+        let a = Matrix::from_fn(n, n, |i, j| if i == j { 10.0 + next() } else { next() });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        for (i, &bi) in b.iter().enumerate() {
+            let ax: f64 = (0..n).map(|j| a.at(i, j) * x[j]).sum();
+            assert!((ax - bi).abs() < 1e-8, "row {i} residual {}", ax - bi);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without partial pivoting this system would divide by zero.
+        let a = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![0.0, 1.0, 1.0, 0.0],
+        };
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_detected() {
+        let a = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 2.0, 4.0],
+        };
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn banded_elimination_matches_full() {
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                8.0
+            } else {
+                ((i * 5 + j * 3) % 7) as f64 - 3.0
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Reference: full elimination.
+        let expect = solve(&a, &b).unwrap();
+        // Banded: split each step's elimination into two bands.
+        let mut sys = System::new(&a, &b);
+        for k in 0..n {
+            assert!(sys.pivot(k));
+            let lo = k + 1;
+            if lo < n {
+                let mid = lo + (n - lo) / 2;
+                sys.eliminate_rows(k, lo..mid);
+                sys.eliminate_rows(k, mid..n);
+            }
+        }
+        let got = sys.back_substitute();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Dense matrix multiplication, row-band parallelizable.
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+}
+
+/// Multiplies the row band `rows` of `a` by `b` into the matching rows of
+/// `out`. This is the unit of work a parallel worker executes — "the
+/// multiplication is parallelized by splitting the multiplicand by rows".
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or the band is out of range.
+pub fn matmul_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, rows: std::ops::Range<usize>) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.cols);
+    assert!(rows.end <= a.rows, "row band out of range");
+    for i in rows {
+        for k in 0..a.cols {
+            let aik = a.at(i, k);
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+            let orow = &mut out.data[i * out.cols..(i + 1) * out.cols];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Full sequential multiply (reference).
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    matmul_rows(a, b, &mut out, 0..a.rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(5, 5, |i, j| (i * 7 + j) as f64);
+        let i = Matrix::identity(5);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let b = Matrix {
+            rows: 3,
+            cols: 2,
+            data: vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        };
+        let c = matmul(&a, &b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn banded_multiply_matches_full() {
+        let a = Matrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 2) % 7) as f64);
+        let b = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j * 5) % 11) as f64);
+        let full = matmul(&a, &b);
+        let mut banded = Matrix::zeros(8, 8);
+        matmul_rows(&a, &b, &mut banded, 0..3);
+        matmul_rows(&a, &b, &mut banded, 3..6);
+        matmul_rows(&a, &b, &mut banded, 6..8);
+        assert_eq!(full, banded);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmul(&a, &b);
+    }
+}

@@ -1,0 +1,11 @@
+//! Real numeric kernels for the native runtime.
+//!
+//! The simulated figures use the task-graph models in [`crate::sim`]; these
+//! are the actual algorithms (same shapes, real arithmetic) that the
+//! `native-rt` crate runs on OS threads, demonstrating the process-control
+//! protocol with genuine computation.
+
+pub mod fft;
+pub mod gauss;
+pub mod matmul;
+pub mod sort;

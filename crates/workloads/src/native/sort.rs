@@ -1,0 +1,139 @@
+//! Parallel merge sort building blocks: heapsort leaves, pairwise merges.
+
+/// In-place heapsort — the paper's leaf sorter ("simultaneously sorting a
+/// number of small lists of numbers with heapsort").
+pub fn heapsort<T: Ord>(xs: &mut [T]) {
+    let n = xs.len();
+    // Build a max-heap.
+    for i in (0..n / 2).rev() {
+        sift_down(xs, i, n);
+    }
+    // Pop the max to the end repeatedly.
+    for end in (1..n).rev() {
+        xs.swap(0, end);
+        sift_down(xs, 0, end);
+    }
+}
+
+fn sift_down<T: Ord>(xs: &mut [T], mut root: usize, end: usize) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && xs[child] < xs[child + 1] {
+            child += 1;
+        }
+        if xs[root] >= xs[child] {
+            return;
+        }
+        xs.swap(root, child);
+        root = child;
+    }
+}
+
+/// Merges two sorted runs into a fresh vector.
+pub fn merge<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "left run unsorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "right run unsorted");
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sequential reference: split into `leaves` runs, heapsort each, merge
+/// pairwise — exactly the parallel algorithm's work, done serially.
+pub fn merge_sort_via_leaves<T: Ord + Copy>(xs: &[T], leaves: usize) -> Vec<T> {
+    assert!(leaves >= 1 && leaves.is_power_of_two());
+    let chunk = xs.len().div_ceil(leaves);
+    let mut runs: Vec<Vec<T>> = xs
+        .chunks(chunk.max(1))
+        .map(|c| {
+            let mut v = c.to_vec();
+            heapsort(&mut v);
+            v
+        })
+        .collect();
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len() / 2 + 1);
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, mut seed: u64) -> Vec<i64> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (seed >> 20) as i64 % 10_000
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heapsort_sorts() {
+        let mut xs = pseudo_random(1000, 42);
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        heapsort(&mut xs);
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn heapsort_handles_edges() {
+        let mut empty: Vec<i32> = vec![];
+        heapsort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![5];
+        heapsort(&mut one);
+        assert_eq!(one, vec![5]);
+        let mut dups = vec![3, 3, 3, 1, 1, 2];
+        heapsort(&mut dups);
+        assert_eq!(dups, vec![1, 1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        assert_eq!(merge(&[1, 4, 6], &[2, 3, 5]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(merge::<i32>(&[], &[1]), vec![1]);
+        assert_eq!(merge(&[1, 1], &[1]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn leafwise_sort_matches_std() {
+        for leaves in [1usize, 2, 8, 32] {
+            let xs = pseudo_random(997, leaves as u64); // non-divisible length
+            let mut expect = xs.clone();
+            expect.sort_unstable();
+            assert_eq!(merge_sort_via_leaves(&xs, leaves), expect, "leaves={leaves}");
+        }
+    }
+
+    #[test]
+    fn sorted_input_stays_sorted() {
+        let xs: Vec<i64> = (0..500).collect();
+        assert_eq!(merge_sort_via_leaves(&xs, 16), xs);
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload parameter presets.
+//!
+//! Absolute durations are calibrated so that, like the paper's runs on the
+//! 16-processor Multimax, each application takes tens of seconds of
+//! simulated time at 16 processes and the four applications have distinct
+//! characters:
+//!
+//! - `matmul` — embarrassingly parallel, coarse independent tasks;
+//! - `fft`   — phase-parallel loops with a barrier per phase
+//!   (Norton–Silberger "several loops broken into parts");
+//! - `sort`  — parallel heapsort leaves, then a pairwise merge tree whose
+//!   parallelism halves per level (long sequential tail);
+//! - `gauss` — elimination steps with per-step barriers and shrinking,
+//!   uneven row work plus a serial pivot section (finest-grained).
+
+use desim::SimDur;
+
+/// Matrix-multiplication workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct MatmulParams {
+    /// Number of independent row-band tasks.
+    pub tasks: u32,
+    /// Cost of one task.
+    pub task_cost: SimDur,
+}
+
+/// FFT workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct FftParams {
+    /// Number of barrier-separated phases (the broken-up loops).
+    pub phases: u32,
+    /// Parallel chunks per phase (persistent tasks meeting at a barrier).
+    pub chunks: u32,
+    /// Cost of one chunk in one phase.
+    pub chunk_cost: SimDur,
+}
+
+/// Merge-sort workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct SortParams {
+    /// Number of small lists (heapsort leaves); must be a power of two.
+    pub leaves: u32,
+    /// Cost of heapsorting one leaf.
+    pub leaf_cost: SimDur,
+    /// Cost of merging two runs of one leaf-size each; a merge at tree
+    /// level `l` (leaves = level 0) costs `2^l` times this.
+    pub merge_unit: SimDur,
+}
+
+/// Gaussian-elimination workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct GaussParams {
+    /// Matrix dimension in row-band units: step `k` eliminates into
+    /// `steps - k` row tasks.
+    pub steps: u32,
+    /// Cost of one row task at step 0; shrinks linearly with the remaining
+    /// submatrix.
+    pub row_cost: SimDur,
+    /// Serial (coordinator) cost per step: pivot selection + swap.
+    pub pivot_cost: SimDur,
+}
+
+/// The four applications at paper scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Presets {
+    /// Matmul preset.
+    pub matmul: MatmulParams,
+    /// FFT preset.
+    pub fft: FftParams,
+    /// Sort preset.
+    pub sort: SortParams,
+    /// Gauss preset.
+    pub gauss: GaussParams,
+}
+
+impl Presets {
+    /// Paper-scale problems: solo 16-process runtimes in the 15–35 s band.
+    pub fn paper() -> Self {
+        Presets {
+            matmul: MatmulParams {
+                tasks: 16_384,
+                task_cost: SimDur::from_millis(20),
+            },
+            fft: FftParams {
+                phases: 96,
+                chunks: 64,
+                chunk_cost: SimDur::from_millis(50),
+            },
+            sort: SortParams {
+                leaves: 1_024,
+                leaf_cost: SimDur::from_millis(150),
+                merge_unit: SimDur::from_millis(10),
+            },
+            gauss: GaussParams {
+                steps: 96,
+                row_cost: SimDur::from_millis(100),
+                pivot_cost: SimDur::from_millis(20),
+            },
+        }
+    }
+
+    /// Scaled-down problems for fast tests: same shapes, ~50× less work.
+    pub fn tiny() -> Self {
+        Presets {
+            matmul: MatmulParams {
+                tasks: 64,
+                task_cost: SimDur::from_millis(40),
+            },
+            fft: FftParams {
+                phases: 5,
+                chunks: 16,
+                chunk_cost: SimDur::from_millis(30),
+            },
+            sort: SortParams {
+                leaves: 32,
+                leaf_cost: SimDur::from_millis(40),
+                merge_unit: SimDur::from_millis(8),
+            },
+            gauss: GaussParams {
+                steps: 16,
+                row_cost: SimDur::from_millis(25),
+                pivot_cost: SimDur::from_millis(5),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_have_paperish_totals() {
+        let p = Presets::paper();
+        // Total sequential work per app, in seconds.
+        let matmul = p.matmul.tasks as f64 * p.matmul.task_cost.as_secs_f64();
+        let fft = (p.fft.phases * p.fft.chunks) as f64 * p.fft.chunk_cost.as_secs_f64();
+        // Solo at 16 procs ≈ total/16 (+ sync overhead): should land
+        // in the paper's tens-of-seconds regime.
+        for (name, total) in [("matmul", matmul), ("fft", fft)] {
+            let solo16 = total / 16.0;
+            assert!(
+                (10.0..60.0).contains(&solo16),
+                "{name}: {solo16:.1}s at 16 procs"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_leaves_power_of_two() {
+        assert!(Presets::paper().sort.leaves.is_power_of_two());
+        assert!(Presets::tiny().sort.leaves.is_power_of_two());
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end runs of the four paper applications on the simulated kernel.
+
+use desim::{SimDur, SimTime};
+use simkernel::policy::FifoRoundRobin;
+use simkernel::{AppId, Kernel, KernelConfig};
+use uthreads::{launch, AppSpec, ThreadsConfig};
+use workloads::{fft_spec, gauss_spec, matmul_spec, producer_consumer_spec, sort_spec, Presets};
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDur::from_secs(secs)
+}
+
+fn run_app(spec: AppSpec, nprocs: u32, cpus: usize, limit_s: u64) -> (f64, u64) {
+    let mut k = Kernel::new(
+        KernelConfig::multimax().with_cpus(cpus).without_trace(),
+        Box::new(FifoRoundRobin::new()),
+    );
+    let app = launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), spec);
+    assert!(
+        k.run_until_apps_done(&[AppId(0)], t(limit_s)),
+        "application did not finish"
+    );
+    let done = k.app_done_time(AppId(0)).unwrap().as_secs_f64();
+    (done, app.metrics().tasks_run)
+}
+
+#[test]
+fn matmul_completes_and_scales() {
+    let p = Presets::tiny();
+    let (t1, n1) = run_app(matmul_spec(&p.matmul), 1, 8, 100);
+    let (t8, n8) = run_app(matmul_spec(&p.matmul), 8, 8, 100);
+    assert_eq!(n1, u64::from(p.matmul.tasks));
+    assert_eq!(n8, u64::from(p.matmul.tasks));
+    let speedup = t1 / t8;
+    assert!(speedup > 5.0, "matmul speedup {speedup:.2}");
+}
+
+#[test]
+fn fft_completes_and_scales() {
+    let p = Presets::tiny();
+    let (t1, n1) = run_app(fft_spec(&p.fft), 1, 8, 100);
+    let (t8, n8) = run_app(fft_spec(&p.fft), 8, 8, 100);
+    assert_eq!(n1, u64::from(p.fft.chunks));
+    assert_eq!(n8, u64::from(p.fft.chunks));
+    let speedup = t1 / t8;
+    // Barrier-synchronized phases scale a bit worse than matmul.
+    assert!(speedup > 4.0, "fft speedup {speedup:.2}");
+}
+
+#[test]
+fn sort_completes_with_merge_tail() {
+    let p = Presets::tiny();
+    let (t1, n1) = run_app(sort_spec(&p.sort), 1, 8, 200);
+    let (t8, n8) = run_app(sort_spec(&p.sort), 8, 8, 200);
+    let expected_tasks = u64::from(2 * p.sort.leaves - 1);
+    assert_eq!(n1, expected_tasks);
+    assert_eq!(n8, expected_tasks);
+    let speedup = t1 / t8;
+    // The sequential merge tail caps the speedup below the others.
+    assert!(speedup > 3.0, "sort speedup {speedup:.2}");
+    assert!(speedup < 8.0, "sort speedup suspiciously ideal: {speedup:.2}");
+}
+
+#[test]
+fn gauss_completes_all_steps() {
+    let p = Presets::tiny();
+    let (t1, n1) = run_app(gauss_spec(&p.gauss), 1, 8, 300);
+    let (t8, n8) = run_app(gauss_spec(&p.gauss), 8, 8, 300);
+    // Coordinator + one task per row per step.
+    let rows: u64 = (1..=u64::from(p.gauss.steps)).sum();
+    assert_eq!(n1, rows + 1);
+    assert_eq!(n8, rows + 1);
+    let speedup = t1 / t8;
+    assert!(speedup > 2.5, "gauss speedup {speedup:.2}");
+}
+
+#[test]
+fn producer_consumer_completes() {
+    let spec = producer_consumer_spec(4, 25, SimDur::from_millis(4), SimDur::from_millis(8));
+    let (_t, n) = run_app(spec, 8, 8, 100);
+    assert_eq!(n, 8);
+}
+
+#[test]
+fn overcommitted_app_still_finishes() {
+    // 24 workers on 4 CPUs — the paper's pathological regime.
+    let p = Presets::tiny();
+    let (t24, _) = run_app(matmul_spec(&p.matmul), 24, 4, 300);
+    let (t4, _) = run_app(matmul_spec(&p.matmul), 4, 4, 300);
+    // Overcommitment must not *help* (it mostly hurts).
+    assert!(t24 >= t4 * 0.95, "t24={t24:.2}s t4={t4:.2}s");
+}
+
+#[test]
+fn fork_join_runs_every_node_once() {
+    // depth 3, fan 2: 7 internal/leaf spawning levels -> 8 leaves + 7
+    // internal nodes = 15 tasks total.
+    let spec = workloads::fork_join_spec(
+        3,
+        2,
+        SimDur::from_millis(20),
+        SimDur::from_millis(2),
+    );
+    let (_wall, tasks) = run_app(spec, 4, 4, 60);
+    assert_eq!(tasks, 15);
+}
+
+#[test]
+fn fork_join_scales_with_workers() {
+    let mk = || {
+        workloads::fork_join_spec(4, 3, SimDur::from_millis(30), SimDur::from_millis(1))
+    };
+    let (t1, n1) = run_app(mk(), 1, 8, 600);
+    let (t8, n8) = run_app(mk(), 8, 8, 600);
+    assert_eq!(n1, n8);
+    // 81 leaves of 30 ms dominate: decent parallel speedup expected.
+    let speedup = t1 / t8;
+    assert!(speedup > 3.0, "fork-join speedup {speedup:.2}");
+}

@@ -1,0 +1,97 @@
+//! A realistic multiprogrammed mix (the paper's Section 7 motivation):
+//! three controlled parallel applications arriving at intervals, plus
+//! uncontrollable load — batch compiles and an interactive editor — that
+//! the server must subtract before partitioning.
+//!
+//! Prints the per-application wall-clock times and a timeline of runnable
+//! processes, showing the controlled applications shrinking while the
+//! batch jobs run and growing back afterwards.
+//!
+//! Run with: `cargo run --release --example multiprogrammed_mix`
+
+use bench::{spawn_server, AppKind, SimEnv};
+use desim::{SimDur, SimTime};
+use metrics::{runnable_total_series, table};
+use simkernel::AppId;
+use uthreads::{launch, ThreadsConfig};
+use workloads::load::{spawn_batch_load, spawn_interactive_load};
+use workloads::Presets;
+
+fn main() {
+    let presets = Presets::paper();
+    let env = SimEnv {
+        trace: true,
+        ..SimEnv::default()
+    };
+    let mut kernel = env.make_kernel();
+    let server = spawn_server(&mut kernel);
+    let poll = SimDur::from_secs(6);
+
+    // An interactive "editor": short bursts, long think times, all run.
+    spawn_interactive_load(
+        &mut kernel,
+        AppId(50),
+        SimDur::from_millis(30),
+        SimDur::from_millis(470),
+        240,
+        256,
+    );
+
+    // Three controlled parallel applications, staggered.
+    let plan = [
+        (AppKind::Fft, 0u64),
+        (AppKind::Gauss, 10),
+        (AppKind::Matmul, 20),
+    ];
+    let mut handles = Vec::new();
+    for (i, (kind, start)) in plan.iter().enumerate() {
+        kernel.run_until(SimTime::ZERO + SimDur::from_secs(*start));
+        let cfg = ThreadsConfig::new(16).with_control(server, poll);
+        let id = AppId(i as u32);
+        handles.push((id, *kind, *start, launch(&mut kernel, id, cfg, kind.spec(&presets))));
+    }
+
+    // At t = 25 s, four batch compiles arrive (uncontrollable, 20 s each).
+    kernel.run_until(SimTime::ZERO + SimDur::from_secs(25));
+    spawn_batch_load(&mut kernel, AppId(60), 4, SimDur::from_secs(20), 512);
+
+    let ids: Vec<AppId> = handles.iter().map(|(id, ..)| *id).collect();
+    assert!(
+        kernel.run_until_apps_done(&ids, SimTime::ZERO + SimDur::from_secs(3_600)),
+        "mix did not finish"
+    );
+
+    println!("multiprogrammed mix on {} CPUs (controlled apps + editor + 4 compiles)\n", env.cpus);
+    let rows: Vec<Vec<String>> = handles
+        .iter()
+        .map(|(id, kind, start, h)| {
+            let wall = kernel
+                .app_done_time(*id)
+                .expect("done")
+                .since(SimTime::ZERO + SimDur::from_secs(*start))
+                .as_secs_f64();
+            vec![
+                kind.name().to_string(),
+                format!("{start}"),
+                format!("{wall:.1}"),
+                h.metrics().suspends.to_string(),
+                h.metrics().resumes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["app", "start(s)", "wall(s)", "suspends", "resumes"], &rows)
+    );
+
+    // Timeline of total runnable processes, 5 s samples.
+    let total = runnable_total_series(kernel.trace(), "total runnable");
+    println!("runnable processes over time (machine has {} CPUs):", env.cpus);
+    let end = kernel.now().as_secs_f64();
+    let mut x = 0.0;
+    while x <= end {
+        let y = total.step_at(x).unwrap_or(0.0);
+        println!("  t={x:>5.0}s  {:3.0}  {}", y, "#".repeat(y as usize));
+        x += 5.0;
+    }
+}

@@ -1,0 +1,63 @@
+//! The scheduler zoo: every related-work policy on one fixed scenario.
+//!
+//! Runs the Figure-4 workload (fft + gauss + matmul, staggered, 16
+//! processes each) under each kernel scheduling policy from the paper's
+//! Section 3 — UMAX FIFO, Encore priority decay, Ousterhout coscheduling,
+//! Zahorjan spinlock flags, Edler gangs, Squillante–Lazowska affinity, and
+//! the paper's own Section-7 space partitioning — then under FIFO with
+//! user-level process control. Prints makespan and scheduling churn.
+//!
+//! Run with: `cargo run --release --example scheduler_zoo`
+
+use bench::{fig4_launches, run_scenario, PolicyKind, SimEnv, PAPER_STAGGER};
+use desim::{SimDur, SimTime};
+use metrics::table;
+use workloads::Presets;
+
+fn main() {
+    let presets = Presets::paper();
+    let launches = fig4_launches(16, PAPER_STAGGER);
+    let limit = SimTime::ZERO + SimDur::from_secs(3_600);
+
+    println!("scheduler zoo: fft+gauss+matmul, 16 procs each, 16 CPUs\n");
+    let mut rows = Vec::new();
+    for policy in PolicyKind::ALL {
+        let env = SimEnv {
+            policy,
+            trace: false,
+            ..SimEnv::default()
+        };
+        let (outs, kernel) = run_scenario(&env, &presets, &launches, None, limit);
+        let spin: f64 = outs.iter().map(|o| o.stats.spin.as_secs_f64()).sum();
+        let switches: u64 = outs.iter().map(|o| o.stats.switches).sum();
+        let makespan = kernel.now().as_secs_f64();
+        rows.push(vec![
+            policy.name().to_string(),
+            "no".to_string(),
+            format!("{makespan:.1}"),
+            format!("{spin:.0}"),
+            switches.to_string(),
+        ]);
+    }
+    // And the paper's answer: plain FIFO plus user-level process control.
+    let env = SimEnv::default();
+    let (outs, kernel) = run_scenario(&env, &presets, &launches, Some(SimDur::from_secs(6)), limit);
+    let spin: f64 = outs.iter().map(|o| o.stats.spin.as_secs_f64()).sum();
+    let switches: u64 = outs.iter().map(|o| o.stats.switches).sum();
+    rows.push(vec![
+        "fifo-rr".to_string(),
+        "yes".to_string(),
+        format!("{:.1}", kernel.now().as_secs_f64()),
+        format!("{spin:.0}"),
+        switches.to_string(),
+    ]);
+
+    println!(
+        "{}",
+        table(
+            &["policy", "process control", "makespan(s)", "spin(s)", "ctx switches"],
+            &rows
+        )
+    );
+    println!("(makespan = when the last application finished; spin = total busy-wait time)");
+}

@@ -1,0 +1,251 @@
+//! Workspace-level integration tests: the paper's qualitative claims,
+//! asserted end-to-end on the full stack (simulated machine → kernel →
+//! threads package → process control) at reduced scale.
+
+use bench::{
+    fig1, fig3, fig4_with_stagger, fig5_with_stagger, run_scenario, run_solo, AppKind, AppLaunch,
+    PolicyKind, SimEnv,
+};
+use desim::{SimDur, SimTime};
+use workloads::Presets;
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+fn env8() -> SimEnv {
+    SimEnv {
+        cpus: 8,
+        ..SimEnv::default()
+    }
+}
+
+/// Mid-scale presets: big enough that applications live through several
+/// poll intervals (so control actually engages), ~10x smaller than the
+/// paper scale so the suite stays fast.
+fn midi() -> Presets {
+    use workloads::{FftParams, GaussParams, MatmulParams, SortParams};
+    Presets {
+        matmul: MatmulParams {
+            tasks: 2_000,
+            task_cost: SimDur::from_millis(20),
+        },
+        fft: FftParams {
+            phases: 24,
+            chunks: 32,
+            chunk_cost: SimDur::from_millis(50),
+        },
+        sort: SortParams {
+            leaves: 128,
+            leaf_cost: SimDur::from_millis(150),
+            merge_unit: SimDur::from_millis(10),
+        },
+        gauss: GaussParams {
+            steps: 48,
+            row_cost: SimDur::from_millis(100),
+            pivot_cost: SimDur::from_millis(10),
+        },
+    }
+}
+
+/// Claim (Section 2 / Figure 1): performance of simultaneously running
+/// applications worsens considerably once the total process count exceeds
+/// the processor count, and keeps worsening as processes are added.
+#[test]
+fn claim_overcommit_degrades_pairs() {
+    let presets = Presets::tiny();
+    let series = fig1(&env8(), &presets, &[4, 8, 16]);
+    for s in &series {
+        let at_fit = s.points[0].1; // 4+4 = 8 procs = machine
+        let over = s.points[1].1; // 8+8 = 2x overcommit
+        let way_over = s.points[2].1; // 16+16 = 4x
+        assert!(
+            over < at_fit * 0.98,
+            "{}: no degradation at 2x ({at_fit:.2} -> {over:.2})",
+            s.label
+        );
+        assert!(
+            way_over < at_fit * 0.95,
+            "{}: no degradation at 4x ({at_fit:.2} -> {way_over:.2})",
+            s.label
+        );
+    }
+}
+
+/// Claim (Figure 3, observation 2): up to the processor count, the
+/// controlled and unmodified packages perform identically — the control
+/// overhead is negligible.
+#[test]
+fn claim_control_overhead_negligible() {
+    let presets = Presets::tiny();
+    let results = fig3(&env8(), &presets, &[2, 8], SimDur::from_secs(2));
+    for (kind, plain, ctl) in &results {
+        for (p, c) in plain.points.iter().zip(&ctl.points) {
+            let ratio = c.1 / p.1;
+            assert!(
+                (0.93..=1.08).contains(&ratio),
+                "{}: controlled/unmodified = {ratio:.3} at {} procs",
+                kind.name(),
+                p.0
+            );
+        }
+    }
+}
+
+/// Claim (Figure 3, observation 3): beyond the processor count the
+/// unmodified package is significantly worse than the controlled one.
+#[test]
+fn claim_control_wins_when_overcommitted() {
+    let presets = midi();
+    // 24 workers on 8 CPUs, solo. Use the lock-heavy gauss and the pure
+    // matmul as the two extremes.
+    for kind in [AppKind::Gauss, AppKind::Matmul] {
+        let plain = run_solo(&env8(), &presets, kind, 24, None, LIMIT);
+        let ctl = run_solo(
+            &env8(),
+            &presets,
+            kind,
+            24,
+            Some(SimDur::from_secs(1)),
+            LIMIT,
+        );
+        assert!(
+            ctl.wall < plain.wall,
+            "{}: control did not help ({:.2}s vs {:.2}s)",
+            kind.name(),
+            ctl.wall,
+            plain.wall
+        );
+        assert!(ctl.metrics.suspends > 0, "control never engaged");
+    }
+}
+
+/// Claim (Figure 4): in the multiprogrammed three-application scenario,
+/// every application finishes at least as fast under process control, and
+/// at least one improves substantially.
+#[test]
+fn claim_multiprogrammed_improvement() {
+    let presets = midi();
+    let rows = fig4_with_stagger(
+        &env8(),
+        &presets,
+        16,
+        SimDur::from_secs(1),
+        SimDur::from_secs(3),
+    );
+    let mut best = 0.0f64;
+    for r in &rows {
+        assert!(
+            r.controlled <= r.uncontrolled * 1.10,
+            "{}: control made it notably slower ({:.2}s vs {:.2}s)",
+            r.kind.name(),
+            r.controlled,
+            r.uncontrolled
+        );
+        best = best.max(r.uncontrolled / r.controlled);
+    }
+    assert!(best > 1.2, "no application improved substantially: {best:.2}x");
+}
+
+/// Claim (Figure 5): with control, the total number of runnable processes
+/// converges to (about) the machine size within a couple of poll
+/// intervals, and without control it reaches the full process count.
+#[test]
+fn claim_runnable_count_converges() {
+    let presets = midi();
+    let poll = SimDur::from_secs(1);
+    let (ctl, plain) = fig5_with_stagger(&env8(), &presets, 16, poll, SimDur::from_secs(3));
+    let total_ctl = &ctl[3];
+    let total_plain = &plain[3];
+    // Uncontrolled: essentially all 48 worker processes runnable at the
+    // overlap peak.
+    assert!(
+        total_plain.y_max() >= 40.0,
+        "uncontrolled peak only {}",
+        total_plain.y_max()
+    );
+    // Controlled: once all three apps have polled at least once (three
+    // staggers + a poll in), the mean runnable count over the busy middle
+    // should sit near the machine size, far below the uncontrolled peak.
+    let mid_mean = total_ctl.step_mean(8.0, 14.0);
+    assert!(
+        mid_mean <= 13.0,
+        "controlled mean runnable {mid_mean:.1} over the busy window"
+    );
+    assert!(mid_mean >= 5.0, "machine left idle: {mid_mean:.1}");
+}
+
+/// Claim (Section 5): the server partitions processors *equally* among
+/// coexisting controlled applications.
+#[test]
+fn claim_equal_partition_while_coexisting() {
+    let presets = Presets::tiny();
+    let env = env8();
+    let launches = [
+        AppLaunch {
+            kind: AppKind::Matmul,
+            nprocs: 8,
+            start: SimTime::ZERO,
+        },
+        AppLaunch {
+            kind: AppKind::Matmul,
+            nprocs: 8,
+            start: SimTime::ZERO,
+        },
+    ];
+    let mut env_tr = env;
+    env_tr.trace = true;
+    let (outs, kernel) = run_scenario(&env_tr, &presets, &launches, Some(SimDur::from_secs(1)), LIMIT);
+    // Both identical applications should finish at nearly the same time.
+    let (a, b) = (outs[0].wall, outs[1].wall);
+    assert!(
+        (a - b).abs() / a.max(b) < 0.15,
+        "unequal split: {a:.2}s vs {b:.2}s"
+    );
+    drop(kernel);
+}
+
+/// The related-work baselines all run the scenario to completion (sanity
+/// across every scheduling policy).
+#[test]
+fn all_policies_complete_the_scenario() {
+    let presets = Presets::tiny();
+    for policy in PolicyKind::ALL {
+        let env = SimEnv {
+            cpus: 8,
+            policy,
+            ..SimEnv::default()
+        };
+        let launches = [
+            AppLaunch {
+                kind: AppKind::Fft,
+                nprocs: 12,
+                start: SimTime::ZERO,
+            },
+            AppLaunch {
+                kind: AppKind::Sort,
+                nprocs: 12,
+                start: SimTime::ZERO,
+            },
+        ];
+        let (outs, _) = run_scenario(&env, &presets, &launches, None, LIMIT);
+        assert_eq!(outs.len(), 2, "policy {}", policy.name());
+    }
+}
+
+/// Determinism: an identical scenario reproduces identical results.
+#[test]
+fn scenario_is_deterministic() {
+    let presets = Presets::tiny();
+    let run = || {
+        let rows = fig4_with_stagger(
+            &env8(),
+            &presets,
+            8,
+            SimDur::from_secs(1),
+            SimDur::from_millis(500),
+        );
+        rows.iter()
+            .flat_map(|r| [r.controlled.to_bits(), r.uncontrolled.to_bits()])
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(), run());
+}
