@@ -50,8 +50,15 @@ fn bench_fig3(c: &mut Criterion) {
             |b, &kind| {
                 b.iter(|| {
                     black_box(
-                        run_solo(&env8(), &presets, kind, 16, Some(SimDur::from_secs(2)), LIMIT)
-                            .wall,
+                        run_solo(
+                            &env8(),
+                            &presets,
+                            kind,
+                            16,
+                            Some(SimDur::from_secs(2)),
+                            LIMIT,
+                        )
+                        .wall,
                     )
                 });
             },
@@ -62,8 +69,6 @@ fn bench_fig3(c: &mut Criterion) {
     });
     g.finish();
 }
-
-
 
 fn bench_fig4(c: &mut Criterion) {
     let presets = Presets::tiny();

@@ -6,8 +6,8 @@
 //! 16 + 16 processes... at 24 each to overcommit) on the Multimax-like
 //! machine and the scalable one, with and without control.
 
-use bench::report::{presets_from_args, quick_mode, write_result};
 use bench::ablation_cache;
+use bench::report::{presets_from_args, quick_mode, write_result};
 use desim::SimDur;
 use metrics::table;
 

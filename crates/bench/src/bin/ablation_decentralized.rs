@@ -31,18 +31,31 @@ fn run_decentralized(
 ) -> Vec<f64> {
     let mut kernel = env.make_kernel();
     if batch_load > 0 {
-        spawn_batch_load(&mut kernel, AppId(100), batch_load, SimDur::from_secs(40), 512);
+        spawn_batch_load(
+            &mut kernel,
+            AppId(100),
+            batch_load,
+            SimDur::from_secs(40),
+            512,
+        );
     }
     let mut handles = Vec::new();
     for (i, l) in launches.iter().enumerate() {
         kernel.run_until(l.start);
-        let cfg = ThreadsConfig::new(l.nprocs)
-            .with_decentralized_control(poll, SimDur::from_micros(500));
+        let cfg =
+            ThreadsConfig::new(l.nprocs).with_decentralized_control(poll, SimDur::from_micros(500));
         let id = AppId(i as u32);
-        handles.push((id, l.start, launch(&mut kernel, id, cfg, l.kind.spec(presets))));
+        handles.push((
+            id,
+            l.start,
+            launch(&mut kernel, id, cfg, l.kind.spec(presets)),
+        ));
     }
     let ids: Vec<AppId> = handles.iter().map(|(id, _, _)| *id).collect();
-    assert!(kernel.run_until_apps_done(&ids, LIMIT), "decentralized run hung");
+    assert!(
+        kernel.run_until_apps_done(&ids, LIMIT),
+        "decentralized run hung"
+    );
     handles
         .iter()
         .map(|(id, start, _)| {
@@ -66,17 +79,30 @@ fn run_centralized(
     let mut kernel = env.make_kernel();
     let port = bench::spawn_server(&mut kernel);
     if batch_load > 0 {
-        spawn_batch_load(&mut kernel, AppId(100), batch_load, SimDur::from_secs(40), 512);
+        spawn_batch_load(
+            &mut kernel,
+            AppId(100),
+            batch_load,
+            SimDur::from_secs(40),
+            512,
+        );
     }
     let mut handles = Vec::new();
     for (i, l) in launches.iter().enumerate() {
         kernel.run_until(l.start);
         let cfg = ThreadsConfig::new(l.nprocs).with_control(port, poll);
         let id = AppId(i as u32);
-        handles.push((id, l.start, launch(&mut kernel, id, cfg, l.kind.spec(presets))));
+        handles.push((
+            id,
+            l.start,
+            launch(&mut kernel, id, cfg, l.kind.spec(presets)),
+        ));
     }
     let ids: Vec<AppId> = handles.iter().map(|(id, _, _)| *id).collect();
-    assert!(kernel.run_until_apps_done(&ids, LIMIT), "centralized run hung");
+    assert!(
+        kernel.run_until_apps_done(&ids, LIMIT),
+        "centralized run hung"
+    );
     handles
         .iter()
         .map(|(id, start, _)| {
@@ -115,7 +141,13 @@ fn main() {
         }
     }
     let t = table(
-        &["app", "batch jobs", "centralized(s)", "decentralized(s)", "delta"],
+        &[
+            "app",
+            "batch jobs",
+            "centralized(s)",
+            "decentralized(s)",
+            "delta",
+        ],
         &trows,
     );
     println!("\n{t}");

@@ -49,10 +49,7 @@ fn main() {
     let trows: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, ctl, walls)| {
-            let mut row = vec![
-                name.clone(),
-                if *ctl { "yes" } else { "no" }.to_string(),
-            ];
+            let mut row = vec![name.clone(), if *ctl { "yes" } else { "no" }.to_string()];
             row.extend(walls.iter().map(|w| format!("{w:.1}")));
             let total: f64 = walls.iter().sum();
             row.push(format!("{total:.1}"));
@@ -60,7 +57,14 @@ fn main() {
         })
         .collect();
     let t = table(
-        &["policy", "control", "fft(s)", "gauss(s)", "matmul(s)", "sum(s)"],
+        &[
+            "policy",
+            "control",
+            "fft(s)",
+            "gauss(s)",
+            "matmul(s)",
+            "sum(s)",
+        ],
         &trows,
     );
     println!("\n{t}");

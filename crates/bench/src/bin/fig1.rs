@@ -8,7 +8,9 @@
 //! reaches the machine size (8 per application), then collapse — the more
 //! processes, the worse (matmul 2.8×, fft 2.4× at 24).
 
-use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::report::{
+    emit_series, json_path, maybe_write_json, presets_from_args, quick_mode, write_result,
+};
 use bench::{fig1, SimEnv};
 use metrics::table;
 
@@ -43,6 +45,7 @@ fn main() {
         table(&["procs/app", "matmul speedup", "fft speedup"], &rows)
     );
     emit_series("Figure 1", "fig1.csv", &series);
+    maybe_write_json(&json_path(), &series);
     write_result(
         "fig1.txt",
         &table(&["procs/app", "matmul speedup", "fft speedup"], &rows),

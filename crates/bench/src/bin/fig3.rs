@@ -7,7 +7,9 @@
 //! degrades while the controlled one stays flat — the gap grows with the
 //! process count.
 
-use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::report::{
+    emit_series, json_path, maybe_write_json, presets_from_args, quick_mode, write_result,
+};
 use bench::{fig3, SimEnv};
 use desim::SimDur;
 use metrics::{table, Series};
@@ -50,8 +52,17 @@ fn main() {
         );
     }
     write_result("fig3.txt", &txt);
+    let all: Vec<Series> = results
+        .iter()
+        .flat_map(|(_, p, c)| [p.clone(), c.clone()])
+        .collect();
+    maybe_write_json(&json_path(), &all);
 
     // A compact all-apps chart of the controlled curves.
     let ctl_series: Vec<Series> = results.iter().map(|(_, _, c)| c.clone()).collect();
-    emit_series("Figure 3 (controlled curves)", "fig3_controlled.csv", &ctl_series);
+    emit_series(
+        "Figure 3 (controlled curves)",
+        "fig3_controlled.csv",
+        &ctl_series,
+    );
 }

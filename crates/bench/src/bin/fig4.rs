@@ -6,10 +6,10 @@
 //! 66 s → 28 s); matmul improves least because, starting last under the
 //! uncontrolled run, its fresh processes enjoy high usage-decay priority.
 
-use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::report::{json_path, maybe_write_json, presets_from_args, quick_mode, write_result};
 use bench::{fig4, fig4_with_stagger, SimEnv};
 use desim::SimDur;
-use metrics::table;
+use metrics::{table, Series};
 
 fn main() {
     let presets = presets_from_args();
@@ -20,7 +20,13 @@ fn main() {
         env.cpus
     );
     let rows = if quick_mode() {
-        fig4_with_stagger(&env, &presets, 8, SimDur::from_secs(2), SimDur::from_millis(500))
+        fig4_with_stagger(
+            &env,
+            &presets,
+            8,
+            SimDur::from_secs(2),
+            SimDur::from_millis(500),
+        )
     } else {
         fig4(&env, &presets, 16, poll)
     };
@@ -37,9 +43,24 @@ fn main() {
         })
         .collect();
     let t = table(
-        &["app", "start(s)", "uncontrolled(s)", "controlled(s)", "improvement"],
+        &[
+            "app",
+            "start(s)",
+            "uncontrolled(s)",
+            "controlled(s)",
+            "improvement",
+        ],
         &trows,
     );
     println!("\n{t}");
     write_result("fig4.txt", &t);
+
+    // The bar pairs as series over start time, for --json consumers.
+    let mut plain = Series::new("uncontrolled");
+    let mut ctl = Series::new("controlled");
+    for r in &rows {
+        plain.push(r.start, r.uncontrolled);
+        ctl.push(r.start, r.controlled);
+    }
+    maybe_write_json(&json_path(), &[plain, ctl]);
 }

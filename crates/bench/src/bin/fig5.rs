@@ -8,7 +8,9 @@
 //! suspended processes resume as applications finish. Without control the
 //! total climbs to 48.
 
-use bench::report::{emit_series, presets_from_args, quick_mode, write_result};
+use bench::report::{
+    emit_series, json_path, maybe_write_json, presets_from_args, quick_mode, write_result,
+};
 use bench::{fig5, fig5_with_stagger, SimEnv};
 use desim::SimDur;
 use metrics::{series_csv, table, Series};
@@ -17,7 +19,13 @@ fn main() {
     let presets = presets_from_args();
     let env = SimEnv::default();
     let (controlled, uncontrolled) = if quick_mode() {
-        fig5_with_stagger(&env, &presets, 8, SimDur::from_secs(2), SimDur::from_millis(500))
+        fig5_with_stagger(
+            &env,
+            &presets,
+            8,
+            SimDur::from_secs(2),
+            SimDur::from_millis(500),
+        )
     } else {
         fig5(&env, &presets, 16, SimDur::from_secs(6))
     };
@@ -26,7 +34,11 @@ fn main() {
         env.cpus
     );
     emit_series("with process control", "fig5_controlled.csv", &controlled);
-    emit_series("without process control", "fig5_uncontrolled.csv", &uncontrolled);
+    emit_series(
+        "without process control",
+        "fig5_uncontrolled.csv",
+        &uncontrolled,
+    );
 
     // Numeric samples every 5 s for the record.
     let sample_table = |series: &[Series]| -> String {
@@ -56,11 +68,7 @@ fn main() {
     );
     println!("\n{txt}");
     write_result("fig5.txt", &txt);
-    write_result("fig5_all.csv", &series_csv(
-        &controlled
-            .iter()
-            .chain(&uncontrolled)
-            .cloned()
-            .collect::<Vec<_>>(),
-    ));
+    let all: Vec<Series> = controlled.iter().chain(&uncontrolled).cloned().collect();
+    write_result("fig5_all.csv", &series_csv(&all));
+    maybe_write_json(&json_path(), &all);
 }

@@ -1,0 +1,124 @@
+//! `report` — full observability for the Figure-4 scenario.
+//!
+//! Runs fft/gauss/matmul staggered, once without and once with process
+//! control, and emits the three artifacts of the cycle-accounting story:
+//!
+//! 1. an ASCII per-application cycle-breakdown table on stdout (where did
+//!    every processor-cycle go? work, spin-wait, cache refill, context
+//!    switch, idle — the categories provably sum to `cpus × elapsed`);
+//! 2. Perfetto-loadable Chrome trace JSON for both runs
+//!    (`results/report_trace_{uncontrolled,controlled}.json`) with per-CPU
+//!    dispatch tracks, per-worker task/suspension spans, and the
+//!    controller's partition sweeps;
+//! 3. a machine-readable JSON report (`results/report.json`) with the
+//!    ledgers, convergence latencies, and sweep decisions.
+//!
+//! The paper's mechanism is visible directly in the deltas: spin-wait and
+//! cache-refill cycles drop when control is on.
+
+use bench::report::{presets_from_args, quick_mode, write_result};
+use bench::{
+    cycle_table, fig4_launches, report_json, run_scenario_instrumented, scenario_trace,
+    ScenarioRun, SimEnv, PAPER_STAGGER,
+};
+use desim::{SimDur, SimTime};
+use metrics::JsonValue;
+
+fn convergence_summary(run: &ScenarioRun) -> String {
+    let mut out = String::new();
+    for a in &run.apps {
+        if a.convergence.is_empty() {
+            out.push_str(&format!(
+                "  {}: no target adjustments observed\n",
+                a.kind.name()
+            ));
+            continue;
+        }
+        let mut max = SimDur(0);
+        let mut total = 0.0;
+        for &(_, lat) in &a.convergence {
+            total += lat.as_secs_f64();
+            if lat > max {
+                max = lat;
+            }
+        }
+        out.push_str(&format!(
+            "  {}: {} adjustments, mean {:.3} s, max {:.3} s to converge\n",
+            a.kind.name(),
+            a.convergence.len(),
+            total / a.convergence.len() as f64,
+            max.as_secs_f64(),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let presets = presets_from_args();
+    let env = SimEnv {
+        trace: true,
+        ..SimEnv::default()
+    };
+    // Quick mode shrinks the workload, so the poll interval shrinks with
+    // it — control must get a chance to act before the applications finish.
+    let (nprocs, poll, stagger) = if quick_mode() {
+        (8, SimDur::from_millis(250), SimDur::from_millis(500))
+    } else {
+        (16, SimDur::from_secs(6), PAPER_STAGGER)
+    };
+    let limit = SimTime(3_600 * 1_000_000_000);
+    let launches = fig4_launches(nprocs, stagger);
+    println!(
+        "Cycle-accounting report: fft/gauss/matmul staggered {:.1} s, {} processes each, {} CPUs, {:.2} s poll",
+        stagger.as_secs_f64(),
+        nprocs,
+        env.cpus,
+        poll.as_secs_f64(),
+    );
+
+    let un = run_scenario_instrumented(&env, &presets, &launches, None, limit);
+    let ctl = run_scenario_instrumented(&env, &presets, &launches, Some(poll), limit);
+
+    let mut txt = String::new();
+    for (title, run) in [
+        ("without process control", &un),
+        ("with process control", &ctl),
+    ] {
+        let t = format!("== {title} ==\n\n{}", cycle_table(run));
+        println!("\n{t}");
+        txt.push_str(&t);
+        txt.push('\n');
+    }
+
+    let spin_saved = un.ledger.total.spin.as_secs_f64() - ctl.ledger.total.spin.as_secs_f64();
+    let refill_saved = un.ledger.total.refill.as_secs_f64() - ctl.ledger.total.refill.as_secs_f64();
+    let summary = format!(
+        "process control eliminated {spin_saved:.2} s of spin-wait and {refill_saved:.2} s of cache-refill\n\
+         controller ran {} partition sweeps; poll-to-convergence:\n{}",
+        ctl.sweeps.len(),
+        convergence_summary(&ctl),
+    );
+    println!("{summary}");
+    txt.push_str(&summary);
+    write_result("report.txt", &txt);
+
+    let scenario = JsonValue::obj([
+        ("cpus", JsonValue::uint(env.cpus as u64)),
+        ("nprocs", JsonValue::uint(u64::from(nprocs))),
+        ("stagger_s", JsonValue::num(stagger.as_secs_f64())),
+        ("poll_s", JsonValue::num(poll.as_secs_f64())),
+        ("quick", JsonValue::Bool(quick_mode())),
+    ]);
+    write_result(
+        "report.json",
+        &report_json(scenario, &un, &ctl).render_pretty(),
+    );
+    write_result(
+        "report_trace_uncontrolled.json",
+        &scenario_trace(&un).finish().render(),
+    );
+    write_result(
+        "report_trace_controlled.json",
+        &scenario_trace(&ctl).finish().render(),
+    );
+}

@@ -184,7 +184,10 @@ pub fn fig5_with_stagger(
                 )
             })
             .collect();
-        out.push(runnable_total_series(kernel.trace(), format!("total ({tag})")));
+        out.push(runnable_total_series(
+            kernel.trace(),
+            format!("total ({tag})"),
+        ));
         out
     };
     let controlled = run(Some(poll), "controlled");

@@ -4,11 +4,15 @@
 //! per ablation (`ablation_policies`, `ablation_poll`, `ablation_cache`,
 //! `ablation_decentralized`), each printing the table/series the paper
 //! plots; see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
-//! results.
+//! results. The `report` binary runs the Figure-4 scenario with full
+//! observability: a per-application cycle-breakdown table, a Perfetto
+//! trace, and a JSON report (see [`observe`]). The figure binaries accept
+//! `--json <path>` to also write their plotted series as JSON.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod observe;
 pub mod report;
 pub mod scenario;
 
@@ -16,7 +20,8 @@ pub use figures::{
     ablation_cache, ablation_policies, ablation_poll, baselines, fig1, fig3, fig4, fig4_launches,
     fig4_with_stagger, fig5, fig5_with_stagger, Fig4Row, PAPER_STAGGER,
 };
+pub use observe::{cycle_table, report_json, run_json, scenario_trace};
 pub use scenario::{
-    run_scenario, run_solo, spawn_server, AppKind, AppLaunch, PolicyKind, RunOutcome, SimEnv,
-    SERVER_APP,
+    run_scenario, run_scenario_instrumented, run_solo, spawn_server, spawn_server_logged, AppKind,
+    AppLaunch, AppRun, PolicyKind, RunOutcome, ScenarioRun, SimEnv, SERVER_APP,
 };

@@ -4,7 +4,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use metrics::{ascii_chart, series_csv, Series};
+use metrics::{ascii_chart, json::series_to_json, series_csv, Series};
 
 /// Where figure CSVs land (relative to the working directory).
 pub fn results_dir() -> PathBuf {
@@ -33,10 +33,33 @@ pub fn emit_series(title: &str, csv_name: &str, series: &[Series]) {
     write_result(csv_name, &series_csv(series));
 }
 
-/// Parses the single supported CLI flag, `--quick`, which switches a
-/// binary to the scaled-down presets (used in CI and smoke tests).
+/// Parses the `--quick` CLI flag, which switches a binary to the
+/// scaled-down presets (used in CI and smoke tests).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses the `--json <path>` CLI flag: where to write the binary's
+/// plotted series as machine-readable JSON, if anywhere.
+pub fn json_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes the series as JSON to `path` when the `--json` flag was given
+/// (`path` comes from [`json_path`]). Errors are reported but not fatal,
+/// matching [`write_result`].
+pub fn maybe_write_json(path: &Option<PathBuf>, series: &[Series]) {
+    let Some(path) = path else { return };
+    match fs::write(path, series_to_json(series).render_pretty()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Presets selected by the CLI mode.

@@ -1,7 +1,7 @@
 //! Scenario drivers shared by the figure binaries and criterion benches.
 
 use desim::{SimDur, SimTime};
-use procctl::{Server, ServerConfig};
+use procctl::{DecisionLog, Server, ServerConfig, SweepRecord};
 use simkernel::policy::{
     Affinity, Coscheduling, FifoRoundRobin, GroupMode, GroupPolicy, PriorityDecay, SpacePartition,
     SpinlockFlag,
@@ -154,9 +154,17 @@ impl AppKind {
 
 /// Spawns the central server; returns its request port.
 pub fn spawn_server(kernel: &mut Kernel) -> PortId {
+    spawn_server_logged(kernel).0
+}
+
+/// Spawns the central server keeping a handle on its decision log, so the
+/// caller can read back every partition sweep after the run.
+pub fn spawn_server_logged(kernel: &mut Kernel) -> (PortId, DecisionLog) {
     let port = kernel.create_port();
-    kernel.spawn_root(SERVER_APP, 64, Box::new(Server::new(ServerConfig::new(port))));
-    port
+    let server = Server::new(ServerConfig::new(port));
+    let log = server.decision_log();
+    kernel.spawn_root(SERVER_APP, 64, Box::new(server));
+    (port, log)
 }
 
 /// One application in a multiprogrammed scenario.
@@ -182,6 +190,41 @@ pub struct RunOutcome {
     pub metrics: AppMetrics,
 }
 
+/// One application's observables from an instrumented run: the
+/// [`RunOutcome`] fields plus the span log and convergence latencies.
+pub struct AppRun {
+    /// Application id assigned in the scenario (the launch index).
+    pub app: AppId,
+    /// Application.
+    pub kind: AppKind,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Wall-clock seconds from its start to its completion.
+    pub wall: f64,
+    /// Kernel-side accounting.
+    pub stats: simkernel::AppStats,
+    /// Threads-package counters.
+    pub metrics: AppMetrics,
+    /// Span records the threads package emitted.
+    pub spans: Vec<uthreads::SpanRecord>,
+    /// Poll-to-convergence latencies (empty without control).
+    pub convergence: Vec<(SimTime, SimDur)>,
+}
+
+/// Everything observable from one instrumented scenario run.
+pub struct ScenarioRun {
+    /// Per-application observables, in launch order.
+    pub apps: Vec<AppRun>,
+    /// Where every processor-cycle of the run went.
+    pub ledger: simkernel::CycleLedger,
+    /// Simulated time when the last application finished.
+    pub end: SimTime,
+    /// The server's partition sweeps (empty without control).
+    pub sweeps: Vec<SweepRecord>,
+    /// The kernel, for trace extraction.
+    pub kernel: Kernel,
+}
+
 /// Runs a multiprogrammed scenario: the given applications, optionally
 /// under process control (`poll_interval = Some(..)` spawns the server and
 /// enables control in every application). Returns per-app outcomes plus
@@ -197,8 +240,36 @@ pub fn run_scenario(
     poll_interval: Option<SimDur>,
     limit: SimTime,
 ) -> (Vec<RunOutcome>, Kernel) {
+    let run = run_scenario_instrumented(env, presets, launches, poll_interval, limit);
+    let outcomes = run
+        .apps
+        .into_iter()
+        .map(|a| RunOutcome {
+            kind: a.kind,
+            wall: a.wall,
+            stats: a.stats,
+            metrics: a.metrics,
+        })
+        .collect();
+    (outcomes, run.kernel)
+}
+
+/// [`run_scenario`] with full observability: besides the outcomes it
+/// returns the cycle ledger, each application's span log and convergence
+/// latencies, and the control server's decision log.
+///
+/// # Panics
+///
+/// Panics if any application fails to finish before `limit`.
+pub fn run_scenario_instrumented(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll_interval: Option<SimDur>,
+    limit: SimTime,
+) -> ScenarioRun {
     let mut kernel = env.make_kernel();
-    let server_port = poll_interval.map(|_| spawn_server(&mut kernel));
+    let server = poll_interval.map(|_| spawn_server_logged(&mut kernel));
     let mut order: Vec<(usize, SimTime)> = launches
         .iter()
         .enumerate()
@@ -210,34 +281,50 @@ pub fn run_scenario(
         kernel.run_until(start);
         let l = &launches[idx];
         let mut cfg = ThreadsConfig::new(l.nprocs);
-        if let (Some(port), Some(interval)) = (server_port, poll_interval) {
-            cfg = cfg.with_control(port, interval);
+        if let (Some((port, _)), Some(interval)) = (&server, poll_interval) {
+            cfg = cfg.with_control(*port, interval);
         }
         let app_id = AppId(idx as u32);
         let handle = launch(&mut kernel, app_id, cfg, l.kind.spec(presets));
         apps[idx] = Some((app_id, handle));
     }
-    let ids: Vec<AppId> = apps.iter().map(|a| a.as_ref().expect("launched").0).collect();
+    let ids: Vec<AppId> = apps
+        .iter()
+        .map(|a| a.as_ref().expect("launched").0)
+        .collect();
     assert!(
         kernel.run_until_apps_done(&ids, limit),
         "scenario did not finish by {limit} (policy {})",
         env.policy.name()
     );
-    let outcomes = launches
+    let app_runs = launches
         .iter()
         .zip(&apps)
         .map(|(l, a)| {
             let (id, handle) = a.as_ref().expect("launched");
             let done = kernel.app_done_time(*id).expect("app finished");
-            RunOutcome {
+            AppRun {
+                app: *id,
                 kind: l.kind,
+                start: l.start,
                 wall: done.since(l.start).as_secs_f64(),
                 stats: kernel.app_stats(*id),
                 metrics: handle.metrics(),
+                spans: handle.spans(),
+                convergence: handle.convergence(),
             }
         })
         .collect();
-    (outcomes, kernel)
+    let ledger = kernel.cycle_ledger();
+    ScenarioRun {
+        apps: app_runs,
+        ledger,
+        end: kernel.now(),
+        sweeps: server
+            .as_ref()
+            .map_or_else(Vec::new, |(_, log)| log.records()),
+        kernel,
+    }
 }
 
 /// Convenience: run one application alone; returns its wall-clock seconds.

@@ -247,7 +247,7 @@ mod tests {
         tw.set(t0 + SimDur::from_secs(10), 4.0); // 0 for 10 s
         tw.set(t0 + SimDur::from_secs(20), 2.0); // 4 for 10 s
         let avg = tw.average(t0 + SimDur::from_secs(40)); // 2 for 20 s
-        // (0*10 + 4*10 + 2*20) / 40 = 2.0
+                                                          // (0*10 + 4*10 + 2*20) / 40 = 2.0
         assert!((avg - 2.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 4.0);
         assert_eq!(tw.current(), 2.0);

@@ -143,7 +143,10 @@ impl CacheSim {
                 };
                 p.lines_left = (p.lines_left - gained).max(0.0);
                 let done = p.lines_left <= f64::EPSILON;
-                let fp = c.footprints.get_mut(&tag).expect("dispatched process has footprint");
+                let fp = c
+                    .footprints
+                    .get_mut(&tag)
+                    .expect("dispatched process has footprint");
                 fp.resident = (fp.resident + gained).min(fp.ws_lines as f64);
                 if done {
                     c.pending = None;
@@ -264,7 +267,7 @@ mod tests {
         let mut cs = CacheSim::new(cfg(), 1);
         cs.dispatch(CPU, 1, 100, 1.0);
         cs.run(CPU, 1, SimDur::from_micros(40)); // 40 lines refilled
-        // Preempted immediately; redispatched with no foreign execution.
+                                                 // Preempted immediately; redispatched with no foreign execution.
         let pen = cs.dispatch(CPU, 1, 100, 1.0);
         assert_eq!(pen, SimDur::from_micros(60));
     }

@@ -1,0 +1,107 @@
+//! Named monotonic counters with deterministic iteration order.
+//!
+//! A small, dependency-free registry used by the simulation-side
+//! instrumentation (the native runtime has its own lock-free registry in
+//! `native-rt`, since it must be updated concurrently). Counters iterate in
+//! name order, so rendered reports are diff-stable.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonValue;
+
+/// A set of named `u64` counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to a counter, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(v) = self.map.get_mut(name) {
+            *v += n;
+        } else {
+            self.map.insert(name.to_string(), n);
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds another set into this one (per-name addition).
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, &v) in &other.map {
+            self.add(name, v);
+        }
+    }
+
+    /// Renders as a JSON object `{name: value, ...}` in name order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.map
+                .iter()
+                .map(|(k, &v)| (k.clone(), JsonValue::uint(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = Counters::new();
+        a.incr("dispatches");
+        a.add("dispatches", 2);
+        a.add("preemptions", 5);
+        assert_eq!(a.get("dispatches"), 3);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("preemptions", 1);
+        b.add("handoffs", 7);
+        a.merge(&b);
+        assert_eq!(a.get("preemptions"), 6);
+        assert_eq!(a.get("handoffs"), 7);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(c.to_json().render(), "{\"alpha\":1,\"zeta\":1}");
+    }
+}

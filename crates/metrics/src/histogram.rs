@@ -1,0 +1,260 @@
+//! Log-bucketed, mergeable histograms.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket `b ≥ 1`
+//! holds values `v` with `2^(b-1) ≤ v < 2^b`. Any `u64` maps to one of the
+//! 65 buckets, recording never saturates, and merging two histograms is
+//! exact (count-lossless and order-independent — checked by a property
+//! test), which makes the type safe to aggregate across worker threads or
+//! simulation runs.
+
+use crate::json::JsonValue;
+
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket index for a value: 0 for 0, else `ilog2(v) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The smallest value a bucket can hold.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// The largest value a bucket can hold.
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the top of the
+    /// first bucket whose cumulative count reaches `q × count`, clamped to
+    /// the observed maximum. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is exact: counts,
+    /// sums, and extrema combine losslessly, and the result is independent
+    /// of merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` ranges in increasing order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_lo(b), bucket_hi(b), c))
+    }
+
+    /// Renders the histogram as a JSON object with summary statistics and
+    /// the non-empty buckets.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("count", JsonValue::uint(self.count)),
+            ("sum", JsonValue::Num(self.sum as f64)),
+            ("mean", JsonValue::Num(self.mean())),
+            ("min", self.min().map_or(JsonValue::Null, JsonValue::uint)),
+            ("max", self.max().map_or(JsonValue::Null, JsonValue::uint)),
+            (
+                "p50",
+                self.quantile(0.5).map_or(JsonValue::Null, JsonValue::uint),
+            ),
+            (
+                "p99",
+                self.quantile(0.99).map_or(JsonValue::Null, JsonValue::uint),
+            ),
+            (
+                "buckets",
+                JsonValue::Arr(
+                    self.buckets()
+                        .map(|(lo, hi, c)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::uint(lo),
+                                JsonValue::uint(hi),
+                                JsonValue::uint(c),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+        // Median upper bound: rank 3 of 5 lands in the [4,7] bucket.
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut all = Histogram::new();
+        for v in [1, 2, 3, 100, 200] {
+            all.record(v);
+        }
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn json_shape_parses() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(900);
+        let j = h.to_json().render();
+        let back = crate::json::parse(&j).unwrap();
+        assert_eq!(back.get("count").and_then(|v| v.as_num()), Some(2.0));
+        assert_eq!(
+            back.get("buckets").and_then(|v| v.as_arr()).unwrap().len(),
+            2
+        );
+    }
+}

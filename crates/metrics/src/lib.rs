@@ -2,14 +2,25 @@
 //!
 //! Turns `simkernel` traces into the data series behind the paper's
 //! figures (speed-up curves, wall-clock bars, runnable-process traces) and
-//! renders them as aligned text tables, quick ASCII charts, and CSV.
+//! renders them as aligned text tables, quick ASCII charts, CSV, JSON run
+//! reports, and Perfetto-loadable Chrome trace-event files. Also provides
+//! the aggregation primitives the instrumentation layers share: named
+//! counters and log-bucketed mergeable histograms.
 
 #![warn(missing_docs)]
 
+pub mod counters;
+pub mod histogram;
+pub mod json;
+pub mod perfetto;
 mod render;
 mod series;
 mod trace;
 
+pub use counters::Counters;
+pub use histogram::Histogram;
+pub use json::JsonValue;
+pub use perfetto::TraceBuilder;
 pub use render::{ascii_chart, series_csv, table};
 pub use series::Series;
 pub use trace::{preemption_count, runnable_app_series, runnable_total_series};

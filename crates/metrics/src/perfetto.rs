@@ -1,0 +1,340 @@
+//! Chrome trace-event export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! [`TraceBuilder`] assembles trace events in the JSON "trace event format"
+//! — complete slices (`ph: "X"`), instants (`"i"`), counters (`"C"`), and
+//! metadata (`"M"`) — with timestamps in microseconds, and renders them via
+//! [`crate::json`]. [`kernel_trace`] converts a `simkernel` trace into a
+//! per-processor timeline: one track per CPU whose slices are the dispatched
+//! processes, counter tracks for runnable-process counts, and instants for
+//! the paper's pathologies (spin starts, preempt-while-spinning, lock
+//! hand-offs).
+
+use desim::{SimTime, Tracer};
+use simkernel::KTrace;
+
+use crate::json::JsonValue;
+
+/// Builds a Chrome trace-event JSON document.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<JsonValue>,
+}
+
+fn base(
+    ph: &str,
+    name: &str,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+) -> Vec<(String, JsonValue)> {
+    vec![
+        ("name".into(), JsonValue::str(name)),
+        ("cat".into(), JsonValue::str(cat)),
+        ("ph".into(), JsonValue::str(ph)),
+        ("pid".into(), JsonValue::uint(pid)),
+        ("tid".into(), JsonValue::uint(tid)),
+        ("ts".into(), JsonValue::Num(ts_us)),
+    ]
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a trace process (a top-level track group).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        let mut e = base("M", "process_name", "__metadata", pid, 0, 0.0);
+        e.push((
+            "args".into(),
+            JsonValue::obj([("name", JsonValue::str(name))]),
+        ));
+        self.events.push(JsonValue::Obj(e));
+    }
+
+    /// Names a trace thread (one track).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut e = base("M", "thread_name", "__metadata", pid, tid, 0.0);
+        e.push((
+            "args".into(),
+            JsonValue::obj([("name", JsonValue::str(name))]),
+        ));
+        self.events.push(JsonValue::Obj(e));
+    }
+
+    /// Adds a complete slice (`ph: "X"`): an interval `[ts, ts + dur)` on a
+    /// track, with optional `args` (pass [`JsonValue::Null`] for none).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: JsonValue,
+    ) {
+        let mut e = base("X", name, cat, pid, tid, ts_us);
+        e.push(("dur".into(), JsonValue::Num(dur_us)));
+        if !matches!(args, JsonValue::Null) {
+            e.push(("args".into(), args));
+        }
+        self.events.push(JsonValue::Obj(e));
+    }
+
+    /// Adds a thread-scoped instant event (`ph: "i"`).
+    pub fn instant(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        args: JsonValue,
+    ) {
+        let mut e = base("i", name, cat, pid, tid, ts_us);
+        e.push(("s".into(), JsonValue::str("t")));
+        if !matches!(args, JsonValue::Null) {
+            e.push(("args".into(), args));
+        }
+        self.events.push(JsonValue::Obj(e));
+    }
+
+    /// Adds a counter sample (`ph: "C"`): the value of `series` at `ts`.
+    pub fn counter(&mut self, name: &str, pid: u64, ts_us: f64, series: &str, value: f64) {
+        let mut e = base("C", name, "counter", pid, 0, ts_us);
+        e.push((
+            "args".into(),
+            JsonValue::obj([(series, JsonValue::Num(value))]),
+        ));
+        self.events.push(JsonValue::Obj(e));
+    }
+
+    /// Finishes the document: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn finish(self) -> JsonValue {
+        JsonValue::obj([
+            ("traceEvents", JsonValue::Arr(self.events)),
+            ("displayTimeUnit", JsonValue::str("ms")),
+        ])
+    }
+}
+
+/// Trace-process id used for the simulated machine's tracks.
+pub const MACHINE_PID: u64 = 1;
+
+fn us(t: SimTime) -> f64 {
+    t.since(SimTime::ZERO).nanos() as f64 / 1_000.0
+}
+
+/// Converts a kernel trace into a Perfetto timeline.
+///
+/// Track layout: trace-process [`MACHINE_PID`] ("machine") has one thread
+/// per CPU; each dispatch opens a slice named after the process (and its
+/// application, when the spawn was retained in the trace) which closes at
+/// the next preemption, exit, or re-dispatch of that CPU — or at `end` if
+/// still on-processor. Runnable counts become counter tracks, and spin
+/// starts, preempt-while-spinning, and lock hand-offs become instants.
+pub fn kernel_trace(trace: &Tracer<KTrace>, num_cpus: usize, end: SimTime) -> TraceBuilder {
+    let mut b = TraceBuilder::new();
+    b.process_name(MACHINE_PID, "machine");
+    for cpu in 0..num_cpus {
+        b.thread_name(MACHINE_PID, cpu as u64, &format!("cpu {cpu}"));
+    }
+
+    // pid -> app id, learned from retained Spawn events.
+    let mut app_of = std::collections::BTreeMap::new();
+    // Open slice per cpu: (sim pid, start time).
+    let mut open: Vec<Option<(u32, SimTime)>> = vec![None; num_cpus];
+    // Where each sim pid currently runs (for attributing instants).
+    let mut cpu_of = std::collections::BTreeMap::new();
+
+    let slice_name =
+        |app_of: &std::collections::BTreeMap<u32, u32>, pid: u32| match app_of.get(&pid) {
+            Some(app) => format!("P{pid} (app {app})"),
+            None => format!("P{pid}"),
+        };
+    let close = |b: &mut TraceBuilder,
+                 app_of: &std::collections::BTreeMap<u32, u32>,
+                 cpu: usize,
+                 slot: &mut Option<(u32, SimTime)>,
+                 now: SimTime| {
+        if let Some((pid, start)) = slot.take() {
+            b.complete(
+                &slice_name(app_of, pid),
+                "dispatch",
+                MACHINE_PID,
+                cpu as u64,
+                us(start),
+                us(now) - us(start),
+                JsonValue::Null,
+            );
+        }
+    };
+
+    for e in trace.events() {
+        let t = e.time;
+        match &e.kind {
+            KTrace::Spawn { pid, app } => {
+                app_of.insert(pid.0, app.0);
+            }
+            KTrace::Dispatch { cpu, pid, .. } => {
+                let c = cpu.0;
+                if c < num_cpus {
+                    close(&mut b, &app_of, c, &mut open[c], t);
+                    open[c] = Some((pid.0, t));
+                }
+                cpu_of.insert(pid.0, cpu.0);
+            }
+            KTrace::Preempt { cpu, pid } => {
+                let c = cpu.0;
+                if c < num_cpus {
+                    close(&mut b, &app_of, c, &mut open[c], t);
+                }
+                cpu_of.remove(&pid.0);
+            }
+            KTrace::Exit { pid, app: _ } => {
+                if let Some(c) = cpu_of.remove(&pid.0) {
+                    if c < num_cpus {
+                        close(&mut b, &app_of, c, &mut open[c], t);
+                    }
+                }
+            }
+            KTrace::Runnable {
+                app,
+                app_count,
+                total,
+            } => {
+                b.counter(
+                    &format!("runnable app {}", app.0),
+                    MACHINE_PID,
+                    us(t),
+                    "runnable",
+                    *app_count as f64,
+                );
+                b.counter(
+                    "runnable total",
+                    MACHINE_PID,
+                    us(t),
+                    "runnable",
+                    *total as f64,
+                );
+            }
+            KTrace::SpinStart { pid, lock, holder } => {
+                let tid = cpu_of.get(&pid.0).copied().unwrap_or(0) as u64;
+                b.instant(
+                    "spin start",
+                    "lock",
+                    MACHINE_PID,
+                    tid,
+                    us(t),
+                    JsonValue::obj([
+                        ("pid", JsonValue::uint(pid.0 as u64)),
+                        ("lock", JsonValue::uint(lock.0 as u64)),
+                        ("holder", JsonValue::uint(holder.0 as u64)),
+                    ]),
+                );
+            }
+            KTrace::PreemptWhileSpinning {
+                cpu,
+                pid,
+                lock,
+                holder,
+            } => {
+                b.instant(
+                    "preempt while spinning",
+                    "lock",
+                    MACHINE_PID,
+                    cpu.0 as u64,
+                    us(t),
+                    JsonValue::obj([
+                        ("pid", JsonValue::uint(pid.0 as u64)),
+                        ("lock", JsonValue::uint(lock.0 as u64)),
+                        (
+                            "holder",
+                            holder.map_or(JsonValue::Null, |h| JsonValue::uint(h.0 as u64)),
+                        ),
+                    ]),
+                );
+            }
+            KTrace::LockHandoff {
+                lock,
+                from,
+                to,
+                waited,
+            } => {
+                let tid = cpu_of.get(&to.0).copied().unwrap_or(0) as u64;
+                b.instant(
+                    "lock handoff",
+                    "lock",
+                    MACHINE_PID,
+                    tid,
+                    us(t),
+                    JsonValue::obj([
+                        ("lock", JsonValue::uint(lock.0 as u64)),
+                        (
+                            "from",
+                            from.map_or(JsonValue::Null, |p| JsonValue::uint(p.0 as u64)),
+                        ),
+                        ("to", JsonValue::uint(to.0 as u64)),
+                        ("waited_us", JsonValue::Num(waited.nanos() as f64 / 1_000.0)),
+                    ]),
+                );
+            }
+            KTrace::AppDone { app } => {
+                b.instant(
+                    &format!("app {} done", app.0),
+                    "app",
+                    MACHINE_PID,
+                    0,
+                    us(t),
+                    JsonValue::Null,
+                );
+            }
+        }
+    }
+    for (c, slot) in open.iter_mut().enumerate() {
+        close(&mut b, &app_of, c, slot, end);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn builder_emits_well_formed_events() {
+        let mut b = TraceBuilder::new();
+        b.process_name(1, "machine");
+        b.thread_name(1, 0, "cpu 0");
+        b.complete("P0", "dispatch", 1, 0, 0.0, 50.0, JsonValue::Null);
+        b.instant("spin start", "lock", 1, 0, 10.0, JsonValue::Null);
+        b.counter("runnable total", 1, 10.0, "runnable", 3.0);
+        assert_eq!(b.len(), 5);
+        let doc = b.finish().render();
+        let back = json::parse(&doc).unwrap();
+        let events = back.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(events.len(), 5);
+        for e in events {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("ts").and_then(|v| v.as_num()).is_some());
+        }
+        let slice = &events[2];
+        assert_eq!(slice.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(slice.get("dur").and_then(|v| v.as_num()), Some(50.0));
+    }
+}

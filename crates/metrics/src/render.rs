@@ -101,17 +101,24 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
         w2 = width - width / 2,
     ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "  {} {}\n",
-            GLYPHS[si % GLYPHS.len()],
-            s.label
-        ));
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
     }
     out
 }
 
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or
+/// newline; internal quotes are doubled. Plain fields pass through as-is.
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 /// Serializes series to CSV: `x,label1,label2,...` — one row per distinct
 /// x across all series (step-filled for series without that exact x).
+/// Labels containing commas, quotes, or newlines are RFC 4180-quoted.
 pub fn series_csv(series: &[Series]) -> String {
     let mut xs: Vec<f64> = series
         .iter()
@@ -122,7 +129,7 @@ pub fn series_csv(series: &[Series]) -> String {
     let mut out = String::from("x");
     for s in series {
         out.push(',');
-        out.push_str(&s.label.replace(',', ";"));
+        out.push_str(&csv_field(&s.label));
     }
     out.push('\n');
     for &x in &xs {
@@ -195,5 +202,22 @@ mod tests {
         assert_eq!(lines.len(), 4); // header + x ∈ {0, 0.5, 1}
         assert!(lines[1].starts_with("0,1,"));
         assert_eq!(lines[2], "0.5,1,5");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_labels() {
+        let mut a = Series::new("matmul, controlled");
+        a.push(0.0, 1.0);
+        let mut b = Series::new("the \"fast\" one");
+        b.push(0.0, 2.0);
+        let mut c = Series::new("plain");
+        c.push(0.0, 3.0);
+        let csv = series_csv(&[a, b, c]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "x,\"matmul, controlled\",\"the \"\"fast\"\" one\",plain"
+        );
+        assert_eq!(lines[1], "0,1,2,3");
     }
 }

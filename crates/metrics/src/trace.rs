@@ -29,11 +29,7 @@ pub fn runnable_total_series(trace: &Tracer<KTrace>, label: impl Into<String>) -
 
 /// Builds one application's runnable-processes-over-time series (the
 /// per-application curves of Figure 5).
-pub fn runnable_app_series(
-    trace: &Tracer<KTrace>,
-    app: AppId,
-    label: impl Into<String>,
-) -> Series {
+pub fn runnable_app_series(trace: &Tracer<KTrace>, app: AppId, label: impl Into<String>) -> Series {
     let mut s = Series::new(label);
     s.push(0.0, 0.0);
     for e in trace.events() {
@@ -59,7 +55,6 @@ pub fn runnable_app_series(
 pub fn preemption_count(trace: &Tracer<KTrace>) -> u64 {
     trace
         .events()
-        .iter()
         .filter(|e| matches!(e.kind, KTrace::Preempt { .. }))
         .count() as u64
 }

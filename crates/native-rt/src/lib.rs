@@ -31,10 +31,12 @@
 mod controller;
 mod pool;
 pub mod proc_scan;
+pub mod stats;
 #[cfg(unix)]
 mod uds;
 
 pub use controller::{Controller, TargetSlot};
 pub use pool::{Job, Pool, PoolMetrics};
+pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
 pub use uds::{PollerGuard, UdsClient, UdsServer, UdsServerConfig};

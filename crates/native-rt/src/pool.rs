@@ -8,13 +8,15 @@
 //! suspended colleague. Application code (the jobs) never sees any of it.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::controller::{Controller, TargetSlot};
+use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -32,14 +34,17 @@ pub struct PoolMetrics {
     pub resumes: u64,
 }
 
-/// One suspended worker's wakeup channel (the "signal").
+/// One suspended worker's wakeup channel (the "signal"). The payload
+/// carries the resume flag plus the instant the resumer fired it, so the
+/// woken worker can measure the unpark latency.
 struct ParkToken {
-    resumed: Mutex<bool>,
+    resumed: Mutex<(bool, Option<Instant>)>,
     cv: Condvar,
 }
 
 struct PoolShared {
-    queue: Mutex<VecDeque<Job>>,
+    /// Jobs with their submission instants (for queue-wait latency).
+    queue: Mutex<VecDeque<(Instant, Job)>>,
     /// Signaled when work arrives or the pool shuts down.
     work_cv: Condvar,
     /// Jobs submitted and not yet finished.
@@ -52,9 +57,21 @@ struct PoolShared {
     suspended: Mutex<Vec<Arc<ParkToken>>>,
     target: Arc<TargetSlot>,
     shutdown: AtomicBool,
-    jobs_run: AtomicU64,
-    suspends: AtomicU64,
-    resumes: AtomicU64,
+    /// Statistics registry behind the handles below (snapshot API).
+    registry: Arc<Registry>,
+    jobs_run: Counter,
+    suspends: Counter,
+    resumes: Counter,
+    /// Live (unsuspended) worker count, sampled at safe points.
+    active_gauge: Gauge,
+    /// The controller target, sampled at safe points.
+    target_gauge: Gauge,
+    /// Submission-to-dequeue latency of each job, nanoseconds.
+    queue_wait: Hist,
+    /// How long each suspension lasted, nanoseconds.
+    park: Hist,
+    /// Resume-signal-to-wakeup latency, nanoseconds.
+    unpark: Hist,
     /// Busy-wait (1989-style) instead of sleeping when the queue is empty
     /// but work is outstanding.
     idle_spin: bool,
@@ -80,6 +97,7 @@ impl Pool {
     /// through the given slot.
     pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
         assert!(nworkers >= 1);
+        let registry = Arc::new(Registry::new());
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
@@ -90,9 +108,15 @@ impl Pool {
             suspended: Mutex::new(Vec::new()),
             target,
             shutdown: AtomicBool::new(false),
-            jobs_run: AtomicU64::new(0),
-            suspends: AtomicU64::new(0),
-            resumes: AtomicU64::new(0),
+            jobs_run: registry.counter("jobs_run"),
+            suspends: registry.counter("suspends"),
+            resumes: registry.counter("resumes"),
+            active_gauge: registry.gauge("active"),
+            target_gauge: registry.gauge("target"),
+            queue_wait: registry.histogram("queue_wait_ns"),
+            park: registry.histogram("park_ns"),
+            unpark: registry.histogram("unpark_ns"),
+            registry,
             idle_spin,
         });
         let workers = (0..nworkers)
@@ -110,7 +134,10 @@ impl Pool {
     /// Submits a job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
-        self.shared.queue.lock().push_back(Box::new(job));
+        self.shared
+            .queue
+            .lock()
+            .push_back((Instant::now(), Box::new(job)));
         self.shared.work_cv.notify_one();
     }
 
@@ -135,10 +162,21 @@ impl Pool {
     /// Pool counters.
     pub fn metrics(&self) -> PoolMetrics {
         PoolMetrics {
-            jobs_run: self.shared.jobs_run.load(Ordering::Acquire),
-            suspends: self.shared.suspends.load(Ordering::Acquire),
-            resumes: self.shared.resumes.load(Ordering::Acquire),
+            jobs_run: self.shared.jobs_run.get(),
+            suspends: self.shared.suspends.get(),
+            resumes: self.shared.resumes.get(),
         }
+    }
+
+    /// The pool's statistics registry (counters, live-vs-target gauges,
+    /// queue-wait and park/unpark latency histograms).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// A point-in-time copy of every pool statistic.
+    pub fn stats(&self) -> Snapshot {
+        self.shared.registry.snapshot()
     }
 }
 
@@ -149,7 +187,7 @@ impl Drop for Pool {
         self.shared.work_cv.notify_all();
         let tokens = std::mem::take(&mut *self.shared.suspended.lock());
         for t in tokens {
-            *t.resumed.lock() = true;
+            *t.resumed.lock() = (true, None);
             t.cv.notify_one();
         }
         for w in self.workers.drain(..) {
@@ -166,6 +204,8 @@ fn worker_loop(sh: &Arc<PoolShared>) {
         // --- Safe suspension point: no job held, no lock held. ---
         let target = sh.target.target.load(Ordering::Acquire);
         let active = sh.active.load(Ordering::Acquire);
+        sh.active_gauge.set(active as i64);
+        sh.target_gauge.set(target as i64);
         if active > target && active > 1 {
             // Suspend self (compare-and-swap guards racing suspenders).
             if sh
@@ -173,19 +213,24 @@ fn worker_loop(sh: &Arc<PoolShared>) {
                 .compare_exchange(active, active - 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                sh.suspends.fetch_add(1, Ordering::Relaxed);
+                sh.suspends.incr();
                 let token = Arc::new(ParkToken {
-                    resumed: Mutex::new(false),
+                    resumed: Mutex::new((false, None)),
                     cv: Condvar::new(),
                 });
                 sh.suspended.lock().push(Arc::clone(&token));
+                let parked_at = Instant::now();
                 let mut resumed = token.resumed.lock();
                 // Bounded waits guard the race where the pool shuts down
                 // between our shutdown check and parking.
-                while !*resumed && !sh.shutdown.load(Ordering::Acquire) {
+                while !resumed.0 && !sh.shutdown.load(Ordering::Acquire) {
                     token
                         .cv
                         .wait_for(&mut resumed, std::time::Duration::from_millis(50));
+                }
+                sh.park.record(parked_at.elapsed().as_nanos() as u64);
+                if let (true, Some(signaled_at)) = *resumed {
+                    sh.unpark.record(signaled_at.elapsed().as_nanos() as u64);
                 }
                 continue; // Re-enter the safe point.
             }
@@ -193,17 +238,19 @@ fn worker_loop(sh: &Arc<PoolShared>) {
             let popped = sh.suspended.lock().pop();
             if let Some(t) = popped {
                 sh.active.fetch_add(1, Ordering::AcqRel);
-                sh.resumes.fetch_add(1, Ordering::Relaxed);
-                *t.resumed.lock() = true;
+                sh.resumes.incr();
+                *t.resumed.lock() = (true, Some(Instant::now()));
                 t.cv.notify_one();
             }
         }
         // --- Dequeue and run. ---
         let job = sh.queue.lock().pop_front();
         match job {
-            Some(job) => {
+            Some((submitted_at, job)) => {
+                sh.queue_wait
+                    .record(submitted_at.elapsed().as_nanos() as u64);
                 job();
-                sh.jobs_run.fetch_add(1, Ordering::Relaxed);
+                sh.jobs_run.incr();
                 if sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let _g = sh.idle_mu.lock();
                     sh.idle_cv.notify_all();
@@ -309,6 +356,38 @@ mod tests {
         }
         a.wait_idle();
         assert!(a.metrics().resumes >= 1);
+    }
+
+    #[test]
+    fn stats_cover_latency_histograms_and_gauges() {
+        let c = controller(2);
+        let pool = Pool::new(&c, 6, false);
+        for _ in 0..300 {
+            pool.execute(|| std::thread::sleep(Duration::from_micros(100)));
+        }
+        // Wait for process control to actually park someone.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.metrics().suspends == 0 {
+            assert!(std::time::Instant::now() < deadline, "no worker suspended");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pool.wait_idle();
+        let snap = pool.stats();
+        // The three classic counters live in the registry too.
+        assert_eq!(snap.counters["jobs_run"], 300);
+        assert!(snap.counters["suspends"] >= 1);
+        // Every job passed through the queue-wait histogram.
+        assert_eq!(snap.histograms["queue_wait_ns"].count, 300);
+        assert!(snap.histograms["queue_wait_ns"].quantile(0.5).is_some());
+        // Gauges were sampled at safe points.
+        assert_eq!(snap.gauges["target"], 2);
+        assert!(snap.gauges["active"] >= 1);
+        // Park duration is recorded when a parked worker wakes — which for
+        // a still-suspended worker happens at shutdown. The registry
+        // outlives the pool, so snapshot it after the drop.
+        let registry = pool.registry();
+        drop(pool);
+        assert!(registry.snapshot().histograms["park_ns"].count >= 1);
     }
 
     #[test]

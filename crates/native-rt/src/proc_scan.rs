@@ -90,7 +90,11 @@ pub use unsupported::{process_exists, runnable_threads, system_runnable_excludin
 /// itself contain spaces and parentheses) from a `/proc/*/stat` line.
 fn parse_stat_state(stat: &str) -> Option<char> {
     let after_comm = stat.rfind(')')?;
-    stat[after_comm + 1..].split_whitespace().next()?.chars().next()
+    stat[after_comm + 1..]
+        .split_whitespace()
+        .next()?
+        .chars()
+        .next()
 }
 
 #[cfg(test)]

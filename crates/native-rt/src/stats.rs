@@ -1,0 +1,373 @@
+//! Lock-free runtime statistics: named counters, gauges, and log-bucketed
+//! latency histograms with a snapshot API.
+//!
+//! Hot paths (worker safe points, job dequeues, park/unpark) touch only
+//! pre-registered atomics with `Relaxed` ordering — a statistic is a
+//! statistic, not a synchronization edge. The registry's map is locked only
+//! at registration and snapshot time. Snapshots are advisory under
+//! concurrent updates: each histogram's totals are derived from one pass
+//! over its buckets, so every snapshot is internally consistent even if it
+//! interleaves with writers.
+//!
+//! This intentionally mirrors (but does not depend on) the simulation-side
+//! `metrics` crate: the same power-of-two bucket scheme, so the two sides'
+//! histograms can be compared bucket-for-bucket in reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+const BUCKETS: usize = 65;
+
+/// The bucket index for a value: 0 for 0, else `ilog2(v) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The smallest value bucket `b` can hold.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// The largest value bucket `b` can hold.
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A log-bucketed histogram updated with relaxed atomics.
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one sample (typically nanoseconds).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Reads the current contents into a plain snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c > 0 {
+                count += c;
+                buckets.push((bucket_lo(b), bucket_hi(b), c));
+            }
+        }
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded (sum of bucket counts at snapshot time).
+    pub count: u64,
+    /// Sum of all samples (wraps at `u64::MAX`; irrelevant for latencies).
+    pub sum: u64,
+    /// Smallest sample, or `None` when empty.
+    pub min: Option<u64>,
+    /// Largest sample, or `None` when empty.
+    pub max: Option<u64>,
+    /// Non-empty buckets as `(lo, hi, count)`, in increasing order.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile: the top of the first bucket
+    /// whose cumulative count reaches `q × count`, clamped to the observed
+    /// maximum. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(_, hi, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(hi.min(self.max.unwrap_or(hi)));
+            }
+        }
+        self.max
+    }
+}
+
+/// A monotonic counter handle (cheap to clone, updates are `Relaxed`).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge handle (e.g. live worker count vs target).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Stores the current value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle.
+#[derive(Clone)]
+pub struct Hist(Arc<AtomicHistogram>);
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Reads the current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<AtomicHistogram>>,
+}
+
+/// A named registry of counters, gauges, and histograms.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        Counter(Arc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Gets or creates the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        Gauge(Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        ))
+    }
+
+    /// Gets or creates the named histogram.
+    pub fn histogram(&self, name: &str) -> Hist {
+        let mut inner = self.inner.lock();
+        Hist(Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::default())),
+        ))
+    }
+
+    /// Copies every statistic out, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// Renders scalar statistics as sorted `name=value` pairs on one line
+    /// (histograms contribute `name.count`, `name.mean`, `name.p99`) — the
+    /// payload of the UDS `STATS` reply.
+    pub fn render_line(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (k, v) in &self.counters {
+            parts.push(format!("{k}={v}"));
+        }
+        for (k, v) in &self.gauges {
+            parts.push(format!("{k}={v}"));
+        }
+        for (k, h) in &self.histograms {
+            parts.push(format!("{k}.count={}", h.count));
+            parts.push(format!("{k}.mean={:.0}", h.mean()));
+            parts.push(format!("{k}.p99={}", h.quantile(0.99).unwrap_or(0)));
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        let c = r.counter("jobs");
+        c.incr();
+        c.add(4);
+        // Same name returns the same underlying counter.
+        assert_eq!(r.counter("jobs").get(), 5);
+        let g = r.gauge("active");
+        g.set(-3);
+        assert_eq!(r.gauge("active").get(), -3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["jobs"], 5);
+        assert_eq!(snap.gauges["active"], -3);
+    }
+
+    #[test]
+    fn histogram_snapshot_is_internally_consistent() {
+        let r = Registry::new();
+        let h = r.histogram("queue_wait_ns");
+        for v in [0, 1, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1_001_004);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(1_000_000));
+        let bucket_total: u64 = s.buckets.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(bucket_total, s.count);
+        assert!(s.quantile(0.5).unwrap() <= 3);
+        assert_eq!(s.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("n");
+                    let h = r.histogram("lat");
+                    for i in 0..10_000u64 {
+                        c.incr();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["n"], 40_000);
+        assert_eq!(snap.histograms["lat"].count, 40_000);
+    }
+
+    #[test]
+    fn render_line_is_sorted_and_parsable() {
+        let r = Registry::new();
+        r.counter("polls").add(2);
+        r.counter("byes").incr();
+        r.gauge("apps").set(1);
+        let line = r.snapshot().render_line();
+        assert_eq!(line, "byes=1 polls=2 apps=1");
+    }
+}

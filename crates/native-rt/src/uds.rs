@@ -18,6 +18,14 @@
 //! have died without a BYE (checked against `/proc`), and can optionally
 //! subtract system-wide uncontrollable load sampled from `/proc` — the
 //! real `rpstat` sweep.
+//!
+//! A `STATS` request returns the server's own statistics registry as one
+//! sorted `key=value` line:
+//!
+//! ```text
+//! client → server:  STATS
+//! server → client:  STATS byes=0 polls=12 registers=2 apps=2
+//! ```
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -32,6 +40,7 @@ use procctl::{partition, AppDemand};
 
 use crate::controller::TargetSlot;
 use crate::proc_scan;
+use crate::stats::{Registry, Snapshot};
 
 /// Server tuning.
 #[derive(Clone, Debug)]
@@ -113,6 +122,7 @@ impl ServerState {
 pub struct UdsServer {
     cfg: UdsServerConfig,
     stop: Arc<AtomicBool>,
+    registry: Arc<Registry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -124,12 +134,14 @@ impl UdsServer {
         let listener = UnixListener::bind(&cfg.path)?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::new());
         let state = Arc::new(Mutex::new(ServerState {
             apps: Vec::new(),
             last_sample: None,
         }));
         let accept_thread = {
             let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
             let cfg2 = cfg.clone();
             std::thread::Builder::new()
                 .name("procctl-uds-server".into())
@@ -141,11 +153,14 @@ impl UdsServer {
                                 let state = Arc::clone(&state);
                                 let cfg3 = cfg2.clone();
                                 let stop2 = Arc::clone(&stop);
+                                let reg2 = Arc::clone(&registry);
                                 handlers.push(
                                     std::thread::Builder::new()
                                         .name("procctl-uds-conn".into())
                                         .spawn(move || {
-                                            let _ = serve_connection(stream, &state, &cfg3, &stop2);
+                                            let _ = serve_connection(
+                                                stream, &state, &cfg3, &stop2, &reg2,
+                                            );
                                         })
                                         .expect("spawn connection handler"),
                                 );
@@ -165,6 +180,7 @@ impl UdsServer {
         Ok(UdsServer {
             cfg,
             stop,
+            registry,
             accept_thread: Some(accept_thread),
         })
     }
@@ -172,6 +188,13 @@ impl UdsServer {
     /// The socket path clients should connect to.
     pub fn path(&self) -> &Path {
         &self.cfg.path
+    }
+
+    /// A point-in-time copy of the server's statistics (registers, polls,
+    /// byes served; live application count) — the same data the wire-level
+    /// `STATS` request returns.
+    pub fn stats(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 }
 
@@ -190,6 +213,7 @@ fn serve_connection(
     state: &Mutex<ServerState>,
     cfg: &UdsServerConfig,
     stop: &AtomicBool,
+    registry: &Registry,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
@@ -204,8 +228,7 @@ fn serve_connection(
             Ok(0) => return Ok(()), // client hung up
             Ok(_) => {}
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue
             }
@@ -216,16 +239,19 @@ fn serve_connection(
         let reply = match fields.as_slice() {
             ["REGISTER", pid, n] => match (pid.parse::<u32>(), n.parse::<u32>()) {
                 (Ok(pid), Ok(n)) => {
+                    registry.counter("registers").incr();
                     let mut st = state.lock();
                     if !st.apps.iter().any(|a| a.pid == pid) {
                         st.apps.push(AppReg { pid, nworkers: n });
                     }
+                    registry.gauge("apps").set(st.apps.len() as i64);
                     Some("OK\n".to_string())
                 }
                 _ => None,
             },
             ["POLL", pid] => match pid.parse::<u32>() {
                 Ok(pid) => {
+                    registry.counter("polls").incr();
                     let t = state.lock().target_of(pid, cfg);
                     Some(format!("TARGET {t}\n"))
                 }
@@ -233,11 +259,15 @@ fn serve_connection(
             },
             ["BYE", pid] => match pid.parse::<u32>() {
                 Ok(pid) => {
-                    state.lock().apps.retain(|a| a.pid != pid);
+                    registry.counter("byes").incr();
+                    let mut st = state.lock();
+                    st.apps.retain(|a| a.pid != pid);
+                    registry.gauge("apps").set(st.apps.len() as i64);
                     Some("OK\n".to_string())
                 }
                 _ => None,
             },
+            ["STATS"] => Some(format!("STATS {}\n", registry.snapshot().render_line())),
             _ => None,
         };
         if let Some(r) = reply {
@@ -315,14 +345,31 @@ impl UdsClient {
         self.expect_line("OK")
     }
 
+    /// Fetches the server's statistics as sorted `(key, value)` pairs.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, i64)>> {
+        self.send("STATS\n")?;
+        let line = self.read_line()?;
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("STATS") {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, line));
+        }
+        fields
+            .map(|kv| {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, kv.to_string()))?;
+                let v = v
+                    .parse::<f64>()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, kv.to_string()))?;
+                Ok((k.to_string(), v as i64))
+            })
+            .collect()
+    }
+
     /// Spawns a background thread that polls every `interval` and stores
     /// the target into `slot` (for wiring a [`crate::Pool`] to a remote
     /// server). The thread exits when the returned guard is dropped.
-    pub fn spawn_poller(
-        mut self,
-        slot: Arc<TargetSlot>,
-        interval: Duration,
-    ) -> PollerGuard {
+    pub fn spawn_poller(mut self, slot: Arc<TargetSlot>, interval: Duration) -> PollerGuard {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -425,6 +472,25 @@ mod tests {
             assert!(Instant::now() < deadline, "poller never updated the slot");
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let path = sock_path("stats");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        c.poll().expect("poll");
+        c.poll().expect("poll");
+        let stats: std::collections::BTreeMap<String, i64> =
+            c.stats().expect("stats").into_iter().collect();
+        assert_eq!(stats["registers"], 1);
+        assert_eq!(stats["polls"], 2);
+        assert_eq!(stats["apps"], 1);
+        // The in-process snapshot agrees with the wire reply.
+        let snap = server.stats();
+        assert_eq!(snap.counters["polls"], 2);
+        c.bye().expect("bye");
+        assert_eq!(server.stats().gauges["apps"], 0);
     }
 
     #[test]

@@ -66,7 +66,11 @@ fn concurrent_submitters_two_pools() {
     let count = Arc::new(AtomicUsize::new(0));
     let submitters: Vec<_> = (0..4)
         .map(|i| {
-            let pool = if i % 2 == 0 { Arc::clone(&a) } else { Arc::clone(&b) };
+            let pool = if i % 2 == 0 {
+                Arc::clone(&a)
+            } else {
+                Arc::clone(&b)
+            };
             let c = Arc::clone(&count);
             std::thread::spawn(move || {
                 for _ in 0..250 {

@@ -59,7 +59,10 @@ impl ClientControl {
         initial_target: u32,
         poll_interval: SimDur,
     ) -> Self {
-        assert!(initial_target >= 1, "target must allow one runnable process");
+        assert!(
+            initial_target >= 1,
+            "target must allow one runnable process"
+        );
         ClientControl {
             server_port,
             reply_port,
@@ -144,11 +147,7 @@ impl ClientControl {
 /// suspend and resume — the instability that pushed the paper to the
 /// centralized server.
 pub fn decentralized_target(stats: &[ProcStat], _my_app: AppId, num_cpus: usize) -> u32 {
-    let apps: HashSet<AppId> = stats
-        .iter()
-        .filter(|s| s.runnable)
-        .map(|s| s.app)
-        .collect();
+    let apps: HashSet<AppId> = stats.iter().filter(|s| s.runnable).map(|s| s.app).collect();
     let napps = apps.len().max(1);
     ((num_cpus / napps) as u32).max(1)
 }
@@ -158,13 +157,7 @@ mod tests {
     use super::*;
 
     fn cc(target: u32) -> ClientControl {
-        let mut c = ClientControl::new(
-            PortId(0),
-            PortId(1),
-            Pid(1),
-            16,
-            SimDur::from_secs(6),
-        );
+        let mut c = ClientControl::new(PortId(0), PortId(1), Pid(1), 16, SimDur::from_secs(6));
         c.set_target(target);
         c
     }

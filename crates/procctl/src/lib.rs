@@ -36,4 +36,4 @@ pub use proto::{
     decode_request, decode_target, encode_bye, encode_poll, encode_register,
     encode_register_weighted, encode_target, Request,
 };
-pub use server::{classify, Classified, Server, ServerConfig};
+pub use server::{classify, Classified, DecisionLog, Server, ServerConfig, SweepApp, SweepRecord};

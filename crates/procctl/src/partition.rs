@@ -69,9 +69,7 @@ pub fn partition(num_cpus: u32, uncontrolled: u32, apps: &[AppDemand]) -> Vec<u3
     // Each round distributes proportionally among apps with headroom;
     // integer rounding goes to the largest fractional remainders.
     loop {
-        let headroom: Vec<usize> = (0..n)
-            .filter(|&i| targets[i] < apps[i].processes)
-            .collect();
+        let headroom: Vec<usize> = (0..n).filter(|&i| targets[i] < apps[i].processes).collect();
         if remaining == 0 || headroom.is_empty() {
             break;
         }

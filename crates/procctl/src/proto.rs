@@ -121,10 +121,7 @@ mod tests {
     use super::*;
 
     fn msg(body: Vec<u64>) -> Message {
-        Message {
-            from: Pid(9),
-            body,
-        }
+        Message { from: Pid(9), body }
     }
 
     #[test]

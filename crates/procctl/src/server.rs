@@ -12,7 +12,9 @@
 //!    among the registered applications (see [`crate::partition`]);
 //! 4. answers each application's periodic `POLL` with its current target.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use desim::{SimDur, SimTime};
 use simkernel::{Action, Behavior, Pid, PortId, ProcStat, UserCtx, Wakeup};
@@ -70,6 +72,66 @@ struct AppEntry {
     weight: f64,
 }
 
+/// One registered application's inputs and output in a partition sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepApp {
+    /// The application's root pid.
+    pub root: Pid,
+    /// Total (runnable + suspended) processes the sweep saw for it.
+    pub processes: u32,
+    /// Runnable processes the sweep saw for it.
+    pub runnable: u32,
+    /// Its share weight.
+    pub weight: f64,
+    /// Its target before this sweep.
+    pub prev_target: u32,
+    /// Its target after this sweep (equal to `prev_target` when the sweep
+    /// saw no processes and kept the old value).
+    pub target: u32,
+}
+
+/// One partition recomputation: the complete inputs the server acted on
+/// and the per-application targets it produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRecord {
+    /// When the sweep ran.
+    pub time: SimTime,
+    /// Processors the sweep partitioned (whole machine, or the reserved
+    /// region in Section 7 mode).
+    pub pool: u32,
+    /// Runnable processes outside every registered application.
+    pub uncontrolled_runnable: u32,
+    /// Registered applications in registration order.
+    pub apps: Vec<SweepApp>,
+}
+
+/// A shared handle onto the server's decision log. The server is moved
+/// into the kernel at spawn, so callers clone this handle first (the
+/// simulation is single-threaded; `Rc` suffices).
+#[derive(Clone, Debug, Default)]
+pub struct DecisionLog(Rc<RefCell<Vec<SweepRecord>>>);
+
+impl DecisionLog {
+    /// A copy of all sweeps recorded so far.
+    pub fn records(&self) -> Vec<SweepRecord> {
+        self.0.borrow().clone()
+    }
+
+    /// Number of sweeps recorded.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when no sweep has run yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    fn push(&self, rec: SweepRecord) {
+        self.0.borrow_mut().push(rec);
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SState {
     /// Waiting for the result of a request-queue poll.
@@ -90,6 +152,7 @@ pub struct Server {
     state: SState,
     /// Targets computed in the most recent sweep, for inspection/tests.
     last_uncontrolled: u32,
+    log: DecisionLog,
 }
 
 impl Server {
@@ -101,7 +164,14 @@ impl Server {
             next_sample: SimTime::ZERO,
             state: SState::PollReq,
             last_uncontrolled: 0,
+            log: DecisionLog::default(),
         }
+    }
+
+    /// A handle onto the decision log, for reading sweeps back after the
+    /// server has been moved into the kernel.
+    pub fn decision_log(&self) -> DecisionLog {
+        self.log.clone()
     }
 
     fn target_of(&self, root: Pid, num_cpus: usize) -> u32 {
@@ -132,13 +202,29 @@ impl Server {
             None => (ctx.num_cpus() as u32, summary.uncontrolled_runnable),
         };
         let targets = partition(pool, uncontrolled, &demands);
+        let mut sweep_apps = Vec::with_capacity(self.apps.len());
         for (app, &t) in self.apps.iter_mut().zip(&targets) {
+            let prev_target = app.target;
             // An application whose processes all exited keeps its last
             // target until it says BYE or disappears entirely.
             if summary.processes.contains_key(&app.root) {
                 app.target = t;
             }
+            sweep_apps.push(SweepApp {
+                root: app.root,
+                processes: summary.processes.get(&app.root).copied().unwrap_or(0),
+                runnable: summary.runnable.get(&app.root).copied().unwrap_or(0),
+                weight: app.weight,
+                prev_target,
+                target: app.target,
+            });
         }
+        self.log.push(SweepRecord {
+            time: ctx.now(),
+            pool,
+            uncontrolled_runnable: summary.uncontrolled_runnable,
+            apps: sweep_apps,
+        });
     }
 }
 
@@ -280,12 +366,12 @@ mod tests {
     #[test]
     fn classify_by_parent_pid() {
         let stats = vec![
-            stat(1, None, true),      // registered root
-            stat(2, Some(1), true),   // its child
-            stat(3, Some(1), false),  // suspended child
-            stat(4, None, true),      // uncontrolled
-            stat(5, Some(4), true),   // uncontrolled child
-            stat(99, None, true),     // the server itself
+            stat(1, None, true),     // registered root
+            stat(2, Some(1), true),  // its child
+            stat(3, Some(1), false), // suspended child
+            stat(4, None, true),     // uncontrolled
+            stat(5, Some(4), true),  // uncontrolled child
+            stat(99, None, true),    // the server itself
         ];
         let c = classify(&stats, Pid(99), &[Pid(1)]);
         assert_eq!(c.uncontrolled_runnable, 2);

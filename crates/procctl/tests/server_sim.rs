@@ -7,15 +7,16 @@
 use desim::{SimDur, SimTime};
 use procctl::{encode_poll, encode_register, Server, ServerConfig};
 use simkernel::policy::{FifoRoundRobin, SpacePartition};
-use simkernel::{
-    Action, AppId, FnBehavior, Kernel, KernelConfig, PortId, Script, UserCtx, Wakeup,
-};
+use simkernel::{Action, AppId, FnBehavior, Kernel, KernelConfig, PortId, Script, UserCtx, Wakeup};
 
 fn t(secs: u64) -> SimTime {
     SimTime::ZERO + SimDur::from_secs(secs)
 }
 
-fn kernel_with_server(cpus: usize, cfg_mod: impl FnOnce(ServerConfig) -> ServerConfig) -> (Kernel, PortId) {
+fn kernel_with_server(
+    cpus: usize,
+    cfg_mod: impl FnOnce(ServerConfig) -> ServerConfig,
+) -> (Kernel, PortId) {
     let mut k = Kernel::new(
         KernelConfig::multimax().with_cpus(cpus),
         Box::new(FifoRoundRobin::new()),
@@ -43,9 +44,7 @@ fn polling_client(
     let mut st = St::Reg;
     Box::new(FnBehavior(move |w: Wakeup, ctx: &mut dyn UserCtx| {
         match (&st, w) {
-            (St::Reg, Wakeup::Start) => {
-                Action::Send(server, encode_register(ctx.my_pid(), reply))
-            }
+            (St::Reg, Wakeup::Start) => Action::Send(server, encode_register(ctx.my_pid(), reply)),
             (St::Reg, Wakeup::Sent) => {
                 st = St::Compute;
                 Action::Compute(SimDur::from_millis(500))
@@ -70,7 +69,6 @@ fn polling_client(
     }))
 }
 
-
 /// A client whose root spawns `children` compute processes (so the server
 /// sees a multi-process application via the parent-pid rule), then polls
 /// forever, recording the latest target.
@@ -82,8 +80,8 @@ fn multi_proc_client(
 ) -> Box<dyn simkernel::Behavior> {
     let mut spawned = 0;
     let mut registered = false;
-    Box::new(FnBehavior(move |w: Wakeup, ctx: &mut dyn UserCtx| {
-        match w {
+    Box::new(FnBehavior(
+        move |w: Wakeup, ctx: &mut dyn UserCtx| match w {
             Wakeup::Start => Action::Send(server, encode_register(ctx.my_pid(), reply)),
             Wakeup::Sent if !registered => {
                 registered = true;
@@ -116,8 +114,8 @@ fn multi_proc_client(
                 Action::Compute(SimDur::from_secs(1))
             }
             other => panic!("multi-proc client: unexpected {other:?}"),
-        }
-    }))
+        },
+    ))
 }
 
 #[test]
@@ -130,12 +128,14 @@ fn lost_bye_does_not_leak_shares() {
     k.spawn_root(
         AppId(0),
         64,
-        Box::new(FnBehavior(move |w: Wakeup, ctx: &mut dyn UserCtx| match w {
-            Wakeup::Start => Action::Send(server, encode_register(ctx.my_pid(), reply_a)),
-            Wakeup::Sent => Action::Compute(SimDur::from_millis(100)),
-            Wakeup::ComputeDone => Action::Exit,
-            other => panic!("unexpected {other:?}"),
-        })),
+        Box::new(FnBehavior(
+            move |w: Wakeup, ctx: &mut dyn UserCtx| match w {
+                Wakeup::Start => Action::Send(server, encode_register(ctx.my_pid(), reply_a)),
+                Wakeup::Sent => Action::Compute(SimDur::from_millis(100)),
+                Wakeup::ComputeDone => Action::Exit,
+                other => panic!("unexpected {other:?}"),
+            },
+        )),
     );
     let reply_b = k.create_port();
     let b_target = std::rc::Rc::new(std::cell::Cell::new(0));
@@ -185,7 +185,11 @@ fn duplicate_registration_is_idempotent() {
     );
     k.run_until(t(4));
     // A single one-process application: capped at its process count, 1.
-    assert_eq!(target.get(), 1, "duplicate registration distorted the share");
+    assert_eq!(
+        target.get(),
+        1,
+        "duplicate registration distorted the share"
+    );
 }
 
 #[test]

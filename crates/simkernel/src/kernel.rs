@@ -10,7 +10,7 @@
 //! evicted. Spinning on a held lock consumes processor time without
 //! progress — the pathology at the heart of the paper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use desim::{Calendar, SimDur, SimTime, Tracer};
 use machine::{CacheSim, CpuId};
@@ -18,6 +18,7 @@ use machine::{CacheSim, CpuId};
 use crate::action::{Action, Behavior, Message, ProcStat, UserCtx, Wakeup};
 use crate::config::KernelConfig;
 use crate::ids::{AppId, LockId, Pid, PortId};
+use crate::ledger::{CycleLedger, Cycles};
 use crate::locks::{LockStats, LockTable};
 use crate::pcb::{Op, ProcAccounting, ProcState, ProcTable, Then};
 use crate::policy::{PolicyView, ReadyReason, SchedPolicy};
@@ -79,6 +80,33 @@ pub enum KTrace {
         /// The current holder.
         holder: Pid,
     },
+    /// A process was preempted while busy-waiting on a lock — the cycles it
+    /// burned spinning are pure waste, and if it was next in line the lock's
+    /// hand-off is now delayed by a whole scheduling round-trip. This is the
+    /// pathological interaction at the heart of the paper.
+    PreemptWhileSpinning {
+        /// Processor.
+        cpu: CpuId,
+        /// The preempted spinner.
+        pid: Pid,
+        /// The lock it was spinning on.
+        lock: LockId,
+        /// The holder it was waiting for, if the lock is still held.
+        holder: Option<Pid>,
+    },
+    /// A contended lock was handed to a spinner.
+    LockHandoff {
+        /// The lock.
+        lock: LockId,
+        /// The releasing holder (`None` when the lock was released while
+        /// the winner was preempted and re-tested at its next dispatch).
+        from: Option<Pid>,
+        /// The spinner that received the lock.
+        to: Pid,
+        /// How long the winner waited from its first spin to the grant —
+        /// the hand-off latency, inflated by any preemption in between.
+        waited: SimDur,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +161,10 @@ pub struct AppStats {
     pub switches: u64,
     /// Involuntary preemptions.
     pub preemptions: u64,
+    /// Sum of context-switch time charged to the application's processes.
+    pub switch_time: SimDur,
+    /// Sum of wall-clock time the application's processes spent suspended.
+    pub suspended: SimDur,
 }
 
 struct KState {
@@ -382,8 +414,74 @@ impl Kernel {
             s.dispatches += p.acct.dispatches;
             s.switches += p.acct.switches;
             s.preemptions += p.acct.preemptions;
+            s.switch_time += p.acct.switch_time;
+            s.suspended += p.acct.suspended;
         }
         s
+    }
+
+    /// Snapshots the cycle-accounting ledger: every processor-cycle from
+    /// time 0 to now attributed to work / spin / refill / switch / idle,
+    /// per process and per application, plus per-process suspended
+    /// wall-clock time. Flushes in-progress occupancy segments first (which
+    /// is safe: segment accounting is idempotent and completion events use
+    /// absolute times), so the returned ledger satisfies the conservation
+    /// invariant exactly — see [`CycleLedger::conserved`].
+    pub fn cycle_ledger(&mut self) -> CycleLedger {
+        for i in 0..self.st.cpus.len() {
+            self.account_segment(i);
+        }
+        let now = self.st.now;
+        let elapsed = now.since(SimTime::ZERO);
+        // A dispatch still inside its context-switch window has charged the
+        // full switch cost to the processor and the incoming process even
+        // though part of it lies in the future; subtract that overshoot so
+        // the snapshot is exact at `now`.
+        let mut idle = SimDur::ZERO;
+        let mut overshoot: BTreeMap<Pid, SimDur> = BTreeMap::new();
+        for cpu in &self.st.cpus {
+            let mut used = cpu.busy;
+            if let Some(pid) = cpu.running {
+                if cpu.seg_start > now {
+                    let over = cpu.seg_start.since(now);
+                    used -= over;
+                    *overshoot.entry(pid).or_insert(SimDur::ZERO) += over;
+                }
+            }
+            idle += elapsed - used;
+        }
+        let mut per_proc = BTreeMap::new();
+        let mut per_app: BTreeMap<AppId, Cycles> = BTreeMap::new();
+        let mut total = Cycles::default();
+        for p in self.st.procs.iter() {
+            let mut c = Cycles {
+                work: p.acct.work,
+                spin: p.acct.spin,
+                refill: p.acct.refill,
+                switch: p.acct.switch_time,
+                suspended: p.acct.suspended,
+            };
+            if let Some(&over) = overshoot.get(&p.pid) {
+                c.switch -= over;
+            }
+            // A process suspended right now has an open suspension span.
+            if p.state == ProcState::SigWait {
+                if let Some(since) = p.suspend_since {
+                    c.suspended += now.saturating_since(since);
+                }
+            }
+            per_app.entry(p.app).or_default().add(&c);
+            total.add(&c);
+            per_proc.insert(p.pid, c);
+        }
+        CycleLedger {
+            elapsed,
+            num_cpus: self.st.cpus.len(),
+            total,
+            idle,
+            per_proc,
+            per_app,
+        }
     }
 
     /// Statistics for a lock.
@@ -556,7 +654,13 @@ impl Kernel {
             self.st.cpus[cpu_idx].defer_count += 1;
             let grace = self.cfg.quantum / 10;
             let t = self.st.now + grace.max(SimDur::from_micros(100));
-            self.st.cal.schedule(t, KEvent::QuantumExpire { cpu: cpu_idx, epoch });
+            self.st.cal.schedule(
+                t,
+                KEvent::QuantumExpire {
+                    cpu: cpu_idx,
+                    epoch,
+                },
+            );
             return;
         }
         self.account_segment(cpu_idx);
@@ -567,6 +671,18 @@ impl Kernel {
                 pid,
             },
         );
+        if let Op::Spin { lock } = self.st.procs.get(pid).op {
+            let holder = self.st.locks.get(lock).holder;
+            self.st.tracer.emit(
+                self.st.now,
+                KTrace::PreemptWhileSpinning {
+                    cpu: CpuId(cpu_idx),
+                    pid,
+                    lock,
+                    holder,
+                },
+            );
+        }
         // Vacate the processor and requeue the process.
         self.vacate(cpu_idx);
         let now = self.st.now;
@@ -603,6 +719,11 @@ impl Kernel {
                 !pcb.state.is_runnable() && pcb.state != ProcState::Exited,
                 "waking a non-blocked process {pid}"
             );
+            if pcb.state == ProcState::SigWait {
+                if let Some(since) = pcb.suspend_since.take() {
+                    pcb.acct.suspended += now.saturating_since(since);
+                }
+            }
             pcb.state = ProcState::Ready;
             pcb.ready_since = Some(now);
             pcb.app
@@ -700,20 +821,21 @@ impl Kernel {
                     self.st.procs.get_mut(pid).locks_held += 1;
                     self.deliver(pid, Wakeup::LockAcquired(lock));
                 } else {
-                    let holder = self.st.locks.get(lock).holder.expect("contended lock has holder");
+                    let holder = self
+                        .st
+                        .locks
+                        .get(lock)
+                        .holder
+                        .expect("contended lock has holder");
                     self.st.locks.enqueue_spinner(lock, pid);
                     let now = self.st.now;
-                    self.st.tracer.emit(
-                        now,
-                        KTrace::SpinStart {
-                            pid,
-                            lock,
-                            holder,
-                        },
-                    );
+                    self.st
+                        .tracer
+                        .emit(now, KTrace::SpinStart { pid, lock, holder });
                     let pcb = self.st.procs.get_mut(pid);
                     pcb.op = Op::Spin { lock };
                     pcb.epoch += 1;
+                    pcb.spin_since = Some(now);
                     // No completion event: the spinner burns its processor
                     // until the lock is granted or the quantum expires.
                 }
@@ -727,15 +849,17 @@ impl Kernel {
                 }
                 // Grant to the longest-spinning *running* spinner; spinners
                 // that were preempted re-test when next dispatched.
-                if let Some(&winner) = spinners.iter().find(|&&s| {
-                    matches!(self.st.procs.get(s).state, ProcState::Running(_))
-                }) {
+                if let Some(&winner) = spinners
+                    .iter()
+                    .find(|&&s| matches!(self.st.procs.get(s).state, ProcState::Running(_)))
+                {
                     let ProcState::Running(wcpu) = self.st.procs.get(winner).state else {
                         unreachable!()
                     };
                     // Charge the winner's spin time up to this instant.
                     self.account_segment(wcpu.0);
                     self.st.locks.grant_to(lock, winner, self.st.now);
+                    self.note_lock_handoff(lock, Some(pid), winner);
                     self.st.procs.get_mut(winner).locks_held += 1;
                     self.deliver(winner, Wakeup::LockAcquired(lock));
                 }
@@ -807,10 +931,32 @@ impl Kernel {
         }
     }
 
+    /// Records a lock grant to a spinner and its hand-off latency.
+    fn note_lock_handoff(&mut self, lock: LockId, from: Option<Pid>, to: Pid) {
+        let now = self.st.now;
+        let waited = self
+            .st
+            .procs
+            .get_mut(to)
+            .spin_since
+            .take()
+            .map_or(SimDur::ZERO, |since| now.saturating_since(since));
+        self.st.tracer.emit(
+            now,
+            KTrace::LockHandoff {
+                lock,
+                from,
+                to,
+                waited,
+            },
+        );
+    }
+
     /// Blocks a running process: vacates its processor and sets the state.
     fn block(&mut self, pid: Pid, cpu: CpuId, state: ProcState) {
         debug_assert!(!state.is_runnable() && state != ProcState::Exited);
         self.vacate(cpu.0);
+        let now = self.st.now;
         let app = {
             let pcb = self.st.procs.get_mut(pid);
             debug_assert_eq!(pcb.state, ProcState::Running(cpu));
@@ -820,6 +966,9 @@ impl Kernel {
             );
             pcb.state = state;
             pcb.epoch += 1;
+            if state == ProcState::SigWait {
+                pcb.suspend_since = Some(now);
+            }
             pcb.app
         };
         self.note_runnable_change(app, -1);
@@ -834,10 +983,7 @@ impl Kernel {
         }
         let app = {
             let pcb = self.st.procs.get_mut(pid);
-            debug_assert_eq!(
-                pcb.locks_held, 0,
-                "{pid} exited while holding a spinlock"
-            );
+            debug_assert_eq!(pcb.locks_held, 0, "{pid} exited while holding a spinlock");
             pcb.state = ProcState::Exited;
             pcb.epoch += 1;
             pcb.behavior = None;
@@ -901,16 +1047,12 @@ impl Kernel {
             pcb.acct.dispatches += 1;
             if switched {
                 pcb.acct.switches += 1;
+                pcb.acct.switch_time += switch_cost;
             }
         }
 
         // Cache reload penalty for this dispatch.
-        let busy = 1 + self
-            .st
-            .running
-            .iter()
-            .filter(|r| r.is_some())
-            .count();
+        let busy = 1 + self.st.running.iter().filter(|r| r.is_some()).count();
         let mult = self
             .cfg
             .machine
@@ -945,14 +1087,17 @@ impl Kernel {
                 running: &self.st.running,
                 now: self.st.now,
             };
-            self.policy
-                .quantum(&view, cpu_id, pid, self.cfg.quantum)
+            self.policy.quantum(&view, cpu_id, pid, self.cfg.quantum)
         };
         let epoch = self.st.cpus[cpu_idx].epoch;
         let qt = now + switch_cost + quantum.max(SimDur::from_nanos(1));
-        self.st
-            .cal
-            .schedule(qt, KEvent::QuantumExpire { cpu: cpu_idx, epoch });
+        self.st.cal.schedule(
+            qt,
+            KEvent::QuantumExpire {
+                cpu: cpu_idx,
+                epoch,
+            },
+        );
 
         // Operation (re)scheduling.
         match &self.st.procs.get(pid).op {
@@ -967,6 +1112,7 @@ impl Kernel {
                 // while this spinner was preempted.
                 if self.st.locks.get(lock).holder.is_none() {
                     self.st.locks.grant_to(lock, pid, now);
+                    self.note_lock_handoff(lock, None, pid);
                     self.st.procs.get_mut(pid).locks_held += 1;
                     self.deliver(pid, Wakeup::LockAcquired(lock));
                 }

@@ -1,0 +1,141 @@
+//! Cycle-accounting ledger: where did every processor-cycle go?
+//!
+//! The paper's argument is mechanistic — multiprogrammed slowdown comes from
+//! spin-waiting on preempted lock holders, context-switch overhead, and cache
+//! refill, not from some diffuse "overhead". The ledger makes that claim
+//! checkable: every simulated processor-cycle between time 0 and "now" is
+//! attributed to exactly one category, and the categories provably sum to
+//! `num_cpus × elapsed` (the conservation invariant, see
+//! [`CycleLedger::conserved`]).
+//!
+//! `suspended` is deliberately *outside* the conservation sum: a suspended
+//! process occupies no processor, so its wall-clock suspension time is
+//! reported per process/application as context, not as processor cycles.
+
+use std::collections::BTreeMap;
+
+use desim::SimDur;
+
+use crate::ids::{AppId, Pid};
+
+/// Cycle totals for one process, application, or the whole machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cycles {
+    /// Useful work executed.
+    pub work: SimDur,
+    /// Busy-waiting on spinlocks (no progress).
+    pub spin: SimDur,
+    /// Cache-refill stall after a corrupted dispatch.
+    pub refill: SimDur,
+    /// Context-switch cost paid on dispatch.
+    pub switch: SimDur,
+    /// Wall-clock time suspended by process control (not processor time;
+    /// excluded from [`Cycles::busy`] and the conservation sum).
+    pub suspended: SimDur,
+}
+
+impl Cycles {
+    /// Processor time consumed: everything except `suspended`.
+    pub fn busy(&self) -> SimDur {
+        self.work + self.spin + self.refill + self.switch
+    }
+
+    /// Accumulates another set of totals (used to fold processes into
+    /// applications and applications into the machine).
+    pub fn add(&mut self, other: &Cycles) {
+        self.work += other.work;
+        self.spin += other.spin;
+        self.refill += other.refill;
+        self.switch += other.switch;
+        self.suspended += other.suspended;
+    }
+}
+
+/// A snapshot attribution of all processor-cycles up to "now".
+#[derive(Clone, Debug)]
+pub struct CycleLedger {
+    /// Simulated time elapsed since the start of the run.
+    pub elapsed: SimDur,
+    /// Number of processors in the machine.
+    pub num_cpus: usize,
+    /// Machine-wide totals across all processes (including exited ones).
+    pub total: Cycles,
+    /// Processor cycles during which no process was dispatched.
+    pub idle: SimDur,
+    /// Attribution per process, keyed by pid.
+    pub per_proc: BTreeMap<Pid, Cycles>,
+    /// Attribution per application, keyed by app id.
+    pub per_app: BTreeMap<AppId, Cycles>,
+}
+
+impl CycleLedger {
+    /// Total processor-cycles available: `num_cpus × elapsed`.
+    pub fn processor_cycles(&self) -> SimDur {
+        SimDur(self.elapsed.nanos() * self.num_cpus as u64)
+    }
+
+    /// Sum of all attributed categories (busy + idle, excluding
+    /// `suspended` which is wall-clock, not processor time).
+    pub fn accounted(&self) -> SimDur {
+        self.total.busy() + self.idle
+    }
+
+    /// The conservation invariant: every processor-cycle is attributed to
+    /// exactly one category.
+    pub fn conserved(&self) -> bool {
+        self.accounted() == self.processor_cycles()
+    }
+
+    /// Per-application totals sorted by app id (stable render order).
+    pub fn apps(&self) -> impl Iterator<Item = (AppId, &Cycles)> {
+        self.per_app.iter().map(|(&a, c)| (a, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_add_and_busy() {
+        let a = Cycles {
+            work: SimDur(10),
+            spin: SimDur(3),
+            refill: SimDur(2),
+            switch: SimDur(1),
+            suspended: SimDur(100),
+        };
+        let mut b = Cycles::default();
+        b.add(&a);
+        b.add(&a);
+        assert_eq!(b.work, SimDur(20));
+        assert_eq!(b.busy(), SimDur(32));
+        assert_eq!(b.suspended, SimDur(200));
+    }
+
+    #[test]
+    fn conservation_is_exact_arithmetic() {
+        let mut per_proc = BTreeMap::new();
+        per_proc.insert(
+            Pid(0),
+            Cycles {
+                work: SimDur(40),
+                spin: SimDur(10),
+                refill: SimDur(5),
+                switch: SimDur(5),
+                suspended: SimDur(0),
+            },
+        );
+        let total = per_proc[&Pid(0)];
+        let ledger = CycleLedger {
+            elapsed: SimDur(100),
+            num_cpus: 1,
+            total,
+            idle: SimDur(40),
+            per_proc,
+            per_app: BTreeMap::new(),
+        };
+        assert_eq!(ledger.processor_cycles(), SimDur(100));
+        assert!(ledger.conserved());
+    }
+}

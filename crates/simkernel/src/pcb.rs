@@ -110,6 +110,13 @@ pub struct ProcAccounting {
     pub preemptions: u64,
     /// Total time from becoming ready to being dispatched.
     pub ready_wait: SimDur,
+    /// Processor time consumed by context-switch costs on this process's
+    /// behalf (charged to the incoming process at dispatch).
+    pub switch_time: SimDur,
+    /// Wall-clock time spent suspended in [`ProcState::SigWait`]. This is
+    /// *not* processor time — a suspended process occupies no processor —
+    /// so it sits outside the per-processor cycle conservation sum.
+    pub suspended: SimDur,
 }
 
 pub(crate) struct Pcb {
@@ -134,6 +141,11 @@ pub(crate) struct Pcb {
     pub epoch: u64,
     /// When the process last became ready (for ready-wait accounting).
     pub ready_since: Option<SimTime>,
+    /// When the process entered `SigWait` (for suspension accounting).
+    pub suspend_since: Option<SimTime>,
+    /// When the process started spinning on its current lock (for lock
+    /// hand-off latency tracing).
+    pub spin_since: Option<SimTime>,
     /// Cumulative accounting.
     pub acct: ProcAccounting,
 }
@@ -160,6 +172,8 @@ impl Pcb {
             cpu_time: SimDur::ZERO,
             epoch: 0,
             ready_since: None,
+            suspend_since: None,
+            spin_since: None,
             acct: ProcAccounting::default(),
         }
     }

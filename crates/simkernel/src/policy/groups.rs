@@ -143,13 +143,7 @@ impl SchedPolicy for GroupPolicy {
         None
     }
 
-    fn quantum(
-        &mut self,
-        view: &PolicyView<'_>,
-        _cpu: CpuId,
-        pid: Pid,
-        default: SimDur,
-    ) -> SimDur {
+    fn quantum(&mut self, view: &PolicyView<'_>, _cpu: CpuId, pid: Pid, default: SimDur) -> SimDur {
         if self.mode_of(view.app(pid)) == GroupMode::Gang && !self.gang_apps.is_empty() {
             let s = self.slice.nanos();
             SimDur(s - view.now.nanos() % s)

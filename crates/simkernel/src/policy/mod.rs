@@ -33,9 +33,9 @@ pub use affinity::Affinity;
 pub use cosched::Coscheduling;
 pub use fifo::FifoRoundRobin;
 pub use groups::{GroupMode, GroupPolicy};
+pub use partition::SpacePartition;
 pub use priodecay::PriorityDecay;
 pub use spinflag::SpinlockFlag;
-pub use partition::SpacePartition;
 
 mod partition;
 

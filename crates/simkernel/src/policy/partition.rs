@@ -199,8 +199,8 @@ mod tests {
         let mut p = SpacePartition::new();
         p.on_ready(&v, Pid(0), ReadyReason::New); // app0
         p.on_ready(&v, Pid(1), ReadyReason::New); // app1
-        // cpu0/1 belong to app0; after app0's only process is taken, cpu1
-        // idles rather than poaching app1's process (isolation property).
+                                                  // cpu0/1 belong to app0; after app0's only process is taken, cpu1
+                                                  // idles rather than poaching app1's process (isolation property).
         assert_eq!(p.pick(&v, CpuId(0)), Some(Pid(0)));
         assert_eq!(p.pick(&v, CpuId(1)), None);
         assert_eq!(p.pick(&v, CpuId(2)), Some(Pid(1)));

@@ -29,7 +29,10 @@ fn single_process_computes_and_exits() {
     assert!(k.run_to_completion(t(10)));
     let acct = k.proc_accounting(pid);
     assert!(acct.work >= SimDur::from_millis(10));
-    assert_eq!(acct.dispatches, 1, "no preemption expected within a quantum");
+    assert_eq!(
+        acct.dispatches, 1,
+        "no preemption expected within a quantum"
+    );
     assert_eq!(k.runnable_count(), 0);
     assert!(k.app_done_time(AppId(0)).is_some());
 }
@@ -92,7 +95,10 @@ fn processes_fill_all_cpus_in_parallel() {
         .map(|i| k.app_done_time(AppId(i)).unwrap())
         .max()
         .unwrap();
-    assert!(done < SimTime::ZERO + SimDur::from_millis(60), "done {done}");
+    assert!(
+        done < SimTime::ZERO + SimDur::from_millis(60),
+        "done {done}"
+    );
 }
 
 #[test]
@@ -179,7 +185,10 @@ fn signal_suspends_and_resumes() {
     assert!(k.run_to_completion(t(10)));
     let da = k.app_done_time(AppId(0)).unwrap();
     let db = k.app_done_time(AppId(1)).unwrap();
-    assert!(da > db - SimDur::from_millis(5), "A finished after B's signal");
+    assert!(
+        da > db - SimDur::from_millis(5),
+        "A finished after B's signal"
+    );
     assert!(k.proc_accounting(a).work >= SimDur::from_millis(5));
 }
 
@@ -222,7 +231,10 @@ fn pending_signal_is_not_lost() {
         64,
         Box::new(Script::new(vec![Action::SendSignal(a)])),
     );
-    assert!(k.run_to_completion(t(10)), "A would hang if the signal were lost");
+    assert!(
+        k.run_to_completion(t(10)),
+        "A would hang if the signal were lost"
+    );
 }
 
 #[test]
@@ -234,21 +246,21 @@ fn ipc_roundtrip() {
     k.spawn_root(
         AppId(0),
         64,
-        Box::new(FnBehavior(move |w, _ctx: &mut dyn simkernel::UserCtx| {
-            match w {
+        Box::new(FnBehavior(
+            move |w, _ctx: &mut dyn simkernel::UserCtx| match w {
                 Wakeup::Start => Action::Recv(req),
                 Wakeup::Received(m) => Action::Send(rsp, vec![m.body[0] * 2]),
                 Wakeup::Sent => Action::Exit,
                 other => panic!("server: unexpected {other:?}"),
-            }
-        })),
+            },
+        )),
     );
     // Client: send 21, expect 42.
     k.spawn_root(
         AppId(1),
         64,
-        Box::new(FnBehavior(move |w, _ctx: &mut dyn simkernel::UserCtx| {
-            match w {
+        Box::new(FnBehavior(
+            move |w, _ctx: &mut dyn simkernel::UserCtx| match w {
                 Wakeup::Start => Action::Send(req, vec![21]),
                 Wakeup::Sent => Action::Recv(rsp),
                 Wakeup::Received(m) => {
@@ -256,8 +268,8 @@ fn ipc_roundtrip() {
                     Action::Exit
                 }
                 other => panic!("client: unexpected {other:?}"),
-            }
-        })),
+            },
+        )),
     );
     assert!(k.run_to_completion(t(10)));
 }
@@ -269,13 +281,13 @@ fn poll_returns_none_on_empty_port() {
     k.spawn_root(
         AppId(0),
         64,
-        Box::new(FnBehavior(move |w, _ctx: &mut dyn simkernel::UserCtx| {
-            match w {
+        Box::new(FnBehavior(
+            move |w, _ctx: &mut dyn simkernel::UserCtx| match w {
                 Wakeup::Start => Action::Poll(port),
                 Wakeup::Polled(None) => Action::Exit,
                 other => panic!("unexpected {other:?}"),
-            }
-        })),
+            },
+        )),
     );
     assert!(k.run_to_completion(t(1)));
 }
@@ -310,15 +322,13 @@ fn spawn_creates_children_in_same_app() {
     let root = k.spawn_root(
         AppId(7),
         64,
-        Box::new(FnBehavior(|w, _ctx: &mut dyn simkernel::UserCtx| {
-            match w {
-                Wakeup::Start => Action::Spawn(
-                    Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
-                    32,
-                ),
-                Wakeup::Spawned(_) => Action::Exit,
-                other => panic!("unexpected {other:?}"),
-            }
+        Box::new(FnBehavior(|w, _ctx: &mut dyn simkernel::UserCtx| match w {
+            Wakeup::Start => Action::Spawn(
+                Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+                32,
+            ),
+            Wakeup::Spawned(_) => Action::Exit,
+            other => panic!("unexpected {other:?}"),
         })),
     );
     assert!(k.run_to_completion(t(10)));
@@ -384,7 +394,10 @@ fn yield_rotates_between_processes() {
     // With yields, both finish long before a quantum would have rotated
     // them (3 ms each vs 100 ms quantum).
     let done = k.app_done_time(AppId(1)).unwrap();
-    assert!(done < SimTime::ZERO + SimDur::from_millis(20), "done {done}");
+    assert!(
+        done < SimTime::ZERO + SimDur::from_millis(20),
+        "done {done}"
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Tests for the cycle-accounting ledger: conservation, attribution, and
+//! the new trace variants (preempt-while-spinning, lock hand-off latency).
+
+use desim::{SimDur, SimTime};
+use simkernel::policy::FifoRoundRobin;
+use simkernel::{Action, AppId, KTrace, Kernel, KernelConfig, Script};
+
+const LIMIT: SimTime = SimTime(7_200 * 1_000_000_000);
+
+fn contended_kernel(cpus: usize, procs: u32, cs_ms: u64) -> Kernel {
+    let mut k = Kernel::new(
+        KernelConfig::multimax().with_cpus(cpus),
+        Box::new(FifoRoundRobin::new()),
+    );
+    let lock = k.create_lock();
+    for i in 0..procs {
+        k.spawn_root(
+            AppId(i % 3),
+            256,
+            Box::new(Script::new(vec![
+                Action::Compute(SimDur::from_millis(5)),
+                Action::AcquireLock(lock),
+                Action::Compute(SimDur::from_millis(cs_ms)),
+                Action::ReleaseLock(lock),
+                Action::Compute(SimDur::from_millis(5)),
+            ])),
+        );
+    }
+    k
+}
+
+#[test]
+fn ledger_conserves_cycles_at_completion() {
+    let mut k = contended_kernel(4, 12, 30);
+    assert!(k.run_to_completion(LIMIT));
+    let ledger = k.cycle_ledger();
+    assert_eq!(ledger.num_cpus, 4);
+    assert!(
+        ledger.conserved(),
+        "accounted {} != processor cycles {} (work {} spin {} refill {} switch {} idle {})",
+        ledger.accounted(),
+        ledger.processor_cycles(),
+        ledger.total.work,
+        ledger.total.spin,
+        ledger.total.refill,
+        ledger.total.switch,
+        ledger.idle,
+    );
+    // Under heavy overcommit on a shared lock there must be real spin and
+    // switch time, and the requested work is all present.
+    assert!(ledger.total.spin > SimDur::ZERO, "no spin recorded");
+    assert!(
+        ledger.total.switch > SimDur::ZERO,
+        "no switch time recorded"
+    );
+    assert!(ledger.total.work >= SimDur::from_millis(12 * 40));
+}
+
+#[test]
+fn ledger_conserves_cycles_mid_run() {
+    // Conservation must hold at arbitrary snapshot instants, including
+    // while processes are mid-segment or inside a context-switch window.
+    let mut k = contended_kernel(2, 8, 20);
+    for ms in [1u64, 7, 50, 123, 400, 1_000] {
+        k.run_until(SimTime::ZERO + SimDur::from_millis(ms));
+        let ledger = k.cycle_ledger();
+        assert!(
+            ledger.conserved(),
+            "at {ms}ms: accounted {} != {}",
+            ledger.accounted(),
+            ledger.processor_cycles(),
+        );
+    }
+    assert!(k.run_to_completion(LIMIT));
+    assert!(k.cycle_ledger().conserved());
+}
+
+#[test]
+fn per_app_totals_sum_to_machine_totals() {
+    let mut k = contended_kernel(4, 9, 10);
+    assert!(k.run_to_completion(LIMIT));
+    let ledger = k.cycle_ledger();
+    let mut work = SimDur::ZERO;
+    let mut spin = SimDur::ZERO;
+    let mut refill = SimDur::ZERO;
+    let mut switch = SimDur::ZERO;
+    for (_, c) in ledger.apps() {
+        work += c.work;
+        spin += c.spin;
+        refill += c.refill;
+        switch += c.switch;
+    }
+    assert_eq!(work, ledger.total.work);
+    assert_eq!(spin, ledger.total.spin);
+    assert_eq!(refill, ledger.total.refill);
+    assert_eq!(switch, ledger.total.switch);
+    // Per-process map covers the same cycles as the per-app map.
+    let mut proc_work = SimDur::ZERO;
+    for c in ledger.per_proc.values() {
+        proc_work += c.work;
+    }
+    assert_eq!(proc_work, ledger.total.work);
+}
+
+#[test]
+fn preempt_while_spinning_is_traced() {
+    // One long lock holder plus many spinners on few processors: spinners
+    // must get preempted while spinning.
+    let mut k = Kernel::new(
+        KernelConfig::multimax().with_cpus(2),
+        Box::new(FifoRoundRobin::new()),
+    );
+    let lock = k.create_lock();
+    k.spawn_root(
+        AppId(0),
+        64,
+        Box::new(Script::new(vec![
+            Action::AcquireLock(lock),
+            Action::Compute(SimDur::from_millis(500)),
+            Action::ReleaseLock(lock),
+        ])),
+    );
+    for _ in 0..4 {
+        k.spawn_root(
+            AppId(1),
+            64,
+            Box::new(Script::new(vec![
+                Action::AcquireLock(lock),
+                Action::Compute(SimDur::from_millis(1)),
+                Action::ReleaseLock(lock),
+            ])),
+        );
+    }
+    assert!(k.run_to_completion(LIMIT));
+    let spinning_preempts = k
+        .trace()
+        .filtered(|e| matches!(e, KTrace::PreemptWhileSpinning { .. }))
+        .count();
+    assert!(
+        spinning_preempts > 0,
+        "expected preempt-while-spinning events under overcommit"
+    );
+}
+
+#[test]
+fn lock_handoff_latency_is_traced() {
+    let mut k = contended_kernel(4, 8, 10);
+    assert!(k.run_to_completion(LIMIT));
+    let mut handoffs = 0u32;
+    for e in k.trace().events() {
+        if let KTrace::LockHandoff { waited, .. } = e.kind {
+            handoffs += 1;
+            // Hand-off latency is bounded by the whole run.
+            assert!(e.time.since(SimTime::ZERO) >= waited);
+        }
+    }
+    assert!(handoffs > 0, "contended run produced no lock hand-offs");
+}
+
+#[test]
+fn suspended_time_is_wall_clock_not_processor_time() {
+    // A process that sleeps does not accrue suspended time; suspension is
+    // only the SigWait state. Build a suspender via procctl-style signal
+    // wait: process A waits for a signal, process B computes then signals.
+    use simkernel::{FnBehavior, Wakeup};
+    let mut k = Kernel::new(
+        KernelConfig::multimax().with_cpus(2),
+        Box::new(FifoRoundRobin::new()),
+    );
+    let waiter = k.spawn_root(
+        AppId(0),
+        64,
+        Box::new(FnBehavior(
+            |wake, _ctx: &mut dyn simkernel::UserCtx| match wake {
+                Wakeup::Start => Action::WaitSignal,
+                _ => Action::Exit,
+            },
+        )),
+    );
+    let _signaler = k.spawn_root(
+        AppId(1),
+        64,
+        Box::new(FnBehavior(
+            move |wake, _ctx: &mut dyn simkernel::UserCtx| match wake {
+                Wakeup::Start => Action::Compute(SimDur::from_millis(50)),
+                Wakeup::ComputeDone => Action::SendSignal(waiter),
+                _ => Action::Exit,
+            },
+        )),
+    );
+    assert!(k.run_to_completion(LIMIT));
+    let ledger = k.cycle_ledger();
+    assert!(ledger.conserved());
+    let w = ledger.per_proc[&waiter];
+    // The waiter sat suspended for roughly the signaler's compute time.
+    assert!(
+        w.suspended >= SimDur::from_millis(40),
+        "suspended {} too small",
+        w.suspended
+    );
+    // Suspended time is excluded from its busy() processor time.
+    assert!(w.busy() < SimDur::from_millis(10));
+}

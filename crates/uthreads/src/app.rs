@@ -76,6 +76,20 @@ impl ThreadsApp {
     pub fn target(&self) -> Option<u32> {
         self.shared.borrow().target()
     }
+
+    /// A copy of the span records emitted so far (task pickup/finish,
+    /// suspension enter/exit, queue-lock waits, control polls).
+    pub fn spans(&self) -> Vec<crate::span::SpanRecord> {
+        self.shared.borrow().spans().records().to_vec()
+    }
+
+    /// Poll-to-convergence latencies observed so far: how long after each
+    /// applied target the application reached it. See
+    /// [`crate::poll_to_convergence`].
+    pub fn convergence(&self) -> Vec<(desim::SimTime, desim::SimDur)> {
+        let sh = self.shared.borrow();
+        crate::span::poll_to_convergence(sh.spans().records(), sh.nprocs())
+    }
 }
 
 /// Launches an application onto the kernel: creates its queue lock and

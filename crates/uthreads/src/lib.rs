@@ -16,10 +16,12 @@
 
 mod app;
 mod shared;
+mod span;
 mod task;
 mod worker;
 
 pub use app::{launch, AppSpec, ThreadsApp};
 pub use shared::{AppMetrics, AppShared, ControlParams, ThreadsConfig};
+pub use span::{poll_to_convergence, SpanKind, SpanLog, SpanRecord};
 pub use task::{BarrierId, ChanId, FnTask, OpsBody, Task, TaskBody, TaskEvent, TaskOp};
 pub use worker::Worker;

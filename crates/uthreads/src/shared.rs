@@ -15,6 +15,7 @@ use desim::SimDur;
 use procctl::ClientControl;
 use simkernel::{LockId, Pid};
 
+use crate::span::SpanLog;
 use crate::task::{Task, TaskEvent};
 
 /// Package-level counters, kept per application.
@@ -173,6 +174,8 @@ pub struct AppShared {
     pub(crate) poll_in_flight: bool,
     pub(crate) control: Option<ClientControl>,
     pub(crate) metrics: AppMetrics,
+    /// Span events emitted by the workers (task/suspension/lock-wait/poll).
+    pub(crate) spans: SpanLog,
 }
 
 impl AppShared {
@@ -191,6 +194,7 @@ impl AppShared {
             poll_in_flight: false,
             control: None,
             metrics: AppMetrics::default(),
+            spans: SpanLog::default(),
         }
     }
 
@@ -218,5 +222,15 @@ impl AppShared {
     /// The latest process-control target, if control is enabled.
     pub fn target(&self) -> Option<u32> {
         self.control.as_ref().map(ClientControl::target)
+    }
+
+    /// The span log recorded so far.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// The configured worker count.
+    pub fn nprocs(&self) -> u32 {
+        self.cfg.nprocs
     }
 }

@@ -1,0 +1,167 @@
+//! Span events: what each worker was doing, and when.
+//!
+//! The workers append timestamped records to a per-application [`SpanLog`]
+//! at the package's own state transitions — task pickup/finish, suspension
+//! enter/exit, queue-lock waits, and control polls. Harnesses read the log
+//! back to build Perfetto tracks and to measure the latency the paper's
+//! Figure 5 claim rests on: how long after a poll applies a new target does
+//! the application actually reach it ([`poll_to_convergence`]).
+
+use desim::{SimDur, SimTime};
+use simkernel::Pid;
+
+/// What happened at a span boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A worker picked a task off the ready queue and started executing it.
+    TaskStart,
+    /// The worker put its current task down: `finished` tasks completed,
+    /// unfinished ones parked at a barrier/channel or requeued.
+    TaskEnd {
+        /// True when the task ran to completion.
+        finished: bool,
+    },
+    /// The worker suspended itself at a safe point (process control).
+    SuspendEnter,
+    /// The worker was resumed by a colleague's signal.
+    SuspendExit,
+    /// The worker acquired the queue lock after waiting `waited` for it
+    /// (the spin time degradation mechanism #1 is made of).
+    QueueLockWait {
+        /// Time from requesting the queue lock to holding it.
+        waited: SimDur,
+    },
+    /// The worker issued a poll to the control server (or started a
+    /// decentralized rpstat sweep).
+    PollSent,
+    /// A target from the server (or a decentralized estimate) was applied
+    /// to the application's control block.
+    TargetApplied {
+        /// The new target number of runnable processes.
+        target: u32,
+    },
+}
+
+/// One timestamped span record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// The worker process.
+    pub pid: Pid,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// An append-only log of span records for one application.
+#[derive(Clone, Debug, Default)]
+pub struct SpanLog {
+    records: Vec<SpanRecord>,
+}
+
+impl SpanLog {
+    /// Appends a record.
+    pub(crate) fn push(&mut self, time: SimTime, pid: Pid, kind: SpanKind) {
+        self.records.push(SpanRecord { time, pid, kind });
+    }
+
+    /// All records in emission order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Poll-to-convergence latencies: for each applied target that differed
+/// from the application's active worker count at that moment, how long the
+/// package took to actually reach it (by workers suspending or resuming at
+/// safe points). Targets superseded before convergence are dropped —
+/// exactly the cases where the server moved the goalposts mid-adjustment.
+///
+/// `initial_active` is the worker count at launch (`nprocs`).
+pub fn poll_to_convergence(records: &[SpanRecord], initial_active: u32) -> Vec<(SimTime, SimDur)> {
+    let mut active = initial_active;
+    let mut pending: Option<(SimTime, u32)> = None;
+    let mut out = Vec::new();
+    for r in records {
+        match r.kind {
+            SpanKind::SuspendEnter => active -= 1,
+            SpanKind::SuspendExit => active += 1,
+            SpanKind::TargetApplied { target } => {
+                if target == active {
+                    pending = None;
+                } else {
+                    pending = Some((r.time, target));
+                }
+                continue;
+            }
+            _ => continue,
+        }
+        if let Some((since, target)) = pending {
+            if active == target {
+                out.push((since, r.time.since(since)));
+                pending = None;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ms: u64, kind: SpanKind) -> SpanRecord {
+        SpanRecord {
+            time: SimTime::ZERO + SimDur::from_millis(ms),
+            pid: Pid(0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn convergence_measures_suspension_lag() {
+        let records = vec![
+            rec(100, SpanKind::TargetApplied { target: 2 }),
+            rec(150, SpanKind::SuspendEnter),
+            rec(300, SpanKind::SuspendEnter),
+            rec(900, SpanKind::TargetApplied { target: 4 }),
+            rec(950, SpanKind::SuspendExit),
+            rec(980, SpanKind::SuspendExit),
+        ];
+        let c = poll_to_convergence(&records, 4);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].0, SimTime::ZERO + SimDur::from_millis(100));
+        assert_eq!(c[0].1, SimDur::from_millis(200));
+        assert_eq!(c[1].1, SimDur::from_millis(80));
+    }
+
+    #[test]
+    fn superseded_targets_are_dropped() {
+        let records = vec![
+            rec(100, SpanKind::TargetApplied { target: 1 }),
+            rec(150, SpanKind::SuspendEnter),
+            // New target before the first converged: only this one counts.
+            rec(200, SpanKind::TargetApplied { target: 4 }),
+            rec(250, SpanKind::SuspendExit),
+        ];
+        let c = poll_to_convergence(&records, 4);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].1, SimDur::from_millis(50));
+    }
+
+    #[test]
+    fn already_met_targets_produce_no_entry() {
+        let records = vec![rec(100, SpanKind::TargetApplied { target: 4 })];
+        assert!(poll_to_convergence(&records, 4).is_empty());
+    }
+}

@@ -93,7 +93,13 @@ impl Task {
     /// A task that computes once and finishes — the workhorse of
     /// embarrassingly parallel workloads.
     pub fn compute(label: &'static str, dur: SimDur) -> Self {
-        Task::new(label, Box::new(ComputeBody { dur, started: false }))
+        Task::new(
+            label,
+            Box::new(ComputeBody {
+                dur,
+                started: false,
+            }),
+        )
     }
 }
 

@@ -18,10 +18,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use desim::SimTime;
 use procctl::{ClientControl, Decision};
-use simkernel::{Action, Behavior, PortId, UserCtx, Wakeup};
+use simkernel::{Action, Behavior, Pid, PortId, UserCtx, Wakeup};
 
 use crate::shared::{AppShared, ControlMode, ControlParams};
+use crate::span::SpanKind;
 use crate::task::{BarrierId, ChanId, Task, TaskEvent, TaskOp};
 
 /// Queue operations a task can request (all performed under the queue lock).
@@ -96,12 +98,18 @@ pub struct Worker {
     spawned: u32,
     /// Reply mailbox for control messages (shared per application).
     reply_port: Option<PortId>,
+    /// When this worker last requested the queue lock (span accounting).
+    qlock_req: Option<SimTime>,
 }
 
 impl Worker {
     /// Creates a worker. The root worker additionally registers with the
     /// server (if control is enabled) and spawns its colleagues.
-    pub(crate) fn new(shared: Rc<RefCell<AppShared>>, is_root: bool, reply_port: Option<PortId>) -> Self {
+    pub(crate) fn new(
+        shared: Rc<RefCell<AppShared>>,
+        is_root: bool,
+        reply_port: Option<PortId>,
+    ) -> Self {
         Worker {
             shared,
             state: WState::BootSpawn,
@@ -110,6 +118,7 @@ impl Worker {
             is_root,
             spawned: 0,
             reply_port,
+            qlock_req: None,
         }
     }
 
@@ -142,6 +151,8 @@ impl Worker {
                     sh.active -= 1;
                     sh.suspended.push(ctx.my_pid());
                     sh.metrics.suspends += 1;
+                    sh.spans
+                        .push(ctx.now(), ctx.my_pid(), SpanKind::SuspendEnter);
                     self.state = WState::Suspending;
                     return Action::WaitSignal;
                 }
@@ -169,6 +180,7 @@ impl Worker {
             };
             if let Some((port, msg)) = poll_action {
                 sh.metrics.polls += 1;
+                sh.spans.push(now, ctx.my_pid(), SpanKind::PollSent);
                 match mode {
                     ControlMode::Centralized { .. } => {
                         sh.poll_in_flight = true;
@@ -183,13 +195,19 @@ impl Worker {
             }
         }
         if !sh.queue.is_empty() {
+            self.qlock_req = Some(ctx.now());
             self.state = WState::DequeueLock;
             return Action::AcquireLock(sh.qlock);
         }
         if sh.outstanding == 0 {
             sh.done = true;
-            if let (Some(ControlParams { mode: ControlMode::Centralized { .. }, .. }), Some(ctl)) =
-                (sh.cfg.control, &sh.control)
+            if let (
+                Some(ControlParams {
+                    mode: ControlMode::Centralized { .. },
+                    ..
+                }),
+                Some(ctl),
+            ) = (sh.cfg.control, &sh.control)
             {
                 let port = ctl.server_port;
                 let msg = ctl.bye_msg();
@@ -221,7 +239,7 @@ impl Worker {
     }
 
     /// Advances the current task and maps its next op onto kernel actions.
-    fn task_step(&mut self, event: TaskEvent, _ctx: &mut dyn UserCtx) -> Action {
+    fn task_step(&mut self, event: TaskEvent, ctx: &mut dyn UserCtx) -> Action {
         let op = self
             .cur
             .as_mut()
@@ -241,24 +259,38 @@ impl Worker {
                 self.state = WState::TaskRun(TaskEvent::Unlocked);
                 Action::ReleaseLock(l)
             }
-            TaskOp::Spawn(t) => self.qlock_for(QOp::Spawn(Some(t))),
-            TaskOp::Barrier(b) => self.qlock_for(QOp::Barrier(b)),
-            TaskOp::Send(c, v) => self.qlock_for(QOp::Send(c, v)),
-            TaskOp::Recv(c) => self.qlock_for(QOp::Recv(c)),
-            TaskOp::Requeue => self.qlock_for(QOp::Requeue),
-            TaskOp::Done => self.qlock_for(QOp::Finish),
+            TaskOp::Spawn(t) => self.qlock_for(QOp::Spawn(Some(t)), ctx.now()),
+            TaskOp::Barrier(b) => self.qlock_for(QOp::Barrier(b), ctx.now()),
+            TaskOp::Send(c, v) => self.qlock_for(QOp::Send(c, v), ctx.now()),
+            TaskOp::Recv(c) => self.qlock_for(QOp::Recv(c), ctx.now()),
+            TaskOp::Requeue => self.qlock_for(QOp::Requeue, ctx.now()),
+            TaskOp::Done => self.qlock_for(QOp::Finish, ctx.now()),
         }
     }
 
-    fn qlock_for(&mut self, op: QOp) -> Action {
+    fn qlock_for(&mut self, op: QOp, now: SimTime) -> Action {
         let qlock = self.shared.borrow().qlock;
+        self.qlock_req = Some(now);
         self.state = WState::TaskQLock(op);
         Action::AcquireLock(qlock)
     }
 
+    /// Records how long the worker waited for the queue lock it now holds.
+    fn note_qlock_acquired(&mut self, ctx: &mut dyn UserCtx) {
+        if let Some(since) = self.qlock_req.take() {
+            self.shared.borrow_mut().spans.push(
+                ctx.now(),
+                ctx.my_pid(),
+                SpanKind::QueueLockWait {
+                    waited: ctx.now().since(since),
+                },
+            );
+        }
+    }
+
     /// Applies a queue operation (caller holds the queue lock) and returns
     /// what to do after the release.
-    fn apply_qop(&mut self, op: QOp) -> Resume {
+    fn apply_qop(&mut self, op: QOp, now: SimTime, pid: Pid) -> Resume {
         let mut sh = self.shared.borrow_mut();
         match op {
             QOp::Spawn(t) => {
@@ -280,6 +312,8 @@ impl Worker {
                     sh.barriers[b.0 as usize].arrived = arrived;
                     let t = self.cur.take().expect("barrier from a running task");
                     sh.barriers[b.0 as usize].parked.push(t);
+                    sh.spans
+                        .push(now, pid, SpanKind::TaskEnd { finished: false });
                     Resume::ToSafe
                 }
             }
@@ -299,18 +333,24 @@ impl Worker {
                 } else {
                     let t = self.cur.take().expect("recv from a running task");
                     sh.channels[c.0 as usize].parked.push(t);
+                    sh.spans
+                        .push(now, pid, SpanKind::TaskEnd { finished: false });
                     Resume::ToSafe
                 }
             }
             QOp::Requeue => {
                 let t = self.cur.take().expect("requeue from a running task");
                 sh.queue.push_back((t, TaskEvent::Requeued));
+                sh.spans
+                    .push(now, pid, SpanKind::TaskEnd { finished: false });
                 Resume::ToSafe
             }
             QOp::Finish => {
                 sh.outstanding -= 1;
                 sh.metrics.tasks_run += 1;
                 self.cur = None;
+                sh.spans
+                    .push(now, pid, SpanKind::TaskEnd { finished: true });
                 Resume::ToSafe
             }
         }
@@ -391,7 +431,13 @@ impl Behavior for Worker {
                 self.spawned += 1;
                 self.boot_next(ctx)
             }
-            (WState::Suspending, Wakeup::Resumed) => self.safe_point(ctx),
+            (WState::Suspending, Wakeup::Resumed) => {
+                self.shared
+                    .borrow_mut()
+                    .spans
+                    .push(ctx.now(), ctx.my_pid(), SpanKind::SuspendExit);
+                self.safe_point(ctx)
+            }
             (WState::ResumeSignal, Wakeup::SignalSent) => self.safe_point(ctx),
             (WState::PollSend, Wakeup::Sent) => {
                 self.state = WState::PollRecv;
@@ -400,16 +446,17 @@ impl Behavior for Worker {
             (WState::PollRecv, Wakeup::Received(m)) => {
                 let mut sh = self.shared.borrow_mut();
                 sh.poll_in_flight = false;
-                let ok = sh
-                    .control
-                    .as_mut()
-                    .expect("poll reply without control")
-                    .apply_reply(&m);
+                let ctl = sh.control.as_mut().expect("poll reply without control");
+                let ok = ctl.apply_reply(&m);
                 debug_assert!(ok, "malformed target reply");
+                let target = ctl.target();
+                sh.spans
+                    .push(ctx.now(), ctx.my_pid(), SpanKind::TargetApplied { target });
                 drop(sh);
                 self.safe_point(ctx)
             }
             (WState::DequeueLock, Wakeup::LockAcquired(_)) => {
+                self.note_qlock_acquired(ctx);
                 let d = self.shared.borrow().cfg.queue_op;
                 self.state = WState::DequeueCrit;
                 Action::Compute(d)
@@ -425,6 +472,11 @@ impl Behavior for Worker {
             (WState::DequeueUnlock, Wakeup::LockReleased(_)) => match self.pending.take() {
                 Some((task, ev)) => {
                     self.cur = Some(task);
+                    self.shared.borrow_mut().spans.push(
+                        ctx.now(),
+                        ctx.my_pid(),
+                        SpanKind::TaskStart,
+                    );
                     self.task_step(ev, ctx)
                 }
                 // Another worker won the race for the last task.
@@ -441,12 +493,13 @@ impl Behavior for Worker {
                 self.task_step(ev, ctx)
             }
             (WState::TaskQLock(op), Wakeup::LockAcquired(_)) => {
+                self.note_qlock_acquired(ctx);
                 let d = self.shared.borrow().cfg.queue_op;
                 self.state = WState::TaskQCrit(op);
                 Action::Compute(d)
             }
             (WState::TaskQCrit(op), Wakeup::ComputeDone) => {
-                let resume = self.apply_qop(op);
+                let resume = self.apply_qop(op, ctx.now(), ctx.my_pid());
                 let qlock = self.shared.borrow().qlock;
                 self.state = WState::TaskQUnlock(resume);
                 Action::ReleaseLock(qlock)
@@ -463,13 +516,17 @@ impl Behavior for Worker {
                 let nprocs = sh.cfg.nprocs;
                 // No registry: estimate the fair share and cap it at our
                 // own process count.
-                let est = procctl::decentralized_target(
-                    &stats,
-                    simkernel::AppId(0),
-                    ncpus,
-                )
-                .min(nprocs);
-                sh.control.as_mut().expect("decentralized control").set_target(est);
+                let est =
+                    procctl::decentralized_target(&stats, simkernel::AppId(0), ncpus).min(nprocs);
+                sh.control
+                    .as_mut()
+                    .expect("decentralized control")
+                    .set_target(est);
+                sh.spans.push(
+                    ctx.now(),
+                    ctx.my_pid(),
+                    SpanKind::TargetApplied { target: est },
+                );
                 drop(sh);
                 self.safe_point(ctx)
             }

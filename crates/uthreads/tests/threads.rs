@@ -32,7 +32,12 @@ fn app_runs_tasks_to_completion() {
     let tasks: Vec<Task> = (0..20)
         .map(|_| Task::compute("work", SimDur::from_millis(10)))
         .collect();
-    let app = launch(&mut k, AppId(0), ThreadsConfig::new(4), AppSpec::tasks(tasks));
+    let app = launch(
+        &mut k,
+        AppId(0),
+        ThreadsConfig::new(4),
+        AppSpec::tasks(tasks),
+    );
     assert!(k.run_to_completion(t(30)));
     assert!(app.is_done());
     assert_eq!(app.metrics().tasks_run, 20);
@@ -43,7 +48,12 @@ fn app_runs_tasks_to_completion() {
 fn single_worker_app_works() {
     let mut k = kernel(1);
     let tasks = vec![Task::compute("only", SimDur::from_millis(5))];
-    let app = launch(&mut k, AppId(0), ThreadsConfig::new(1), AppSpec::tasks(tasks));
+    let app = launch(
+        &mut k,
+        AppId(0),
+        ThreadsConfig::new(1),
+        AppSpec::tasks(tasks),
+    );
     assert!(k.run_to_completion(t(10)));
     assert_eq!(app.metrics().tasks_run, 1);
 }
@@ -56,7 +66,12 @@ fn more_workers_speed_up_parallel_work() {
         let tasks: Vec<Task> = (0..32)
             .map(|_| Task::compute("w", SimDur::from_millis(20)))
             .collect();
-        launch(&mut k, AppId(0), ThreadsConfig::new(nprocs), AppSpec::tasks(tasks));
+        launch(
+            &mut k,
+            AppId(0),
+            ThreadsConfig::new(nprocs),
+            AppSpec::tasks(tasks),
+        );
         assert!(k.run_to_completion(t(60)));
         k.app_done_time(AppId(0)).unwrap().as_secs_f64()
     };
@@ -172,7 +187,11 @@ fn control_suspends_excess_workers() {
     assert!(!app.is_done(), "test needs the app still running");
     let active = app.active();
     assert!(active <= 5, "active {active} workers, expected ~4");
-    assert!(app.metrics().suspends >= 3, "suspends {}", app.metrics().suspends);
+    assert!(
+        app.metrics().suspends >= 3,
+        "suspends {}",
+        app.metrics().suspends
+    );
     assert_eq!(app.target(), Some(4));
     // Runnable processes (incl. transients) near the machine size.
     assert!(k.app_runnable(AppId(0)) <= 5);
@@ -209,7 +228,10 @@ fn two_controlled_apps_split_the_machine() {
     let a = launch(&mut k, AppId(0), cfg(0), AppSpec::tasks(mk_tasks()));
     let b = launch(&mut k, AppId(1), cfg(1), AppSpec::tasks(mk_tasks()));
     k.run_until(t(8));
-    assert!(!a.is_done() && !b.is_done(), "apps finished too early for the check");
+    assert!(
+        !a.is_done() && !b.is_done(),
+        "apps finished too early for the check"
+    );
     // After a few polls both should sit at ~4 active workers each.
     assert_eq!(a.target(), Some(4));
     assert_eq!(b.target(), Some(4));
@@ -274,7 +296,12 @@ fn uncontrolled_app_is_unaffected_by_server() {
     let tasks: Vec<Task> = (0..50)
         .map(|_| Task::compute("w", SimDur::from_millis(5)))
         .collect();
-    let app = launch(&mut k, AppId(0), ThreadsConfig::new(4), AppSpec::tasks(tasks));
+    let app = launch(
+        &mut k,
+        AppId(0),
+        ThreadsConfig::new(4),
+        AppSpec::tasks(tasks),
+    );
     assert!(k.run_until_apps_done(&[AppId(0)], t(30)));
     assert_eq!(app.metrics().suspends, 0);
     assert_eq!(app.metrics().polls, 0);
@@ -295,7 +322,12 @@ fn tasks_spawning_tasks() {
             _ => TaskOp::Done,
         })),
     );
-    let app = launch(&mut k, AppId(0), ThreadsConfig::new(4), AppSpec::tasks(vec![root]));
+    let app = launch(
+        &mut k,
+        AppId(0),
+        ThreadsConfig::new(4),
+        AppSpec::tasks(vec![root]),
+    );
     assert!(k.run_to_completion(t(30)));
     assert_eq!(app.metrics().tasks_run, 11);
 }
@@ -310,16 +342,10 @@ fn weighted_apps_get_proportional_shares() {
             .map(|_| Task::compute("w", SimDur::from_millis(10)))
             .collect()
     };
-    let a_cfg = ThreadsConfig::new(8).with_weighted_control(
-        server_port,
-        SimDur::from_secs(1),
-        3_000,
-    );
-    let b_cfg = ThreadsConfig::new(8).with_weighted_control(
-        server_port,
-        SimDur::from_secs(1),
-        1_000,
-    );
+    let a_cfg =
+        ThreadsConfig::new(8).with_weighted_control(server_port, SimDur::from_secs(1), 3_000);
+    let b_cfg =
+        ThreadsConfig::new(8).with_weighted_control(server_port, SimDur::from_secs(1), 1_000);
     let a = launch(&mut k, AppId(0), a_cfg, AppSpec::tasks(mk_tasks()));
     let b = launch(&mut k, AppId(1), b_cfg, AppSpec::tasks(mk_tasks()));
     k.run_until(t(6));
@@ -337,7 +363,12 @@ fn weighted_apps_get_proportional_shares() {
 #[test]
 fn zero_task_app_completes_immediately() {
     let mut k = kernel(2);
-    let app = launch(&mut k, AppId(0), ThreadsConfig::new(4), AppSpec::tasks(vec![]));
+    let app = launch(
+        &mut k,
+        AppId(0),
+        ThreadsConfig::new(4),
+        AppSpec::tasks(vec![]),
+    );
     assert!(k.run_until_apps_done(&[AppId(0)], t(5)));
     assert!(app.is_done());
     assert_eq!(app.metrics().tasks_run, 0);
@@ -372,7 +403,11 @@ fn single_process_controlled_app_never_suspends_itself_to_zero() {
         .collect();
     let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
     assert!(k.run_until_apps_done(&[AppId(0), AppId(1)], t(120)));
-    assert_eq!(app.metrics().suspends, 0, "the lone worker must not suspend");
+    assert_eq!(
+        app.metrics().suspends,
+        0,
+        "the lone worker must not suspend"
+    );
     assert_eq!(app.metrics().tasks_run, 100);
 }
 
@@ -403,7 +438,8 @@ fn requeue_creates_safe_points_in_long_tasks() {
     ));
     // Plus bulk work to keep other workers busy.
     for _ in 0..400 {
-        spec.tasks.push(Task::compute("bulk", SimDur::from_millis(20)));
+        spec.tasks
+            .push(Task::compute("bulk", SimDur::from_millis(20)));
     }
     let cfg = ThreadsConfig::new(8).with_control(server_port, SimDur::from_secs(1));
     let app = launch(&mut k, AppId(0), cfg, spec);

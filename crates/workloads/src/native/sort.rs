@@ -86,7 +86,9 @@ mod tests {
     fn pseudo_random(n: usize, mut seed: u64) -> Vec<i64> {
         (0..n)
             .map(|_| {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (seed >> 20) as i64 % 10_000
             })
             .collect()
@@ -127,7 +129,11 @@ mod tests {
             let xs = pseudo_random(997, leaves as u64); // non-divisible length
             let mut expect = xs.clone();
             expect.sort_unstable();
-            assert_eq!(merge_sort_via_leaves(&xs, leaves), expect, "leaves={leaves}");
+            assert_eq!(
+                merge_sort_via_leaves(&xs, leaves),
+                expect,
+                "leaves={leaves}"
+            );
         }
     }
 

@@ -381,13 +381,7 @@ mod tests {
 
     #[test]
     fn synthetic_fraction_bounds() {
-        let s = synthetic_cs_spec(
-            4,
-            2,
-            SimDur::from_millis(10),
-            0.25,
-            simkernel::LockId(0),
-        );
+        let s = synthetic_cs_spec(4, 2, SimDur::from_millis(10), 0.25, simkernel::LockId(0));
         assert_eq!(s.tasks.len(), 4);
     }
 
@@ -399,12 +393,7 @@ mod tests {
 
     #[test]
     fn producer_consumer_shape() {
-        let s = producer_consumer_spec(
-            3,
-            10,
-            SimDur::from_millis(1),
-            SimDur::from_millis(2),
-        );
+        let s = producer_consumer_spec(3, 10, SimDur::from_millis(1), SimDur::from_millis(2));
         assert_eq!(s.tasks.len(), 6);
         assert_eq!(s.channels, 3);
     }

@@ -58,7 +58,10 @@ fn sort_completes_with_merge_tail() {
     let speedup = t1 / t8;
     // The sequential merge tail caps the speedup below the others.
     assert!(speedup > 3.0, "sort speedup {speedup:.2}");
-    assert!(speedup < 8.0, "sort speedup suspiciously ideal: {speedup:.2}");
+    assert!(
+        speedup < 8.0,
+        "sort speedup suspiciously ideal: {speedup:.2}"
+    );
 }
 
 #[test]
@@ -95,21 +98,14 @@ fn overcommitted_app_still_finishes() {
 fn fork_join_runs_every_node_once() {
     // depth 3, fan 2: 7 internal/leaf spawning levels -> 8 leaves + 7
     // internal nodes = 15 tasks total.
-    let spec = workloads::fork_join_spec(
-        3,
-        2,
-        SimDur::from_millis(20),
-        SimDur::from_millis(2),
-    );
+    let spec = workloads::fork_join_spec(3, 2, SimDur::from_millis(20), SimDur::from_millis(2));
     let (_wall, tasks) = run_app(spec, 4, 4, 60);
     assert_eq!(tasks, 15);
 }
 
 #[test]
 fn fork_join_scales_with_workers() {
-    let mk = || {
-        workloads::fork_join_spec(4, 3, SimDur::from_millis(30), SimDur::from_millis(1))
-    };
+    let mk = || workloads::fork_join_spec(4, 3, SimDur::from_millis(30), SimDur::from_millis(1));
     let (t1, n1) = run_app(mk(), 1, 8, 600);
     let (t8, n8) = run_app(mk(), 8, 8, 600);
     assert_eq!(n1, n8);

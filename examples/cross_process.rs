@@ -56,7 +56,11 @@ fn respawn(role_args: &[&str]) -> Child {
 fn run_launcher() {
     let sock = sock_path();
     let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
-    println!("launcher pid {}: {} cores, socket {sock}", std::process::id(), cores);
+    println!(
+        "launcher pid {}: {} cores, socket {sock}",
+        std::process::id(),
+        cores
+    );
 
     let mut server = respawn(&["--role", "server", &sock]);
     // Wait for the socket to appear.
@@ -85,7 +89,10 @@ fn run_server(sock: &str) {
     let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
     let cfg = native_rt::UdsServerConfig::new(sock, cores);
     let _server = native_rt::UdsServer::start(cfg).expect("bind server socket");
-    println!("server pid {}: partitioning {cores} cores", std::process::id());
+    println!(
+        "server pid {}: partitioning {cores} cores",
+        std::process::id()
+    );
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

@@ -48,7 +48,12 @@ fn main() {
         kernel.run_until(SimTime::ZERO + SimDur::from_secs(*start));
         let cfg = ThreadsConfig::new(16).with_control(server, poll);
         let id = AppId(i as u32);
-        handles.push((id, *kind, *start, launch(&mut kernel, id, cfg, kind.spec(&presets))));
+        handles.push((
+            id,
+            *kind,
+            *start,
+            launch(&mut kernel, id, cfg, kind.spec(&presets)),
+        ));
     }
 
     // At t = 25 s, four batch compiles arrive (uncontrollable, 20 s each).
@@ -61,7 +66,10 @@ fn main() {
         "mix did not finish"
     );
 
-    println!("multiprogrammed mix on {} CPUs (controlled apps + editor + 4 compiles)\n", env.cpus);
+    println!(
+        "multiprogrammed mix on {} CPUs (controlled apps + editor + 4 compiles)\n",
+        env.cpus
+    );
     let rows: Vec<Vec<String>> = handles
         .iter()
         .map(|(id, kind, start, h)| {
@@ -81,12 +89,18 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(&["app", "start(s)", "wall(s)", "suspends", "resumes"], &rows)
+        table(
+            &["app", "start(s)", "wall(s)", "suspends", "resumes"],
+            &rows
+        )
     );
 
     // Timeline of total runnable processes, 5 s samples.
     let total = runnable_total_series(kernel.trace(), "total runnable");
-    println!("runnable processes over time (machine has {} CPUs):", env.cpus);
+    println!(
+        "runnable processes over time (machine has {} CPUs):",
+        env.cpus
+    );
     let end = kernel.now().as_secs_f64();
     let mut x = 0.0;
     while x <= end {

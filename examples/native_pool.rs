@@ -20,7 +20,10 @@ use workloads::native::matmul::{matmul_rows, Matrix};
 fn main() {
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     let controller = Controller::new(cores, Duration::from_millis(50));
-    println!("host: {cores} cores; two pools of {} workers each\n", 2 * cores);
+    println!(
+        "host: {cores} cores; two pools of {} workers each\n",
+        2 * cores
+    );
 
     // Pool A: C = A * B, one job per row band.
     let n = 384;

@@ -30,7 +30,11 @@ fn main() {
     ];
     let limit = SimTime::ZERO + SimDur::from_secs(3_600);
 
-    println!("machine: {} processors, policy {}", env.cpus, env.policy.name());
+    println!(
+        "machine: {} processors, policy {}",
+        env.cpus,
+        env.policy.name()
+    );
     println!("workload: matmul + fft, 24 processes each (3x overcommitted)\n");
 
     let (plain, _) = run_scenario(&env, &presets, &launches, None, limit);

@@ -55,7 +55,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["policy", "process control", "makespan(s)", "spin(s)", "ctx switches"],
+            &[
+                "policy",
+                "process control",
+                "makespan(s)",
+                "spin(s)",
+                "ctx switches"
+            ],
             &rows
         )
     );

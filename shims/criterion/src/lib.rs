@@ -1,0 +1,228 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace patches
+//! `criterion` to this minimal harness. It keeps the call-site API
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`) and reports a simple mean wall-clock time per benchmark
+//! instead of criterion's full statistical analysis. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` / `cargo bench` pass harness flags; `--test` means
+        // "run each benchmark once to check it works".
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (test_mode, samples) = (self.test_mode, self.sample_size);
+        run_one(name, test_mode, samples, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.test_mode,
+            self.criterion.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.test_mode,
+            self.criterion.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, samples: usize, mut f: F) {
+    if test_mode {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Warm-up pass, then `samples` timed iterations; report the mean.
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut runs = 0u32;
+    for _ in 0..samples {
+        f(&mut b);
+        total += b.elapsed;
+        runs += 1;
+    }
+    let mean = total / runs.max(1);
+    println!("{name:<60} time: [{mean:?} mean of {runs}]");
+}
+
+/// Groups benchmark functions under a single callable, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 2,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 1,
+        };
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+                b.iter(|| seen = x);
+            });
+            g.finish();
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -76,7 +76,10 @@ fn interactive_load_is_nearly_free() {
     // The editor is almost never runnable at sample time, so the target
     // stays at (or within one of) the full machine.
     let target = app.target().unwrap();
-    assert!(target >= 7, "interactive load over-penalized: target {target}");
+    assert!(
+        target >= 7,
+        "interactive load over-penalized: target {target}"
+    );
     assert!(kernel.run_until_apps_done(&[AppId(0)], LIMIT));
 }
 
@@ -95,7 +98,10 @@ fn synthetic_cs_workload_contends() {
     assert!(kernel.run_until_apps_done(&[AppId(0)], LIMIT));
     let stats = kernel.lock_stats(lock);
     assert_eq!(stats.acquisitions, 64 * 4);
-    assert!(stats.contended > 0, "no contention with 12 workers on 4 cpus");
+    assert!(
+        stats.contended > 0,
+        "no contention with 12 workers on 4 cpus"
+    );
 }
 
 /// The producer/consumer workload exhibits the paper's mechanism #2:
@@ -110,12 +116,7 @@ fn producer_consumer_benefits_from_control() {
         };
         let mut kernel = env.make_kernel();
         let server = spawn_server(&mut kernel);
-        let spec = producer_consumer_spec(
-            8,
-            60,
-            SimDur::from_millis(6),
-            SimDur::from_millis(6),
-        );
+        let spec = producer_consumer_spec(8, 60, SimDur::from_millis(6), SimDur::from_millis(6));
         let mut cfg = ThreadsConfig::new(16);
         if control {
             cfg = cfg.with_control(server, SimDur::from_secs(1));

@@ -1,0 +1,158 @@
+//! Observability-pipeline tests: cycle-ledger conservation on the
+//! Figure-4 scenario, the control-on vs control-off waste deltas, the
+//! server's decision log, convergence measurement, and the validity of
+//! the Perfetto/JSON exports.
+
+use bench::{
+    fig4_launches, report_json, run_scenario_instrumented, scenario_trace, ScenarioRun, SimEnv,
+};
+use desim::{SimDur, SimTime};
+use metrics::{json, JsonValue};
+use workloads::Presets;
+
+const LIMIT: SimTime = SimTime(3_600 * 1_000_000_000);
+
+fn quick_env() -> SimEnv {
+    SimEnv {
+        trace: true,
+        ..SimEnv::default()
+    }
+}
+
+fn run(poll: Option<SimDur>) -> ScenarioRun {
+    let presets = Presets::tiny();
+    let launches = fig4_launches(8, SimDur::from_millis(500));
+    run_scenario_instrumented(&quick_env(), &presets, &launches, poll, LIMIT)
+}
+
+#[test]
+fn fig4_ledger_conserves_and_control_reduces_waste() {
+    let un = run(None);
+    let ctl = run(Some(SimDur::from_millis(250)));
+
+    // Every processor-cycle of both runs is attributed to exactly one
+    // category: the table's columns sum to cpus × elapsed.
+    assert!(un.ledger.conserved(), "uncontrolled ledger leaks cycles");
+    assert!(ctl.ledger.conserved(), "controlled ledger leaks cycles");
+    for r in [&un, &ctl] {
+        for a in &r.apps {
+            let c = r.ledger.per_app.get(&a.app).expect("app in ledger");
+            assert!(c.work.nanos() > 0, "{:?} did no work", a.kind);
+        }
+    }
+
+    // The paper's mechanism: process control eliminates spin-wait and
+    // cache-refill waste.
+    let waste = |r: &ScenarioRun| r.ledger.total.spin + r.ledger.total.refill;
+    assert!(
+        waste(&ctl) < waste(&un),
+        "control did not reduce spin+refill: {:?} vs {:?}",
+        waste(&ctl),
+        waste(&un)
+    );
+
+    // Control artifacts exist exactly when control ran.
+    assert!(un.sweeps.is_empty());
+    assert!(!ctl.sweeps.is_empty(), "no partition sweeps recorded");
+    assert!(ctl.sweeps.iter().any(|s| !s.apps.is_empty()));
+    assert!(un.apps.iter().all(|a| a.convergence.is_empty()));
+    assert!(
+        ctl.apps.iter().any(|a| !a.convergence.is_empty()),
+        "no poll-to-convergence latency observed"
+    );
+    for a in &ctl.apps {
+        assert!(!a.spans.is_empty(), "{:?} recorded no spans", a.kind);
+        for &(at, lat) in &a.convergence {
+            assert!(at >= a.start);
+            assert!(lat.nanos() > 0);
+        }
+    }
+
+    // The JSON report round-trips through the strict parser and carries
+    // the conservation verdicts.
+    let doc = report_json(
+        JsonValue::obj([("quick", JsonValue::Bool(true))]),
+        &un,
+        &ctl,
+    );
+    let back = json::parse(&doc.render_pretty()).expect("report is valid JSON");
+    for mode in ["uncontrolled", "controlled"] {
+        let m = back.get(mode).expect("mode present");
+        assert_eq!(m.get("conserved"), Some(&JsonValue::Bool(true)), "{mode}");
+        assert_eq!(
+            m.get("apps").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(3)
+        );
+    }
+    let spin_saved = back
+        .get("deltas")
+        .and_then(|d| d.get("spin_saved_s"))
+        .and_then(|v| v.as_num())
+        .expect("spin delta");
+    let un_spin = un.ledger.total.spin.as_secs_f64();
+    let ctl_spin = ctl.ledger.total.spin.as_secs_f64();
+    assert!((spin_saved - (un_spin - ctl_spin)).abs() < 1e-9);
+}
+
+#[test]
+fn perfetto_export_is_valid_json_with_consistent_timestamps() {
+    let ctl = run(Some(SimDur::from_millis(250)));
+    let doc = scenario_trace(&ctl).finish().render();
+    let back = json::parse(&doc).expect("trace is valid JSON");
+    let events = back
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(
+        events.len() > 100,
+        "suspiciously small trace: {}",
+        events.len()
+    );
+
+    // Every event is well-formed: a phase, a non-negative timestamp, and
+    // (for complete slices) a non-negative duration.
+    let mut slices: std::collections::BTreeMap<(u64, u64, String), Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    let mut phases: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("ph")
+            .to_string();
+        let ts = e.get("ts").and_then(|v| v.as_num()).expect("ts");
+        assert!(ts >= 0.0, "negative timestamp {ts}");
+        if ph == "X" {
+            let dur = e.get("dur").and_then(|v| v.as_num()).expect("dur");
+            assert!(dur >= 0.0, "negative duration {dur}");
+            let pid = e.get("pid").and_then(|v| v.as_num()).expect("pid") as u64;
+            let tid = e.get("tid").and_then(|v| v.as_num()).expect("tid") as u64;
+            let cat = e
+                .get("cat")
+                .and_then(|v| v.as_str())
+                .expect("cat")
+                .to_string();
+            slices.entry((pid, tid, cat)).or_default().push((ts, dur));
+        }
+        phases.insert(ph);
+    }
+    for need in ["M", "X", "C"] {
+        assert!(phases.contains(need), "no {need} events in trace");
+    }
+
+    // Slices on one track (same pid/tid/category) never overlap: sorted
+    // by start, each begins at or after the previous one's end.
+    for ((pid, tid, cat), mut sl) in slices {
+        sl.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ts"));
+        for w in sl.windows(2) {
+            let (ts0, dur0) = w[0];
+            let (ts1, _) = w[1];
+            assert!(
+                ts1 >= ts0 + dur0 - 1e-6,
+                "overlapping slices on pid {pid} tid {tid} cat {cat}: \
+                 [{ts0}, {}) then {ts1}",
+                ts0 + dur0
+            );
+        }
+    }
+}

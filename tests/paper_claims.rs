@@ -142,7 +142,10 @@ fn claim_multiprogrammed_improvement() {
         );
         best = best.max(r.uncontrolled / r.controlled);
     }
-    assert!(best > 1.2, "no application improved substantially: {best:.2}x");
+    assert!(
+        best > 1.2,
+        "no application improved substantially: {best:.2}x"
+    );
 }
 
 /// Claim (Figure 5): with control, the total number of runnable processes
@@ -193,7 +196,13 @@ fn claim_equal_partition_while_coexisting() {
     ];
     let mut env_tr = env;
     env_tr.trace = true;
-    let (outs, kernel) = run_scenario(&env_tr, &presets, &launches, Some(SimDur::from_secs(1)), LIMIT);
+    let (outs, kernel) = run_scenario(
+        &env_tr,
+        &presets,
+        &launches,
+        Some(SimDur::from_secs(1)),
+        LIMIT,
+    );
     // Both identical applications should finish at nearly the same time.
     let (a, b) = (outs[0].wall, outs[1].wall);
     assert!(
