@@ -7,12 +7,15 @@
 //! results. The `report` binary runs the Figure-4 scenario with full
 //! observability: a per-application cycle-breakdown table, a Perfetto
 //! trace, and a JSON report (see [`observe`]). The figure binaries accept
-//! `--json <path>` to also write their plotted series as JSON.
+//! `--json <path>` to also write their plotted series as JSON. The
+//! `pool_bench` binary (see [`poolbench`]) measures the native runtime's
+//! work-stealing pool against its central-queue baseline.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod observe;
+pub mod poolbench;
 pub mod report;
 pub mod scenario;
 

@@ -1,0 +1,559 @@
+//! The `pool_bench` harness: central queue vs work stealing, measured.
+//!
+//! Runs the same job mix through [`native_rt::CentralPool`] (one mutex,
+//! one condvar — the design PR 2 replaced) and [`native_rt::Pool`]
+//! (per-worker Chase–Lev deques + sharded injector), across worker
+//! counts, job grain sizes, and submission styles, with and without the
+//! process controller shrinking the pool mid-run. For each configuration
+//! it reports throughput (jobs/sec), p99 queue wait, and the scheduler's
+//! own acquisition counters (`local_hits` / `injector_pops` / `steals`),
+//! then summarizes stealing-over-central speedups on matched
+//! configurations. The binary writes `results/pool_bench.json` plus a
+//! Perfetto trace of the run; `--smoke` selects a seconds-long subset for
+//! CI.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use metrics::json::counts_to_json;
+use metrics::{table, JsonValue, TraceBuilder};
+use native_rt::{CentralPool, Controller, Pool, Snapshot};
+
+/// Which queue discipline serves the workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The baseline `Mutex<VecDeque>` + global condvar pool.
+    Central,
+    /// The work-stealing pool (local deques, sharded injector).
+    Stealing,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Central => "central",
+            Engine::Stealing => "stealing",
+        }
+    }
+}
+
+/// How jobs reach the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Style {
+    /// All jobs submitted from one external (non-worker) thread.
+    External,
+    /// Root jobs fan out: each job spawns two children to a fixed depth,
+    /// from inside the workers — the local-deque fast path's home turf.
+    ForkJoin,
+}
+
+impl Style {
+    fn name(self) -> &'static str {
+        match self {
+            Style::External => "external",
+            Style::ForkJoin => "forkjoin",
+        }
+    }
+}
+
+/// Per-job work amount (spin iterations — no syscalls, no allocation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Grain {
+    /// ~empty job: pure scheduling overhead.
+    Tiny,
+    /// ~1µs of spinning.
+    Small,
+    /// ~20µs of spinning.
+    Medium,
+}
+
+impl Grain {
+    fn name(self) -> &'static str {
+        match self {
+            Grain::Tiny => "tiny",
+            Grain::Small => "small",
+            Grain::Medium => "medium",
+        }
+    }
+
+    fn spins(self) -> u64 {
+        match self {
+            Grain::Tiny => 0,
+            Grain::Small => 300,
+            Grain::Medium => 6_000,
+        }
+    }
+}
+
+/// One benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Queue discipline.
+    pub engine: Engine,
+    /// Submission style.
+    pub style: Style,
+    /// Job grain.
+    pub grain: Grain,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Whether the controller halves the pool's CPU share mid-run.
+    pub controlled: bool,
+    /// Total jobs to run.
+    pub jobs: usize,
+}
+
+impl Config {
+    /// A short unique label, e.g. `stealing/forkjoin/tiny/w8/ctl`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/w{}{}",
+            self.engine.name(),
+            self.style.name(),
+            self.grain.name(),
+            self.workers,
+            if self.controlled { "/ctl" } else { "" }
+        )
+    }
+}
+
+/// Measured outcome of one configuration.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Jobs completed (always equals `Config::jobs`; asserted).
+    pub jobs: usize,
+    /// Wall-clock for the submit-to-idle window.
+    pub elapsed: Duration,
+    /// Throughput over that window.
+    pub jobs_per_sec: f64,
+    /// 99th-percentile queue wait, nanoseconds (0 if unrecorded).
+    pub p99_queue_wait_ns: u64,
+    /// Full stats-registry snapshot at the end of the run.
+    pub stats: Snapshot,
+}
+
+/// Either pool behind one submission interface.
+#[derive(Clone)]
+enum AnyPool {
+    Central(Arc<CentralPool>),
+    Stealing(Arc<Pool>),
+}
+
+impl AnyPool {
+    fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        match self {
+            AnyPool::Central(p) => p.execute(job),
+            AnyPool::Stealing(p) => p.execute(job),
+        }
+    }
+
+    fn wait_idle(&self) {
+        match self {
+            AnyPool::Central(p) => p.wait_idle(),
+            AnyPool::Stealing(p) => p.wait_idle(),
+        }
+    }
+
+    fn stats(&self) -> Snapshot {
+        match self {
+            AnyPool::Central(p) => p.stats(),
+            AnyPool::Stealing(p) => p.stats(),
+        }
+    }
+}
+
+/// Burns roughly `spins` iterations of untraceable arithmetic.
+#[inline]
+fn burn(spins: u64) {
+    let mut acc = 0u64;
+    for i in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
+}
+
+fn spawn_tree(pool: AnyPool, depth: usize, spins: u64, done: Arc<AtomicUsize>) {
+    let p = pool.clone();
+    pool.execute(move || {
+        burn(spins);
+        done.fetch_add(1, Ordering::Relaxed);
+        if depth > 0 {
+            for _ in 0..2 {
+                spawn_tree(p.clone(), depth - 1, spins, Arc::clone(&done));
+            }
+        }
+    });
+}
+
+/// Jobs in a binary fan-out of `depth` levels below one root.
+fn tree_jobs(depth: usize) -> usize {
+    (1usize << (depth + 1)) - 1
+}
+
+/// Runs one configuration and measures it.
+pub fn run_config(cfg: &Config) -> Outcome {
+    // Uncontrolled: the controller's target covers every worker, so no
+    // suspensions happen. Controlled: half the workers (at least one)
+    // get suspended at safe points mid-run.
+    let cpus = if cfg.controlled {
+        (cfg.workers / 2).max(1)
+    } else {
+        cfg.workers
+    };
+    let controller = Controller::new(cpus, Duration::from_millis(5));
+    let pool = match cfg.engine {
+        Engine::Central => {
+            AnyPool::Central(Arc::new(CentralPool::new(&controller, cfg.workers, false)))
+        }
+        Engine::Stealing => AnyPool::Stealing(Arc::new(Pool::new(&controller, cfg.workers, false))),
+    };
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let spins = cfg.grain.spins();
+    // Closed-loop submission: keep at most `window` jobs outstanding.
+    // An unbounded burst would make queue wait measure backlog depth
+    // (which grows with the *submitter's* speed — faster injectors look
+    // worse), not scheduling latency; a bounded window keeps the
+    // workers saturated while queue wait stays a property of the pool.
+    let window = match cfg.grain {
+        // Coarse jobs: a deep window would dominate the queue-wait tail
+        // (64 × ~20µs of backlog swamps any scheduler latency).
+        Grain::Medium => (4 * cfg.workers).max(16),
+        _ => (8 * cfg.workers).max(64),
+    };
+    let throttle = |submitted: usize| {
+        while submitted - done.load(Ordering::Relaxed) >= window {
+            std::thread::yield_now();
+        }
+    };
+    let start = Instant::now();
+    let submitted = match cfg.style {
+        Style::External => {
+            for i in 0..cfg.jobs {
+                throttle(i);
+                let d = Arc::clone(&done);
+                pool.execute(move || {
+                    burn(spins);
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            cfg.jobs
+        }
+        Style::ForkJoin => {
+            // Many moderate trees rather than one giant one: pick the
+            // deepest tree of ≲2^8 jobs that fits the budget, submit as
+            // many roots as fit (windowed), top up the remainder with
+            // single jobs. LIFO local execution keeps each tree's
+            // frontier small, so outstanding work stays bounded too.
+            let mut depth = 0usize;
+            while depth < 7 && tree_jobs(depth + 1) <= cfg.jobs {
+                depth += 1;
+            }
+            let per_tree = tree_jobs(depth);
+            let mut submitted = 0usize;
+            while submitted + per_tree <= cfg.jobs {
+                throttle(submitted);
+                spawn_tree(pool.clone(), depth, spins, Arc::clone(&done));
+                submitted += per_tree;
+            }
+            while submitted < cfg.jobs {
+                throttle(submitted);
+                let d = Arc::clone(&done);
+                pool.execute(move || {
+                    burn(spins);
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+                submitted += 1;
+            }
+            submitted
+        }
+    };
+    pool.wait_idle();
+    let elapsed = start.elapsed();
+
+    assert_eq!(done.load(Ordering::Relaxed), submitted, "jobs lost");
+    let stats = pool.stats();
+    assert_eq!(
+        stats.counters["jobs_run"], submitted as u64,
+        "jobs_run mismatch"
+    );
+    let p99 = stats
+        .histograms
+        .get("queue_wait_ns")
+        .and_then(|h| h.quantile(0.99))
+        .unwrap_or(0);
+    Outcome {
+        jobs: submitted,
+        elapsed,
+        jobs_per_sec: submitted as f64 / elapsed.as_secs_f64().max(1e-9),
+        p99_queue_wait_ns: p99,
+        stats,
+    }
+}
+
+/// The benchmark matrix. `smoke` shrinks it to a CI-friendly subset.
+pub fn suite(smoke: bool) -> Vec<Config> {
+    let (workers, grains, jobs_scale): (&[usize], &[Grain], usize) = if smoke {
+        (&[1, 4], &[Grain::Tiny, Grain::Small], 1)
+    } else {
+        (
+            &[1, 2, 4, 8, 16],
+            &[Grain::Tiny, Grain::Small, Grain::Medium],
+            8,
+        )
+    };
+    let mut cfgs = Vec::new();
+    for &engine in &[Engine::Central, Engine::Stealing] {
+        for &style in &[Style::External, Style::ForkJoin] {
+            for &grain in grains {
+                for &w in workers {
+                    for &controlled in &[false, true] {
+                        // Controlled runs need someone to suspend.
+                        if controlled && w < 2 {
+                            continue;
+                        }
+                        let base = match grain {
+                            Grain::Tiny => 4_000,
+                            Grain::Small => 2_000,
+                            Grain::Medium => 500,
+                        };
+                        cfgs.push(Config {
+                            engine,
+                            style,
+                            grain,
+                            workers: w,
+                            controlled,
+                            jobs: base * jobs_scale,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cfgs
+}
+
+/// Stealing-over-central speedup for every matched (style, grain,
+/// workers, controlled) pair, as `(label, speedup)`.
+pub fn speedups(results: &[(Config, Outcome)]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (cfg, outcome) in results {
+        if cfg.engine != Engine::Stealing {
+            continue;
+        }
+        let twin = results.iter().find(|(c, _)| {
+            c.engine == Engine::Central
+                && c.style == cfg.style
+                && c.grain == cfg.grain
+                && c.workers == cfg.workers
+                && c.controlled == cfg.controlled
+                && c.jobs == cfg.jobs
+        });
+        if let Some((_, central)) = twin {
+            let label = format!(
+                "{}/{}/w{}{}",
+                cfg.style.name(),
+                cfg.grain.name(),
+                cfg.workers,
+                if cfg.controlled { "/ctl" } else { "" }
+            );
+            out.push((label, outcome.jobs_per_sec / central.jobs_per_sec.max(1e-9)));
+        }
+    }
+    out
+}
+
+/// Renders the results as an aligned stdout table.
+pub fn results_table(results: &[(Config, Outcome)]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(cfg, o)| {
+            vec![
+                cfg.label(),
+                o.jobs.to_string(),
+                format!("{:.0}", o.jobs_per_sec),
+                format!("{:.1}", o.p99_queue_wait_ns as f64 / 1_000.0),
+                o.stats
+                    .counters
+                    .get("local_hits")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                o.stats
+                    .counters
+                    .get("injector_pops")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                o.stats
+                    .counters
+                    .get("steals")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                o.stats
+                    .counters
+                    .get("suspends")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "config",
+            "jobs",
+            "jobs/sec",
+            "p99 wait µs",
+            "local",
+            "inject",
+            "steal",
+            "susp",
+        ],
+        &rows,
+    )
+}
+
+/// The machine-readable report (`results/pool_bench.json`).
+pub fn results_json(results: &[(Config, Outcome)]) -> JsonValue {
+    let runs: Vec<JsonValue> = results
+        .iter()
+        .map(|(cfg, o)| {
+            JsonValue::obj([
+                ("config", JsonValue::str(cfg.label())),
+                ("engine", JsonValue::str(cfg.engine.name())),
+                ("style", JsonValue::str(cfg.style.name())),
+                ("grain", JsonValue::str(cfg.grain.name())),
+                ("workers", JsonValue::uint(cfg.workers as u64)),
+                ("controlled", JsonValue::Bool(cfg.controlled)),
+                ("jobs", JsonValue::uint(o.jobs as u64)),
+                ("elapsed_us", JsonValue::uint(o.elapsed.as_micros() as u64)),
+                ("jobs_per_sec", JsonValue::num(o.jobs_per_sec)),
+                ("p99_queue_wait_ns", JsonValue::uint(o.p99_queue_wait_ns)),
+                (
+                    "counters",
+                    counts_to_json(o.stats.counters.iter().map(|(k, &v)| (k.as_str(), v))),
+                ),
+            ])
+        })
+        .collect();
+    let speedup_objs: Vec<JsonValue> = speedups(results)
+        .into_iter()
+        .map(|(label, s)| {
+            JsonValue::obj([
+                ("config", JsonValue::str(label)),
+                ("stealing_over_central", JsonValue::num(s)),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("benchmark", JsonValue::str("pool_bench")),
+        ("runs", JsonValue::Arr(runs)),
+        ("speedups", JsonValue::Arr(speedup_objs)),
+    ])
+}
+
+/// A Perfetto trace of the whole sweep: one slice per configuration
+/// (duration = measured wall-clock) on a track per engine, plus a
+/// throughput counter series.
+pub fn results_trace(results: &[(Config, Outcome)]) -> JsonValue {
+    let mut tb = TraceBuilder::new();
+    tb.process_name(1, "pool_bench");
+    tb.thread_name(1, 1, "central");
+    tb.thread_name(1, 2, "stealing");
+    let mut cursor_us = [0.0f64; 2];
+    for (cfg, o) in results {
+        let tid = match cfg.engine {
+            Engine::Central => 1u64,
+            Engine::Stealing => 2u64,
+        };
+        let lane = (tid - 1) as usize;
+        let dur = o.elapsed.as_micros() as f64;
+        tb.complete(
+            &cfg.label(),
+            "pool_bench",
+            1,
+            tid,
+            cursor_us[lane],
+            dur,
+            JsonValue::obj([
+                ("jobs", JsonValue::uint(o.jobs as u64)),
+                ("jobs_per_sec", JsonValue::num(o.jobs_per_sec)),
+                ("p99_queue_wait_ns", JsonValue::uint(o.p99_queue_wait_ns)),
+            ]),
+        );
+        tb.counter(
+            "jobs_per_sec",
+            1,
+            cursor_us[lane],
+            cfg.engine.name(),
+            o.jobs_per_sec,
+        );
+        cursor_us[lane] += dur;
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_run_a_tiny_config_exactly() {
+        for engine in [Engine::Central, Engine::Stealing] {
+            let cfg = Config {
+                engine,
+                style: Style::ForkJoin,
+                grain: Grain::Tiny,
+                workers: 2,
+                controlled: false,
+                jobs: 127,
+            };
+            let o = run_config(&cfg);
+            assert_eq!(o.jobs, 127);
+            assert_eq!(o.stats.counters["jobs_run"], 127);
+        }
+    }
+
+    #[test]
+    fn smoke_suite_is_small_and_full_is_larger() {
+        let smoke = suite(true);
+        let full = suite(false);
+        assert!(!smoke.is_empty());
+        assert!(smoke.len() < full.len());
+        assert!(smoke.iter().all(|c| c.workers <= 4 && c.jobs <= 4_000));
+    }
+
+    #[test]
+    fn json_report_contains_runs_and_speedups() {
+        let cfgs = [
+            Config {
+                engine: Engine::Central,
+                style: Style::External,
+                grain: Grain::Tiny,
+                workers: 2,
+                controlled: false,
+                jobs: 64,
+            },
+            Config {
+                engine: Engine::Stealing,
+                style: Style::External,
+                grain: Grain::Tiny,
+                workers: 2,
+                controlled: false,
+                jobs: 64,
+            },
+        ];
+        let results: Vec<_> = cfgs.iter().map(|c| (*c, run_config(c))).collect();
+        let j = results_json(&results);
+        assert_eq!(j.get("runs").and_then(JsonValue::as_arr).unwrap().len(), 2);
+        assert_eq!(
+            j.get("speedups").and_then(JsonValue::as_arr).unwrap().len(),
+            1
+        );
+        // The report must round-trip through the strict parser.
+        metrics::json::parse(&j.render_pretty()).expect("valid json");
+        metrics::json::parse(&results_trace(&results).render()).expect("valid trace json");
+    }
+}

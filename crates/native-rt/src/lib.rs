@@ -8,6 +8,13 @@
 //! standing in for the paper's signal-and-wait. The `workloads::native`
 //! kernels (matmul, FFT, sort, gauss) provide real work to schedule.
 //!
+//! Job dispatch is work-stealing: each worker owns a [Chase–Lev
+//! deque](deque), external submissions go through a [sharded
+//! injector](injector), and idle workers spin briefly before parking on
+//! private condvars. The central-queue design this replaced survives as
+//! [`baseline::CentralPool`] so `pool_bench` can measure the difference
+//! on any host.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,14 +35,20 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod controller;
+pub mod deque;
+pub mod injector;
 mod pool;
 pub mod proc_scan;
 pub mod stats;
 #[cfg(unix)]
 mod uds;
 
+pub use baseline::CentralPool;
 pub use controller::{Controller, TargetSlot};
+pub use deque::{Steal, Stealer, Worker};
+pub use injector::Injector;
 pub use pool::{Job, Pool, PoolMetrics};
 pub use stats::{Registry, Snapshot};
 #[cfg(unix)]

@@ -1,27 +1,63 @@
-//! A task-queue worker pool over real OS threads, with process control.
+//! A work-stealing worker pool over real OS threads, with process control.
 //!
-//! The native analog of the modified threads package: workers pull jobs
-//! from a shared queue; **between** jobs — the safe suspension point — a
-//! worker compares the pool's count of unsuspended workers against the
-//! controller's target and either suspends itself (blocks on a private
-//! condition variable, the analog of waiting for a signal) or resumes a
-//! suspended colleague. Application code (the jobs) never sees any of it.
+//! The native analog of the modified threads package, rebuilt around
+//! per-worker [Chase–Lev deques](crate::deque) instead of one central
+//! `Mutex<VecDeque>`:
+//!
+//! - each worker owns a lock-free deque and runs its own submissions
+//!   LIFO off the bottom (the `local_hits` fast path — no lock, no CAS);
+//! - external [`Pool::execute`] calls land in a [sharded
+//!   injector](crate::injector) (the `injector_pops` path), unless the
+//!   caller *is* a worker of this pool, in which case the job goes
+//!   straight into that worker's deque;
+//! - an empty worker steals FIFO from a random victim, sweeping all
+//!   deques with exponential backoff on CAS contention (`steals` /
+//!   `steal_fails`);
+//! - an idle worker spins through a bounded budget of cheap re-checks
+//!   and then parks on its *own* condvar, woken one-at-a-time by
+//!   producers — no global `work_cv` thundering herd. The spin phase is
+//!   measured into the `spin_before_park_ns` histogram.
+//!
+//! Process control is unchanged in meaning: **between** jobs — the safe
+//! suspension point — a worker compares the pool's count of unsuspended
+//! workers against the controller's target and either suspends itself or
+//! resumes a suspended colleague. A suspending worker first drains its
+//! own deque into the injector, so no submitted job is stranded behind a
+//! parked worker. Suspension hand-off is atomic: a resumer claims and
+//! signals a parked worker's token *while holding the suspended-list
+//! lock*, and a worker abandoning its park (shutdown) must first remove
+//! its own token from that list — so a resume can never target a worker
+//! that has already woken and left (the lost-wakeup window the central
+//! queue version had).
 
-use std::collections::VecDeque;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::controller::{Controller, TargetSlot};
+use crate::deque::{self, Steal, Stealer, Worker};
+use crate::injector::Injector;
 use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Pool counters, mirroring the simulated package's [`uthreads::AppMetrics`].
+/// A queued job with its submission instant (for queue-wait latency).
+struct Task {
+    submitted: Instant,
+    job: Job,
+}
+
+/// Pool counters, mirroring the simulated package's
+/// [`uthreads::AppMetrics`].
+///
+/// `jobs_run == local_hits + injector_pops + steals` always (each
+/// executed job is acquired through exactly one of the three paths) —
+/// the job-conservation invariant the stress tests assert.
 ///
 /// [`uthreads::AppMetrics`]: ../uthreads/struct.AppMetrics.html
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,21 +68,83 @@ pub struct PoolMetrics {
     pub suspends: u64,
     /// Worker resumptions.
     pub resumes: u64,
+    /// Jobs a worker popped from its own deque.
+    pub local_hits: u64,
+    /// Jobs taken from the shared injector.
+    pub injector_pops: u64,
+    /// Jobs stolen from another worker's deque.
+    pub steals: u64,
+    /// Steal attempts that lost a CAS race and had to retry.
+    pub steal_fails: u64,
 }
 
-/// One suspended worker's wakeup channel (the "signal"). The payload
-/// carries the resume flag plus the instant the resumer fired it, so the
-/// woken worker can measure the unpark latency.
+/// Suspension parking state (process control, not idleness).
+#[derive(Clone, Copy)]
+enum ParkState {
+    /// Still waiting for a resume.
+    Parked,
+    /// Claimed by a resumer (the instant it fired, for unpark latency)
+    /// or by shutdown (`None`).
+    Resumed(Option<Instant>),
+}
+
+/// One suspended worker's wakeup channel (the "signal").
 struct ParkToken {
-    resumed: Mutex<(bool, Option<Instant>)>,
+    state: Mutex<ParkState>,
     cv: Condvar,
 }
 
+/// Why a suspension park ended.
+enum SuspendOutcome {
+    Resumed,
+    Shutdown,
+}
+
+/// One idle (out-of-work) worker's private wakeup channel.
+struct IdleSlot {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Bound on the idle spin phase: how many availability polls before a
+/// worker commits to parking.
+const SPIN_POLLS: u32 = 64;
+/// Upper bound for one idle park; a bounded wait guards the unlikely
+/// missed-wake interleavings so they cost latency, never liveness.
+const IDLE_PARK_POLL: Duration = Duration::from_millis(10);
+/// Same bound for suspension parks (shutdown races).
+const SUSPEND_PARK_POLL: Duration = Duration::from_millis(50);
+
+thread_local! {
+    /// `(pool key, worker deque)` of the pool worker running on this
+    /// thread, if any — lets `execute` from inside a job push to the
+    /// submitting worker's own deque. The key is the address of the
+    /// pool's shared state; the worker's `Arc` keeps that address live
+    /// (and unreusable) for as long as the entry is set.
+    static CURRENT_WORKER: Cell<(usize, *const ())> = const { Cell::new((0, std::ptr::null())) };
+}
+
+/// Clears this worker thread's `CURRENT_WORKER` entry on scope exit.
+struct TlsGuard;
+
+impl TlsGuard {
+    fn set(key: usize, worker: &Worker<Task>) -> TlsGuard {
+        CURRENT_WORKER.with(|c| c.set((key, worker as *const Worker<Task> as *const ())));
+        TlsGuard
+    }
+}
+
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        CURRENT_WORKER.with(|c| c.set((0, std::ptr::null())));
+    }
+}
+
 struct PoolShared {
-    /// Jobs with their submission instants (for queue-wait latency).
-    queue: Mutex<VecDeque<(Instant, Job)>>,
-    /// Signaled when work arrives or the pool shuts down.
-    work_cv: Condvar,
+    /// External submissions (and jobs drained from suspending workers).
+    injector: Injector<Task>,
+    /// Steal handles for every worker's deque, indexed by worker.
+    stealers: Box<[Stealer<Task>]>,
     /// Jobs submitted and not yet finished.
     outstanding: AtomicUsize,
     /// Signaled when `outstanding` hits zero.
@@ -54,7 +152,12 @@ struct PoolShared {
     idle_mu: Mutex<()>,
     /// Unsuspended workers.
     active: AtomicUsize,
+    /// Workers suspended by process control, oldest first.
     suspended: Mutex<Vec<Arc<ParkToken>>>,
+    /// Workers parked for lack of work.
+    sleepers: Mutex<Vec<Arc<IdleSlot>>>,
+    /// `sleepers.len()`, readable without the lock (producer fast path).
+    nsleepers: AtomicUsize,
     target: Arc<TargetSlot>,
     shutdown: AtomicBool,
     /// Statistics registry behind the handles below (snapshot API).
@@ -62,6 +165,10 @@ struct PoolShared {
     jobs_run: Counter,
     suspends: Counter,
     resumes: Counter,
+    local_hits: Counter,
+    injector_pops: Counter,
+    steals: Counter,
+    steal_fails: Counter,
     /// Live (unsuspended) worker count, sampled at safe points.
     active_gauge: Gauge,
     /// The controller target, sampled at safe points.
@@ -72,12 +179,15 @@ struct PoolShared {
     park: Hist,
     /// Resume-signal-to-wakeup latency, nanoseconds.
     unpark: Hist,
-    /// Busy-wait (1989-style) instead of sleeping when the queue is empty
-    /// but work is outstanding.
+    /// How long an out-of-work worker spun before parking (or finding
+    /// work), nanoseconds.
+    spin_before_park: Hist,
+    /// Busy-wait (1989-style) instead of sleeping when the queues are
+    /// empty but work is outstanding.
     idle_spin: bool,
 }
 
-/// A controlled worker pool.
+/// A controlled work-stealing worker pool.
 pub struct Pool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
@@ -85,8 +195,8 @@ pub struct Pool {
 
 impl Pool {
     /// Creates a pool of `nworkers` threads registered with `controller`.
-    /// `idle_spin` selects period-faithful busy-waiting (true) or polite
-    /// blocking (false) when the queue is momentarily empty.
+    /// `idle_spin` selects period-faithful busy-waiting (true) or the
+    /// adaptive spin-then-park protocol (false) when no work is queued.
     pub fn new(controller: &Controller, nworkers: usize, idle_spin: bool) -> Self {
         let target = controller.register(nworkers);
         Self::with_slot(target, nworkers, idle_spin)
@@ -98,47 +208,77 @@ impl Pool {
     pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
         assert!(nworkers >= 1);
         let registry = Arc::new(Registry::new());
+        let mut locals = Vec::with_capacity(nworkers);
+        let mut stealers = Vec::with_capacity(nworkers);
+        for _ in 0..nworkers {
+            let (w, s) = deque::deque::<Task>();
+            locals.push(w);
+            stealers.push(s);
+        }
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            work_cv: Condvar::new(),
+            injector: Injector::new(nworkers),
+            stealers: stealers.into_boxed_slice(),
             outstanding: AtomicUsize::new(0),
             idle_cv: Condvar::new(),
             idle_mu: Mutex::new(()),
             active: AtomicUsize::new(nworkers),
             suspended: Mutex::new(Vec::new()),
+            sleepers: Mutex::new(Vec::new()),
+            nsleepers: AtomicUsize::new(0),
             target,
             shutdown: AtomicBool::new(false),
             jobs_run: registry.counter("jobs_run"),
             suspends: registry.counter("suspends"),
             resumes: registry.counter("resumes"),
+            local_hits: registry.counter("local_hits"),
+            injector_pops: registry.counter("injector_pops"),
+            steals: registry.counter("steals"),
+            steal_fails: registry.counter("steal_fails"),
             active_gauge: registry.gauge("active"),
             target_gauge: registry.gauge("target"),
             queue_wait: registry.histogram("queue_wait_ns"),
             park: registry.histogram("park_ns"),
             unpark: registry.histogram("unpark_ns"),
+            spin_before_park: registry.histogram("spin_before_park_ns"),
             registry,
             idle_spin,
         });
-        let workers = (0..nworkers)
-            .map(|i| {
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pool-worker-{i}"))
-                    .spawn(move || worker_loop(&sh))
+                    .spawn(move || worker_loop(&sh, i, w))
                     .expect("spawn worker")
             })
             .collect();
         Pool { shared, workers }
     }
 
-    /// Submits a job.
+    /// Submits a job. Callers outside the pool go through the sharded
+    /// injector; a job submitting from inside a worker pushes onto that
+    /// worker's own deque (the fork-join fast path).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        // Timestamp and box before touching any shared structure, so the
+        // instrumentation cannot inflate the contention it measures.
+        let task = Task {
+            submitted: Instant::now(),
+            job: Box::new(job),
+        };
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
-        self.shared
-            .queue
-            .lock()
-            .push_back((Instant::now(), Box::new(job)));
-        self.shared.work_cv.notify_one();
+        let key = Arc::as_ptr(&self.shared) as usize;
+        let (tls_key, tls_ptr) = CURRENT_WORKER.with(Cell::get);
+        if tls_key == key {
+            // SAFETY: the entry was set by this thread's own worker_loop
+            // for this pool; the Worker lives (pinned) in that frame
+            // until the loop returns, which clears the entry first.
+            unsafe { (*(tls_ptr as *const Worker<Task>)).push(Box::new(task)) };
+        } else {
+            self.shared.injector.push(task);
+        }
+        wake_one(&self.shared);
     }
 
     /// Blocks until every submitted job has finished.
@@ -165,11 +305,15 @@ impl Pool {
             jobs_run: self.shared.jobs_run.get(),
             suspends: self.shared.suspends.get(),
             resumes: self.shared.resumes.get(),
+            local_hits: self.shared.local_hits.get(),
+            injector_pops: self.shared.injector_pops.get(),
+            steals: self.shared.steals.get(),
+            steal_fails: self.shared.steal_fails.get(),
         }
     }
 
     /// The pool's statistics registry (counters, live-vs-target gauges,
-    /// queue-wait and park/unpark latency histograms).
+    /// queue-wait, park/unpark, and spin-before-park histograms).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.shared.registry)
     }
@@ -182,13 +326,26 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        // Wake sleepers and suspended workers so everyone can exit.
-        self.shared.work_cv.notify_all();
-        let tokens = std::mem::take(&mut *self.shared.suspended.lock());
-        for t in tokens {
-            *t.resumed.lock() = (true, None);
-            t.cv.notify_one();
+        let sh = &self.shared;
+        sh.shutdown.store(true, Ordering::Release);
+        // Wake idle sleepers...
+        {
+            let mut sleepers = sh.sleepers.lock();
+            let n = sleepers.len();
+            sh.nsleepers.fetch_sub(n, Ordering::SeqCst);
+            for s in sleepers.drain(..) {
+                *s.woken.lock() = true;
+                s.cv.notify_one();
+            }
+        }
+        // ...and suspended workers (claimed under the list lock, like a
+        // resume, so the hand-off race cannot recur here).
+        {
+            let mut suspended = sh.suspended.lock();
+            for t in suspended.drain(..) {
+                *t.state.lock() = ParkState::Resumed(None);
+                t.cv.notify_one();
+            }
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -196,7 +353,215 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(sh: &Arc<PoolShared>) {
+/// Wakes one idle-parked worker, if any (producer side).
+fn wake_one(sh: &PoolShared) {
+    if sh.nsleepers.load(Ordering::SeqCst) == 0 {
+        return;
+    }
+    let slot = {
+        let mut sleepers = sh.sleepers.lock();
+        let s = sleepers.pop();
+        if s.is_some() {
+            sh.nsleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+        s
+    };
+    if let Some(s) = slot {
+        *s.woken.lock() = true;
+        s.cv.notify_one();
+    }
+}
+
+/// True when some queue (injector or any worker deque) appears nonempty.
+fn work_available(sh: &PoolShared) -> bool {
+    !sh.injector.is_empty() || sh.stealers.iter().any(|s| !s.is_empty())
+}
+
+/// Acquires one task: own deque, then injector, then stealing.
+fn find_task(sh: &PoolShared, worker: &Worker<Task>, index: usize, rng: &mut u64) -> Option<Task> {
+    if let Some(t) = worker.pop() {
+        sh.local_hits.incr();
+        return Some(*t);
+    }
+    if let Some(t) = sh.injector.pop(index) {
+        sh.injector_pops.incr();
+        return Some(t);
+    }
+    steal_task(sh, index, rng)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Sweeps the other workers' deques from a random start, with
+/// exponential backoff between sweeps while CAS races persist.
+fn steal_task(sh: &PoolShared, index: usize, rng: &mut u64) -> Option<Task> {
+    let n = sh.stealers.len();
+    if n <= 1 {
+        return None;
+    }
+    let mut backoff: u32 = 0;
+    loop {
+        let start = (xorshift(rng) as usize) % n;
+        let mut contended = false;
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == index {
+                continue;
+            }
+            match sh.stealers[victim].steal() {
+                Steal::Success(t) => {
+                    sh.steals.incr();
+                    return Some(*t);
+                }
+                Steal::Retry => {
+                    sh.steal_fails.incr();
+                    contended = true;
+                }
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+        for _ in 0..(1u32 << backoff) {
+            std::hint::spin_loop();
+        }
+        backoff = (backoff + 1).min(10);
+    }
+}
+
+/// Empties a suspending worker's deque into the injector so its queued
+/// jobs stay runnable while it is parked.
+fn drain_local(sh: &PoolShared, worker: &Worker<Task>) {
+    let mut drained = false;
+    while let Some(t) = worker.pop() {
+        sh.injector.push(*t);
+        drained = true;
+    }
+    if drained {
+        wake_one(sh);
+    }
+}
+
+/// Parks a worker suspended by process control until a resumer (or
+/// shutdown) claims its token.
+fn park_suspended(sh: &PoolShared) -> SuspendOutcome {
+    let token = Arc::new(ParkToken {
+        state: Mutex::new(ParkState::Parked),
+        cv: Condvar::new(),
+    });
+    sh.suspended.lock().push(Arc::clone(&token));
+    let parked_at = Instant::now();
+    let mut st = token.state.lock();
+    loop {
+        if let ParkState::Resumed(signaled_at) = *st {
+            drop(st);
+            sh.park.record(parked_at.elapsed().as_nanos() as u64);
+            if let Some(at) = signaled_at {
+                sh.unpark.record(at.elapsed().as_nanos() as u64);
+            }
+            return SuspendOutcome::Resumed;
+        }
+        if sh.shutdown.load(Ordering::Acquire) {
+            // To leave without being resumed we must first withdraw the
+            // token; if a resumer already popped it, the claim is ours
+            // to honor — loop until the Resumed mark lands.
+            drop(st);
+            let mut list = sh.suspended.lock();
+            if let Some(pos) = list.iter().position(|t| Arc::ptr_eq(t, &token)) {
+                list.remove(pos);
+                drop(list);
+                sh.park.record(parked_at.elapsed().as_nanos() as u64);
+                return SuspendOutcome::Shutdown;
+            }
+            drop(list);
+            st = token.state.lock();
+            continue;
+        }
+        token.cv.wait_for(&mut st, SUSPEND_PARK_POLL);
+    }
+}
+
+/// Resumes one suspended worker, if any. The token is claimed and
+/// signaled while the suspended-list lock is held, making the hand-off
+/// atomic with respect to both other resumers and the worker's own
+/// shutdown withdrawal.
+fn resume_one(sh: &PoolShared) {
+    let mut list = sh.suspended.lock();
+    let Some(token) = list.pop() else { return };
+    sh.active.fetch_add(1, Ordering::AcqRel);
+    sh.resumes.incr();
+    *token.state.lock() = ParkState::Resumed(Some(Instant::now()));
+    token.cv.notify_one();
+}
+
+/// Spins through a bounded budget of availability checks, then parks on
+/// this worker's private slot until a producer wakes it (idle protocol).
+fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>) {
+    let started = Instant::now();
+    for poll in 0..SPIN_POLLS {
+        if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
+            sh.spin_before_park
+                .record(started.elapsed().as_nanos() as u64);
+            return;
+        }
+        for _ in 0..(1u32 << (poll / 8).min(6)) {
+            std::hint::spin_loop();
+        }
+        if poll % 8 == 7 {
+            std::thread::yield_now();
+        }
+    }
+    // Commit to parking: publish the slot, then re-check, so a producer
+    // either sees us in the list or we see its work.
+    *slot.woken.lock() = false;
+    {
+        let mut sleepers = sh.sleepers.lock();
+        sleepers.push(Arc::clone(slot));
+        sh.nsleepers.fetch_add(1, Ordering::SeqCst);
+    }
+    sh.spin_before_park
+        .record(started.elapsed().as_nanos() as u64);
+    if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
+        unregister_sleeper(sh, slot);
+        return;
+    }
+    {
+        let mut woken = slot.woken.lock();
+        while !*woken && !sh.shutdown.load(Ordering::Acquire) {
+            slot.cv.wait_for(&mut woken, IDLE_PARK_POLL);
+            if !*woken && work_available(sh) {
+                break; // timed-out liveness path
+            }
+        }
+    }
+    unregister_sleeper(sh, slot);
+}
+
+/// Removes `slot` from the sleeper list if a waker has not already
+/// popped it (the timeout and early-exit paths).
+fn unregister_sleeper(sh: &PoolShared, slot: &Arc<IdleSlot>) {
+    let mut sleepers = sh.sleepers.lock();
+    if let Some(pos) = sleepers.iter().position(|s| Arc::ptr_eq(s, slot)) {
+        sleepers.remove(pos);
+        sh.nsleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
+    let _tls = TlsGuard::set(Arc::as_ptr(sh) as usize, &worker);
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1) | 1;
+    let idle_slot = Arc::new(IdleSlot {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
             return;
@@ -214,42 +579,25 @@ fn worker_loop(sh: &Arc<PoolShared>) {
                 .is_ok()
             {
                 sh.suspends.incr();
-                let token = Arc::new(ParkToken {
-                    resumed: Mutex::new((false, None)),
-                    cv: Condvar::new(),
-                });
-                sh.suspended.lock().push(Arc::clone(&token));
-                let parked_at = Instant::now();
-                let mut resumed = token.resumed.lock();
-                // Bounded waits guard the race where the pool shuts down
-                // between our shutdown check and parking.
-                while !resumed.0 && !sh.shutdown.load(Ordering::Acquire) {
-                    token
-                        .cv
-                        .wait_for(&mut resumed, std::time::Duration::from_millis(50));
+                // Publish queued jobs before parking: nothing may be
+                // stranded behind a suspended worker.
+                drain_local(sh, &worker);
+                match park_suspended(sh) {
+                    SuspendOutcome::Resumed => continue, // re-enter the safe point
+                    SuspendOutcome::Shutdown => return,
                 }
-                sh.park.record(parked_at.elapsed().as_nanos() as u64);
-                if let (true, Some(signaled_at)) = *resumed {
-                    sh.unpark.record(signaled_at.elapsed().as_nanos() as u64);
-                }
-                continue; // Re-enter the safe point.
             }
         } else if active < target {
-            let popped = sh.suspended.lock().pop();
-            if let Some(t) = popped {
-                sh.active.fetch_add(1, Ordering::AcqRel);
-                sh.resumes.incr();
-                *t.resumed.lock() = (true, Some(Instant::now()));
-                t.cv.notify_one();
-            }
+            resume_one(sh);
         }
-        // --- Dequeue and run. ---
-        let job = sh.queue.lock().pop_front();
-        match job {
-            Some((submitted_at, job)) => {
+        // --- Acquire and run. ---
+        match find_task(sh, &worker, index, &mut rng) {
+            Some(task) => {
+                // Recorded with no lock held (the sample starts at
+                // submission time, before the producer touched a shard).
                 sh.queue_wait
-                    .record(submitted_at.elapsed().as_nanos() as u64);
-                job();
+                    .record(task.submitted.elapsed().as_nanos() as u64);
+                (task.job)();
                 sh.jobs_run.incr();
                 if sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let _g = sh.idle_mu.lock();
@@ -265,11 +613,7 @@ fn worker_loop(sh: &Arc<PoolShared>) {
                     }
                     std::thread::yield_now();
                 } else {
-                    let mut q = sh.queue.lock();
-                    if q.is_empty() && !sh.shutdown.load(Ordering::Acquire) {
-                        sh.work_cv
-                            .wait_for(&mut q, std::time::Duration::from_millis(1));
-                    }
+                    idle_spin_then_park(sh, &idle_slot);
                 }
             }
         }
@@ -299,6 +643,48 @@ mod tests {
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(pool.metrics().jobs_run, 100);
+    }
+
+    #[test]
+    fn job_acquisition_paths_conserve_jobs() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false);
+        for _ in 0..500 {
+            pool.execute(|| std::hint::black_box(()));
+        }
+        pool.wait_idle();
+        let m = pool.metrics();
+        assert_eq!(m.jobs_run, 500);
+        assert_eq!(
+            m.local_hits + m.injector_pops + m.steals,
+            m.jobs_run,
+            "every job acquired exactly once: {m:?}"
+        );
+    }
+
+    #[test]
+    fn worker_submissions_take_the_local_fast_path() {
+        let c = controller(2);
+        let pool = Arc::new(Pool::new(&c, 2, false));
+        let counter = Arc::new(AtomicUsize::new(0));
+        // One root job fans out children from inside the pool.
+        let (p, k) = (Arc::clone(&pool), Arc::clone(&counter));
+        pool.execute(move || {
+            for _ in 0..64 {
+                let k2 = Arc::clone(&k);
+                p.execute(move || {
+                    k2.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        let m = pool.metrics();
+        assert!(
+            m.local_hits > 0,
+            "in-pool submissions should hit the local deque: {m:?}"
+        );
+        assert_eq!(m.local_hits + m.injector_pops + m.steals, m.jobs_run);
     }
 
     #[test]
@@ -373,9 +759,13 @@ mod tests {
         }
         pool.wait_idle();
         let snap = pool.stats();
-        // The three classic counters live in the registry too.
+        // The classic counters live in the registry too.
         assert_eq!(snap.counters["jobs_run"], 300);
         assert!(snap.counters["suspends"] >= 1);
+        assert_eq!(
+            snap.counters["local_hits"] + snap.counters["injector_pops"] + snap.counters["steals"],
+            300
+        );
         // Every job passed through the queue-wait histogram.
         assert_eq!(snap.histograms["queue_wait_ns"].count, 300);
         assert!(snap.histograms["queue_wait_ns"].quantile(0.5).is_some());
@@ -391,6 +781,23 @@ mod tests {
     }
 
     #[test]
+    fn idle_workers_record_spin_before_park() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false);
+        for _ in 0..20 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        // Give the workers time to run out of work and park.
+        std::thread::sleep(Duration::from_millis(50));
+        let snap = pool.stats();
+        assert!(
+            snap.histograms["spin_before_park_ns"].count >= 1,
+            "idle workers should have measured their spin phase"
+        );
+    }
+
+    #[test]
     fn drop_wakes_suspended_workers() {
         let c = controller(1);
         let pool = Pool::new(&c, 4, false);
@@ -399,6 +806,41 @@ mod tests {
         }
         pool.wait_idle();
         drop(pool); // Must not hang on suspended workers.
+    }
+
+    /// Regression test for the lost-wakeup window: a resume racing a
+    /// park/shutdown must never target a worker that already woke and
+    /// left. The target is flapped between 1 and `n` while jobs flow, and
+    /// each round ends with a drop mid-churn — under the old non-atomic
+    /// hand-off this wedged or double-counted `active`; with the atomic
+    /// hand-off every round joins cleanly and `active` never exceeds the
+    /// worker count.
+    #[test]
+    fn resume_racing_park_and_shutdown_stays_sound() {
+        for round in 0..20 {
+            let n = 4;
+            let slot = Arc::new(TargetSlot {
+                target: AtomicUsize::new(n),
+                nworkers: n,
+            });
+            let pool = Pool::with_slot(Arc::clone(&slot), n, false);
+            for flip in 0..40 {
+                slot.target
+                    .store(if flip % 2 == 0 { 1 } else { n }, Ordering::Release);
+                for _ in 0..5 {
+                    pool.execute(|| std::hint::black_box(()));
+                }
+                assert!(pool.active() <= n, "phantom resume inflated active");
+                if flip % 8 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            // Drop while suspends/resumes are likely in flight.
+            if round % 2 == 0 {
+                pool.wait_idle();
+            }
+            drop(pool); // must join all workers, every time
+        }
     }
 
     #[test]

@@ -279,6 +279,20 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Per-counter increase since an `earlier` snapshot of the same
+    /// registry (saturating, so a counter absent earlier reports its full
+    /// value) — what `pool_bench` uses to attribute one measurement
+    /// phase's jobs to the local/injector/steal acquisition paths.
+    pub fn counters_delta(&self, earlier: &Snapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect()
+    }
+
     /// Renders scalar statistics as sorted `name=value` pairs on one line
     /// (histograms contribute `name.count`, `name.mean`, `name.p99`) — the
     /// payload of the UDS `STATS` reply.
@@ -359,6 +373,19 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counters["n"], 40_000);
         assert_eq!(snap.histograms["lat"].count, 40_000);
+    }
+
+    #[test]
+    fn counters_delta_subtracts_per_name() {
+        let r = Registry::new();
+        let c = r.counter("steals");
+        c.add(5);
+        let before = r.snapshot();
+        c.add(7);
+        r.counter("local_hits").add(3); // born after `before`
+        let delta = r.snapshot().counters_delta(&before);
+        assert_eq!(delta["steals"], 7);
+        assert_eq!(delta["local_hits"], 3);
     }
 
     #[test]

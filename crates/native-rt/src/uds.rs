@@ -26,6 +26,19 @@
 //! client → server:  STATS
 //! server → client:  STATS byes=0 polls=12 registers=2 apps=2
 //! ```
+//!
+//! Applications may additionally push their pool's statistics line to the
+//! server (the reporting poller does this on every poll), and anyone can
+//! read back the latest report for a given pid — cross-process visibility
+//! into the work-stealing counters (`steals`, `local_hits`, …) without
+//! attaching to the application:
+//!
+//! ```text
+//! client → server:  REPORT <pid> jobs_run=100 steals=7 ...
+//! server → client:  OK
+//! client → server:  STATS <pid>
+//! server → client:  STATS jobs_run=100 steals=7 ...
+//! ```
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -78,6 +91,8 @@ struct AppReg {
 struct ServerState {
     apps: Vec<AppReg>,
     last_sample: Option<(Instant, u32)>,
+    /// Latest `REPORT` line per pid (cleared on BYE).
+    reports: std::collections::BTreeMap<u32, String>,
 }
 
 impl ServerState {
@@ -138,6 +153,7 @@ impl UdsServer {
         let state = Arc::new(Mutex::new(ServerState {
             apps: Vec::new(),
             last_sample: None,
+            reports: std::collections::BTreeMap::new(),
         }));
         let accept_thread = {
             let stop = Arc::clone(&stop);
@@ -262,12 +278,31 @@ fn serve_connection(
                     registry.counter("byes").incr();
                     let mut st = state.lock();
                     st.apps.retain(|a| a.pid != pid);
+                    st.reports.remove(&pid);
                     registry.gauge("apps").set(st.apps.len() as i64);
                     Some("OK\n".to_string())
                 }
                 _ => None,
             },
+            ["REPORT", pid, rest @ ..] => match pid.parse::<u32>() {
+                Ok(pid) => {
+                    registry.counter("reports").incr();
+                    state.lock().reports.insert(pid, rest.join(" "));
+                    Some("OK\n".to_string())
+                }
+                _ => None,
+            },
             ["STATS"] => Some(format!("STATS {}\n", registry.snapshot().render_line())),
+            ["STATS", pid] => match pid.parse::<u32>() {
+                Ok(pid) => {
+                    let st = state.lock();
+                    Some(match st.reports.get(&pid) {
+                        Some(line) if !line.is_empty() => format!("STATS {line}\n"),
+                        _ => "STATS\n".to_string(),
+                    })
+                }
+                _ => None,
+            },
             _ => None,
         };
         if let Some(r) = reply {
@@ -345,6 +380,31 @@ impl UdsClient {
         self.expect_line("OK")
     }
 
+    /// Pushes this process's statistics line to the server (newlines in
+    /// `line` are not allowed by the wire format and are rejected).
+    pub fn report(&mut self, line: &str) -> io::Result<()> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "report line must be newline-free",
+            ));
+        }
+        let pid = self.pid;
+        self.send(&format!("REPORT {pid} {line}\n"))?;
+        self.expect_line("OK")
+    }
+
+    /// Fetches the latest statistics line another application reported,
+    /// or an empty string when `pid` never reported.
+    pub fn app_stats(&mut self, pid: u32) -> io::Result<String> {
+        self.send(&format!("STATS {pid}\n"))?;
+        let line = self.read_line()?;
+        match line.strip_prefix("STATS") {
+            Some(rest) => Ok(rest.trim_start().to_string()),
+            None => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
     /// Fetches the server's statistics as sorted `(key, value)` pairs.
     pub fn stats(&mut self) -> io::Result<Vec<(String, i64)>> {
         self.send("STATS\n")?;
@@ -369,7 +429,29 @@ impl UdsClient {
     /// Spawns a background thread that polls every `interval` and stores
     /// the target into `slot` (for wiring a [`crate::Pool`] to a remote
     /// server). The thread exits when the returned guard is dropped.
-    pub fn spawn_poller(mut self, slot: Arc<TargetSlot>, interval: Duration) -> PollerGuard {
+    pub fn spawn_poller(self, slot: Arc<TargetSlot>, interval: Duration) -> PollerGuard {
+        self.spawn_poller_inner(slot, interval, None)
+    }
+
+    /// Like [`UdsClient::spawn_poller`], but also `REPORT`s a snapshot of
+    /// `registry` (e.g. a [`crate::Pool`]'s work-stealing counters) to
+    /// the server on every poll, making them readable cross-process via
+    /// `STATS <pid>`.
+    pub fn spawn_reporting_poller(
+        self,
+        slot: Arc<TargetSlot>,
+        interval: Duration,
+        registry: Arc<Registry>,
+    ) -> PollerGuard {
+        self.spawn_poller_inner(slot, interval, Some(registry))
+    }
+
+    fn spawn_poller_inner(
+        mut self,
+        slot: Arc<TargetSlot>,
+        interval: Duration,
+        registry: Option<Arc<Registry>>,
+    ) -> PollerGuard {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -379,6 +461,9 @@ impl UdsClient {
                     if let Ok(t) = self.poll() {
                         slot.target
                             .store((t as usize).clamp(1, slot.nworkers), Ordering::Release);
+                    }
+                    if let Some(reg) = &registry {
+                        let _ = self.report(&reg.snapshot().render_line());
                     }
                     std::thread::sleep(interval);
                 }
@@ -491,6 +576,50 @@ mod tests {
         assert_eq!(snap.counters["polls"], 2);
         c.bye().expect("bye");
         assert_eq!(server.stats().gauges["apps"], 0);
+    }
+
+    #[test]
+    fn report_and_per_app_stats_roundtrip() {
+        let path = sock_path("report");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        let me = std::process::id();
+        assert_eq!(c.app_stats(me).expect("empty stats"), "");
+        c.report("jobs_run=10 steals=3").expect("report");
+        assert_eq!(c.app_stats(me).expect("stats"), "jobs_run=10 steals=3");
+        // Latest report wins.
+        c.report("jobs_run=20 steals=5").expect("report");
+        assert_eq!(c.app_stats(me).expect("stats"), "jobs_run=20 steals=5");
+        assert!(c.report("bad\nline").is_err());
+        // BYE clears the stored report.
+        c.bye().expect("bye");
+        let mut c2 = UdsClient::register(&path, 4).expect("client2");
+        assert_eq!(c2.app_stats(me).expect("stats after bye"), "");
+    }
+
+    #[test]
+    fn reporting_poller_publishes_pool_counters() {
+        let path = sock_path("report-poller");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+        let client = UdsClient::register(&path, 4).expect("client");
+        let slot = Arc::new(TargetSlot {
+            target: std::sync::atomic::AtomicUsize::new(4),
+            nworkers: 4,
+        });
+        let registry = Arc::new(Registry::new());
+        registry.counter("jobs_run").add(42);
+        let _guard =
+            client.spawn_reporting_poller(Arc::clone(&slot), Duration::from_millis(20), registry);
+        let mut reader = UdsClient::register(&path, 1).expect("reader");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let line = reader.app_stats(std::process::id()).expect("app stats");
+            if line.contains("jobs_run=42") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "poller never reported: {line:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Model-checked interleavings of the Chase–Lev deque.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the CI loom lane). The
+//! in-tree `shims/loom` replays each closure many times with scheduling
+//! perturbation; against the real `loom` crate the same tests explore
+//! interleavings exhaustively. Either way the property under test is the
+//! deque's core contract: every pushed element is taken exactly once,
+//! whether by the owner's `pop` or a thief's `steal`.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+use native_rt::deque::deque;
+use native_rt::Steal;
+
+/// Owner pushes then pops while one thief steals: each element lands on
+/// exactly one side and none are duplicated or lost.
+#[test]
+fn owner_pop_races_single_steal() {
+    loom::model(|| {
+        let (worker, stealer) = deque::<usize>();
+        let seen = Arc::new([
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ]);
+
+        for v in 0..3 {
+            worker.push(Box::new(v));
+        }
+
+        let thief_seen = Arc::clone(&seen);
+        let thief = thread::spawn(move || loop {
+            match stealer.steal() {
+                Steal::Success(v) => {
+                    thief_seen[*v].fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        });
+
+        while let Some(v) = worker.pop() {
+            seen[*v].fetch_add(1, Ordering::Relaxed);
+        }
+        thief.join().unwrap();
+
+        // The thief may have drained the last element after our final
+        // pop returned None — sweep any remainder.
+        while let Some(v) = worker.pop() {
+            seen[*v].fetch_add(1, Ordering::Relaxed);
+        }
+
+        for (i, slot) in seen.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), 1, "element {i} count");
+        }
+    });
+}
+
+/// Two thieves race over a one-element deque: the CAS on `top` must let
+/// exactly one of them win.
+#[test]
+fn competing_steals_take_an_element_once() {
+    loom::model(|| {
+        let (worker, stealer) = deque::<u32>();
+        worker.push(Box::new(7));
+
+        let s2 = stealer.clone();
+        let count = Arc::new(AtomicUsize::new(0));
+
+        let c1 = Arc::clone(&count);
+        let t1 = thread::spawn(move || loop {
+            match stealer.steal() {
+                Steal::Success(v) => {
+                    assert_eq!(*v, 7);
+                    c1.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        });
+        let c2 = Arc::clone(&count);
+        let t2 = thread::spawn(move || loop {
+            match s2.steal() {
+                Steal::Success(v) => {
+                    assert_eq!(*v, 7);
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            1,
+            "element stolen twice or lost"
+        );
+        assert!(worker.pop().is_none());
+    });
+}
+
+/// The owner pushes concurrently with a thief stealing: nothing pushed
+/// is lost, and the owner's later pops never see a stolen element.
+#[test]
+fn push_races_steal_without_loss() {
+    loom::model(|| {
+        let (worker, stealer) = deque::<usize>();
+        worker.push(Box::new(0));
+
+        let stolen = Arc::new(AtomicUsize::new(usize::MAX));
+        let thief_stolen = Arc::clone(&stolen);
+        let thief = thread::spawn(move || loop {
+            match stealer.steal() {
+                Steal::Success(v) => {
+                    thief_stolen.store(*v, Ordering::Relaxed);
+                    break;
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        });
+
+        worker.push(Box::new(1));
+        worker.push(Box::new(2));
+        thief.join().unwrap();
+
+        let mut owned = Vec::new();
+        while let Some(v) = worker.pop() {
+            owned.push(*v);
+        }
+
+        let mut all = owned;
+        let s = stolen.load(Ordering::Relaxed);
+        if s != usize::MAX {
+            all.push(s);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "elements lost or duplicated");
+    });
+}
+
+/// Growth (buffer doubling) while a thief holds a pointer to the old
+/// buffer must stay safe: retired buffers are kept alive, so the steal
+/// either retries against the new buffer or wins a valid element.
+#[test]
+fn steal_survives_concurrent_growth() {
+    loom::model(|| {
+        // INITIAL_CAP is 64; push past it to force at least one grow.
+        let (worker, stealer) = deque::<usize>();
+        for v in 0..4 {
+            worker.push(Box::new(v));
+        }
+
+        let got = Arc::new(AtomicUsize::new(0));
+        let thief_got = Arc::clone(&got);
+        let thief = thread::spawn(move || {
+            for _ in 0..2 {
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(_) => {
+                            thief_got.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                }
+            }
+        });
+
+        for v in 4..80 {
+            worker.push(Box::new(v));
+        }
+        thief.join().unwrap();
+
+        let mut popped = 0usize;
+        while worker.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(
+            popped + got.load(Ordering::Relaxed),
+            80,
+            "conservation across grow"
+        );
+    });
+}

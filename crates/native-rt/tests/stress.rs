@@ -91,6 +91,120 @@ fn concurrent_submitters_two_pools() {
     assert_eq!(a.metrics().jobs_run + b.metrics().jobs_run, 1000);
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Job conservation across all three acquisition paths: however jobs
+    /// arrive (external submitters racing with fork-join spawns from
+    /// inside workers), every one is accounted to exactly one of the
+    /// local-pop, injector-pop, or steal counters — and their sum equals
+    /// the number run.
+    #[test]
+    fn acquisition_paths_partition_all_jobs(
+        workers in 1usize..8,
+        submitters in 1usize..4,
+        external in 1usize..120,
+        fanout in 0usize..40,
+    ) {
+        let controller = Controller::new(4, Duration::from_millis(10));
+        let pool = Arc::new(Pool::new(&controller, workers, false));
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        // External producers hammer the injector from non-worker threads.
+        let handles: Vec<_> = (0..submitters)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || {
+                    for _ in 0..external {
+                        let r = Arc::clone(&ran);
+                        pool.execute(move || {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+
+        // Fork-join: each seed job spawns two children from inside a
+        // worker, exercising the TLS local-deque fast path (and steals,
+        // once siblings go hunting).
+        for _ in 0..fanout {
+            let pool2 = Arc::clone(&pool);
+            let ran2 = Arc::clone(&ran);
+            pool.execute(move || {
+                ran2.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..2 {
+                    let r = Arc::clone(&ran2);
+                    pool2.execute(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+
+        for h in handles {
+            h.join().expect("submitter");
+        }
+        pool.wait_idle();
+
+        let submitted = submitters * external + fanout * 3;
+        prop_assert_eq!(ran.load(Ordering::Relaxed), submitted);
+        let m = pool.metrics();
+        prop_assert_eq!(m.jobs_run, submitted as u64);
+        prop_assert_eq!(
+            m.local_hits + m.injector_pops + m.steals,
+            m.jobs_run,
+            "acquisition counters must partition jobs_run: {:?}",
+            m
+        );
+    }
+}
+
+/// The conservation invariant holds under sustained multithreaded churn
+/// with process control actively suspending and resuming workers.
+#[test]
+fn conservation_holds_under_process_control_churn() {
+    let controller = Controller::new(1, Duration::from_millis(5));
+    let pool = Arc::new(Pool::new(&controller, 6, false));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let submitters: Vec<_> = (0..3)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let ran = Arc::clone(&ran);
+            std::thread::spawn(move || {
+                for i in 0..400 {
+                    let r = Arc::clone(&ran);
+                    if i % 8 == 0 {
+                        // Occasionally do a little work so suspension
+                        // points interleave with nonempty deques.
+                        pool.execute(move || {
+                            std::thread::sleep(Duration::from_micros(20));
+                            r.fetch_add(1, Ordering::Relaxed);
+                        });
+                    } else {
+                        pool.execute(move || {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter");
+    }
+    pool.wait_idle();
+    assert_eq!(ran.load(Ordering::Relaxed), 1200);
+    let m = pool.metrics();
+    assert_eq!(m.jobs_run, 1200);
+    assert_eq!(
+        m.local_hits + m.injector_pops + m.steals,
+        m.jobs_run,
+        "jobs leaked between queues under suspension churn: {m:?}"
+    );
+}
+
 /// A suspended worker parked for a long stretch still wakes for shutdown.
 #[test]
 fn long_suspension_then_clean_shutdown() {
