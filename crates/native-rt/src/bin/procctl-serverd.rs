@@ -6,9 +6,47 @@
 //! them (optionally subtracting system-wide runnable load sampled from
 //! `/proc`, the modern `rpstat`).
 //!
+//! Robustness: SIGTERM/SIGINT trigger a clean shutdown that removes the
+//! socket file; a stale socket left by a crashed predecessor is detected
+//! (probe-connect) and reclaimed at startup, while a live server on the
+//! same path refuses to be displaced. Registrations are leased
+//! (`--lease-ttl-ms`): clients that stop polling lose their share.
+//!
 //! ```text
-//! USAGE: procctl-serverd <socket-path> [--cpus N] [--account-system-load]
+//! USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N]
+//!                        [--account-system-load]
 //! ```
+
+/// Minimal async-signal-safe shutdown latch: the handler only stores an
+/// atomic flag; the main loop does the actual teardown. Raw `signal(2)`
+/// FFI because the build environment is offline (no `libc` crate) — std
+/// already links libc on every Unix target.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers.
+    pub fn install() {
+        let h = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
 
 #[cfg(unix)]
 fn main() {
@@ -16,6 +54,7 @@ fn main() {
     let mut path: Option<String> = None;
     let mut cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut account = false;
+    let mut lease_ttl = native_rt::DEFAULT_LEASE_TTL;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,6 +64,15 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--cpus needs a positive integer"));
+            }
+            "--lease-ttl-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage("--lease-ttl-ms needs a positive integer"));
+                lease_ttl = std::time::Duration::from_millis(ms);
             }
             "--account-system-load" => account = true,
             "--help" | "-h" => usage(""),
@@ -36,26 +84,33 @@ fn main() {
         i += 1;
     }
     let path = path.unwrap_or_else(|| usage("missing socket path"));
-    if cpus == 0 {
-        usage("--cpus must be at least 1");
+    if let Err(e) = procctl::validate_cpus(u32::try_from(cpus).unwrap_or(u32::MAX)) {
+        usage(&format!("--cpus: {e}"));
     }
 
     let mut cfg = native_rt::UdsServerConfig::new(&path, cpus);
     cfg.account_system_load = account;
+    cfg.lease_ttl = lease_ttl;
     let server = native_rt::UdsServer::start(cfg).unwrap_or_else(|e| {
         eprintln!("procctl-serverd: cannot bind {path}: {e}");
         std::process::exit(1);
     });
+    sig::install();
     println!(
-        "procctl-serverd: serving {} processors on {} (system-load accounting {})",
+        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {})",
         cpus,
         server.path().display(),
+        server.epoch(),
+        lease_ttl.as_millis(),
         if account { "on" } else { "off" },
     );
-    // Serve until killed.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until SIGTERM/SIGINT.
+    while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
     }
+    let stats = server.stats();
+    drop(server); // joins the accept thread and removes the socket file
+    println!("procctl-serverd: clean shutdown ({})", stats.render_line());
 }
 
 #[cfg(unix)]
@@ -63,7 +118,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("procctl-serverd: {err}");
     }
-    eprintln!("USAGE: procctl-serverd <socket-path> [--cpus N] [--account-system-load]");
+    eprintln!(
+        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 

@@ -24,6 +24,18 @@ pub struct TargetSlot {
     pub nworkers: usize,
 }
 
+impl TargetSlot {
+    /// A slot for an `nworkers`-worker pool, initialized to all workers
+    /// runnable (the uncontrolled default until a controller or poller
+    /// writes a target).
+    pub fn new(nworkers: usize) -> Self {
+        TargetSlot {
+            target: AtomicUsize::new(nworkers.max(1)),
+            nworkers,
+        }
+    }
+}
+
 struct Registry {
     pools: Vec<Weak<TargetSlot>>,
 }
@@ -39,8 +51,22 @@ pub struct Controller {
 impl Controller {
     /// Creates a controller for a machine with `cpus` processors,
     /// recomputing targets every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cpus` is zero or absurd (beyond
+    /// [`procctl::MAX_CPUS`]); use [`Controller::try_new`] to handle
+    /// untrusted configuration without panicking.
     pub fn new(cpus: usize, interval: Duration) -> Self {
-        assert!(cpus >= 1);
+        Self::try_new(cpus, interval)
+            .unwrap_or_else(|e| panic!("invalid controller configuration: {e}"))
+    }
+
+    /// Like [`Controller::new`], but rejects a zero/absurd `cpus` (e.g.
+    /// from a config file) with a clear error instead of handing every
+    /// pool a meaningless 0-target downstream.
+    pub fn try_new(cpus: usize, interval: Duration) -> Result<Self, procctl::SizeError> {
+        procctl::validate_cpus(u32::try_from(cpus).unwrap_or(u32::MAX))?;
         let registry = Arc::new(Mutex::new(Registry { pools: Vec::new() }));
         let stop = Arc::new(AtomicBool::new(false));
         let ticker = {
@@ -56,12 +82,12 @@ impl Controller {
                 })
                 .expect("spawn controller thread")
         };
-        Controller {
+        Ok(Controller {
             cpus,
             registry,
             stop,
             ticker: Some(ticker),
-        }
+        })
     }
 
     /// Registers a pool; returns its target slot (initialized to the whole
@@ -158,6 +184,22 @@ mod tests {
         } // b dropped
         c.recompute_now();
         assert_eq!(a.target.load(Ordering::Acquire), 8);
+    }
+
+    #[test]
+    fn zero_and_absurd_cpus_rejected() {
+        assert!(Controller::try_new(0, Duration::from_millis(50)).is_err());
+        assert!(Controller::try_new(1 << 20, Duration::from_millis(50)).is_err());
+        assert!(Controller::try_new(1, Duration::from_millis(50)).is_ok());
+    }
+
+    #[test]
+    fn target_slot_new_starts_uncontrolled() {
+        let slot = TargetSlot::new(6);
+        assert_eq!(slot.nworkers, 6);
+        assert_eq!(slot.target.load(Ordering::Acquire), 6);
+        // Floor of one even for a degenerate pool.
+        assert_eq!(TargetSlot::new(0).target.load(Ordering::Acquire), 1);
     }
 
     #[test]

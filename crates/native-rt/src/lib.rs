@@ -15,6 +15,13 @@
 //! [`baseline::CentralPool`] so `pool_bench` can measure the difference
 //! on any host.
 //!
+//! For cross-process deployments the control plane is fault-tolerant:
+//! the [`UdsServer`] leases registrations and stamps replies with a boot
+//! epoch, the [`SupervisedClient`] reconnects with backoff and falls
+//! back to degraded (uncontrolled) targets while the server is away, and
+//! the [`chaos`] proxy injects deterministic wire faults so all of it is
+//! testable. See DESIGN.md §"Failure modes & recovery".
+//!
 //! # Examples
 //!
 //! ```
@@ -36,6 +43,8 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+#[cfg(unix)]
+pub mod chaos;
 mod controller;
 pub mod deque;
 pub mod injector;
@@ -43,13 +52,22 @@ mod pool;
 pub mod proc_scan;
 pub mod stats;
 #[cfg(unix)]
+mod supervise;
+#[cfg(unix)]
 mod uds;
 
 pub use baseline::CentralPool;
+#[cfg(unix)]
+pub use chaos::{ChaosConfig, ChaosProxy};
 pub use controller::{Controller, TargetSlot};
 pub use deque::{Steal, Stealer, Worker};
 pub use injector::Injector;
 pub use pool::{Job, Pool, PoolMetrics};
 pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
-pub use uds::{PollerGuard, UdsClient, UdsServer, UdsServerConfig};
+pub use supervise::{SupervisedClient, SupervisorConfig};
+#[cfg(unix)]
+pub use uds::{
+    PollReply, PollerGuard, UdsClient, UdsServer, UdsServerConfig, DEFAULT_IO_TIMEOUT,
+    DEFAULT_LEASE_TTL,
+};

@@ -205,6 +205,12 @@ impl Pool {
     /// Creates a pool whose target is driven externally (e.g. by a
     /// [`crate::UdsClient`] poller talking to a cross-process server)
     /// through the given slot.
+    ///
+    /// For deployments that must survive server crashes, drive the slot
+    /// with [`crate::SupervisedClient::spawn_poller`] (Unix only) and
+    /// hand it this pool's [`Pool::registry`]: targets then fall back to
+    /// degraded mode through outages, and the supervisor's fault
+    /// counters travel with the pool's own stats through REPORT/STATS.
     pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
         assert!(nworkers >= 1);
         let registry = Arc::new(Registry::new());

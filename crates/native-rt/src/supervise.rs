@@ -1,0 +1,398 @@
+//! A supervised, fault-tolerant wrapper around [`UdsClient`].
+//!
+//! The paper's control plane is a single centralized server; the 1989
+//! prototype never asked what happens when it crashes, hangs, or returns
+//! garbage. This module answers: the application keeps running.
+//!
+//! - Every stream operation carries the configured I/O timeout, so a
+//!   wedged server costs bounded latency, never liveness.
+//! - A failed connection is retried with exponential backoff plus
+//!   deterministic jitter (seeded xorshift), and a successful reconnect
+//!   re-REGISTERs before the next poll.
+//! - While the server is unreachable the pool runs in **degraded mode**:
+//!   the target falls back to the paper's *uncontrolled* behavior — all
+//!   `nworkers` runnable, floor of one preserved — and snaps back to the
+//!   fair-partition target on the first healthy poll.
+//! - An `ERR unregistered` reply (lease expiry, or a restarted server
+//!   reached through a still-open proxy connection) is healed in place by
+//!   re-registering on the same connection.
+//!
+//! Recovery behavior is observable: the supervisor records `reconnects`,
+//! `degraded_enters`, `epoch_changes`, and `poll_errors` counters, a
+//! `degraded` gauge, and a `degraded_ns` histogram (time spent in each
+//! degraded episode) into the registry it is given — typically the
+//! [`crate::Pool`]'s own registry, so the fault counters travel through
+//! the existing REPORT/STATS/Perfetto pipeline alongside the
+//! work-stealing counters.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::controller::TargetSlot;
+use crate::stats::{Counter, Gauge, Hist, Registry};
+use crate::uds::{PollReply, PollerGuard, UdsClient, DEFAULT_IO_TIMEOUT};
+
+/// Supervision tuning.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Socket path of the control server.
+    pub path: PathBuf,
+    /// Worker count to register (and the degraded-mode fallback target).
+    pub nworkers: u32,
+    /// Read/write timeout armed on every connection.
+    pub io_timeout: Duration,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_initial: Duration,
+    /// Reconnect delay cap.
+    pub backoff_max: Duration,
+    /// Seed for the jitter RNG (deterministic for tests).
+    pub seed: u64,
+}
+
+impl SupervisorConfig {
+    /// Defaults: 2 s I/O timeout, 50 ms initial backoff doubling to a
+    /// 2 s cap, fixed seed.
+    pub fn new(path: impl Into<PathBuf>, nworkers: u32) -> Self {
+        SupervisorConfig {
+            path: path.into(),
+            nworkers,
+            io_timeout: DEFAULT_IO_TIMEOUT,
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            seed: 0x5EED_CAB1E,
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A [`UdsClient`] that survives server crashes, restarts, hangs, and
+/// garbage replies. All methods are non-panicking and bounded in time.
+pub struct SupervisedClient {
+    cfg: SupervisorConfig,
+    registry: Arc<Registry>,
+    conn: Option<UdsClient>,
+    last_epoch: Option<u64>,
+    ever_connected: bool,
+    backoff: Duration,
+    next_attempt: Option<Instant>,
+    rng: u64,
+    degraded_since: Option<Instant>,
+    reconnects: Counter,
+    degraded_enters: Counter,
+    epoch_changes: Counter,
+    poll_errors: Counter,
+    degraded_gauge: Gauge,
+    degraded_ns: Hist,
+}
+
+impl SupervisedClient {
+    /// Creates the supervisor and eagerly attempts a first connection
+    /// (failure is not an error — the client starts degraded and keeps
+    /// retrying). Fault counters are registered into `registry`.
+    pub fn new(cfg: SupervisorConfig, registry: Arc<Registry>) -> Self {
+        let mut s = SupervisedClient {
+            rng: cfg.seed,
+            backoff: cfg.backoff_initial,
+            reconnects: registry.counter("reconnects"),
+            degraded_enters: registry.counter("degraded_enters"),
+            epoch_changes: registry.counter("epoch_changes"),
+            poll_errors: registry.counter("poll_errors"),
+            degraded_gauge: registry.gauge("degraded"),
+            degraded_ns: registry.histogram("degraded_ns"),
+            registry,
+            cfg,
+            conn: None,
+            last_epoch: None,
+            ever_connected: false,
+            next_attempt: None,
+            degraded_since: None,
+        };
+        s.ensure_connected();
+        s
+    }
+
+    /// Whether a connection is currently established.
+    pub fn connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// The epoch of the last server this client registered with, if any.
+    pub fn epoch(&self) -> Option<u64> {
+        self.last_epoch
+    }
+
+    /// The degraded-mode fallback target: the paper's uncontrolled
+    /// behavior, all workers runnable with a floor of one.
+    pub fn fallback_target(&self) -> u32 {
+        self.cfg.nworkers.max(1)
+    }
+
+    /// Clears the backoff gate so the next [`SupervisedClient::poll_target`]
+    /// attempts a reconnect immediately. Useful when the caller has
+    /// out-of-band knowledge that the server is back (or in tests that
+    /// should not wait out the jittered backoff).
+    pub fn retry_now(&mut self) {
+        self.next_attempt = None;
+    }
+
+    fn note_epoch(&mut self, epoch: u64) {
+        if self.last_epoch.is_some_and(|prev| prev != epoch) {
+            self.epoch_changes.incr();
+        }
+        self.last_epoch = Some(epoch);
+    }
+
+    fn schedule_retry(&mut self) {
+        // Full backoff scaled by a jitter factor in [0.5, 1.0): staggered
+        // reconnect storms, still bounded by backoff_max.
+        let jitter = 0.5 + 0.5 * (xorshift(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+        self.next_attempt = Some(Instant::now() + self.backoff.mul_f64(jitter));
+        self.backoff = (self.backoff * 2).min(self.cfg.backoff_max);
+    }
+
+    fn disconnect(&mut self) {
+        self.conn = None;
+        self.schedule_retry();
+    }
+
+    fn ensure_connected(&mut self) -> bool {
+        if self.conn.is_some() {
+            return true;
+        }
+        if let Some(at) = self.next_attempt {
+            if Instant::now() < at {
+                return false;
+            }
+        }
+        match UdsClient::register_with_timeout(
+            &self.cfg.path,
+            self.cfg.nworkers,
+            self.cfg.io_timeout,
+        ) {
+            Ok(c) => {
+                if self.ever_connected {
+                    self.reconnects.incr();
+                }
+                self.ever_connected = true;
+                self.note_epoch(c.epoch());
+                self.conn = Some(c);
+                self.backoff = self.cfg.backoff_initial;
+                self.next_attempt = None;
+                true
+            }
+            Err(_) => {
+                self.schedule_retry();
+                false
+            }
+        }
+    }
+
+    fn enter_degraded(&mut self) {
+        if self.degraded_since.is_none() {
+            self.degraded_enters.incr();
+            self.degraded_gauge.set(1);
+            self.degraded_since = Some(Instant::now());
+        }
+    }
+
+    fn leave_degraded(&mut self) {
+        if let Some(at) = self.degraded_since.take() {
+            self.degraded_ns.record(at.elapsed().as_nanos() as u64);
+            self.degraded_gauge.set(0);
+        }
+    }
+
+    /// Polls for the current target. `None` means the server is
+    /// unreachable (or answered garbage) and the caller should apply
+    /// [`SupervisedClient::fallback_target`] — degraded-mode accounting
+    /// has already been updated either way.
+    pub fn poll_target(&mut self) -> Option<u32> {
+        for attempt in 0..2 {
+            if !self.ensure_connected() {
+                break;
+            }
+            let reply = self.conn.as_mut().expect("just connected").poll_reply();
+            match reply {
+                Ok(PollReply::Target { target, epoch }) => {
+                    self.note_epoch(epoch);
+                    self.leave_degraded();
+                    return Some(target);
+                }
+                Ok(PollReply::Unregistered) => {
+                    // Lease lapsed or the server restarted behind a
+                    // still-open connection: re-register in place, then
+                    // retry the poll once.
+                    let conn = self.conn.as_mut().expect("just connected");
+                    match conn.re_register() {
+                        Ok(epoch) => {
+                            self.note_epoch(epoch);
+                            if attempt == 0 {
+                                continue;
+                            }
+                        }
+                        Err(_) => {
+                            self.poll_errors.incr();
+                            self.disconnect();
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.poll_errors.incr();
+                    self.disconnect();
+                }
+            }
+            break;
+        }
+        self.enter_degraded();
+        None
+    }
+
+    /// Pushes a statistics line to the server, best effort: a failure
+    /// tears down the connection (the next poll reconnects) but is not
+    /// fatal.
+    pub fn report(&mut self, line: &str) {
+        if let Some(conn) = self.conn.as_mut() {
+            if conn.report(line).is_err() {
+                self.disconnect();
+            }
+        }
+    }
+
+    /// Courtesy goodbye, best effort.
+    pub fn bye(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            let _ = conn.bye();
+        }
+    }
+
+    /// Spawns a background thread that polls every `interval`, storing
+    /// the (healthy or fallback) target into `slot`, and — when `report`
+    /// is true — REPORTing a snapshot of the supervisor's registry (and
+    /// everything else in it, e.g. a pool's counters) to the server on
+    /// every healthy poll. The thread exits when the guard drops.
+    ///
+    /// This is the fault-tolerant replacement for
+    /// [`UdsClient::spawn_poller`]: a killed or restarted server drives
+    /// the slot to the degraded target (all workers runnable) within one
+    /// poll interval, and the slot snaps back once the server answers
+    /// again.
+    pub fn spawn_poller(
+        mut self,
+        slot: Arc<TargetSlot>,
+        interval: Duration,
+        report: bool,
+    ) -> PollerGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("procctl-supervised-poller".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    let target = match self.poll_target() {
+                        Some(t) => (t as usize).clamp(1, slot.nworkers),
+                        // Degraded: uncontrolled behavior, every worker
+                        // runnable (floor of one preserved by max(1)).
+                        None => slot.nworkers.max(1),
+                    };
+                    slot.target.store(target, Ordering::Release);
+                    if report {
+                        let line = self.registry.snapshot().render_line();
+                        self.report(&line);
+                    }
+                    std::thread::sleep(interval);
+                }
+                self.bye();
+            })
+            .expect("spawn supervised poller");
+        PollerGuard::from_parts(stop, handle)
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::uds::{UdsServer, UdsServerConfig};
+    use std::path::PathBuf;
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("procctl-sup-{}-{tag}.sock", std::process::id()))
+    }
+
+    fn fast_cfg(path: &std::path::Path, nworkers: u32) -> SupervisorConfig {
+        let mut cfg = SupervisorConfig::new(path, nworkers);
+        cfg.io_timeout = Duration::from_millis(200);
+        cfg.backoff_initial = Duration::from_millis(10);
+        cfg.backoff_max = Duration::from_millis(100);
+        cfg
+    }
+
+    #[test]
+    fn starts_degraded_without_a_server_then_recovers() {
+        let path = sock_path("late-server");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), Arc::clone(&registry));
+        assert!(!sup.connected());
+        assert_eq!(sup.poll_target(), None);
+        assert_eq!(sup.fallback_target(), 8);
+        // Now the server comes up; the supervisor finds it after backoff.
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if sup.poll_target() == Some(4) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "never recovered");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let snap = registry.snapshot();
+        assert!(snap.counters["degraded_enters"] >= 1);
+        assert_eq!(snap.gauges["degraded"], 0);
+        assert!(snap.histograms["degraded_ns"].count >= 1);
+    }
+
+    #[test]
+    fn lease_expiry_healed_in_place_by_re_register() {
+        let path = sock_path("lease-heal");
+        let mut cfg = UdsServerConfig::new(&path, 8);
+        cfg.lease_ttl = Duration::from_millis(60);
+        cfg.prune_dead = false;
+        let _server = UdsServer::start(cfg).expect("server");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), Arc::clone(&registry));
+        assert_eq!(sup.poll_target(), Some(8));
+        // Let our own lease lapse, then poll: the supervisor must
+        // re-register on the same connection and still produce a target.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(sup.poll_target(), Some(8));
+    }
+
+    #[test]
+    fn backoff_grows_and_is_jittered() {
+        let path = sock_path("nobody-home");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 4), registry);
+        // Consecutive failures double the backoff up to the cap.
+        let b0 = sup.backoff;
+        sup.poll_target();
+        let b1 = sup.backoff;
+        assert!(b1 >= b0, "backoff shrank: {b0:?} -> {b1:?}");
+        for _ in 0..20 {
+            sup.retry_now(); // force an attempt despite backoff
+            sup.poll_target();
+        }
+        assert_eq!(sup.backoff, sup.cfg.backoff_max);
+        // The scheduled delay is jittered below the full backoff.
+        let at = sup.next_attempt.expect("retry scheduled");
+        assert!(at <= Instant::now() + sup.cfg.backoff_max);
+    }
+}

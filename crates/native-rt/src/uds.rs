@@ -8,11 +8,37 @@
 //!
 //! ```text
 //! client → server:  REGISTER <pid> <nworkers>
+//! server → client:  OK <epoch>
 //! client → server:  POLL <pid>
-//! server → client:  TARGET <n>
+//! server → client:  TARGET <n> <epoch>
 //! client → server:  BYE <pid>
-//! server → client:  OK            (acknowledges REGISTER and BYE)
+//! server → client:  OK <epoch>
 //! ```
+//!
+//! Fault tolerance (see DESIGN.md §"Failure modes & recovery"):
+//!
+//! - **Epochs.** The server stamps every reply with its boot epoch. A
+//!   client that observes a different epoch than it registered under knows
+//!   the server restarted (and forgot it) and must re-register.
+//! - **Leases.** Each registration carries a TTL refreshed by POLL and
+//!   REPORT. A wedged-but-alive client — which the `/proc` liveness prune
+//!   cannot catch, and which is Linux-only anyway — loses its processor
+//!   share after the lease expires. A later POLL from an expired (or
+//!   never-registered, or forgotten-by-restart) pid gets `ERR
+//!   unregistered`, the cue to re-register.
+//! - **No silent drops.** A malformed request is answered with
+//!   `ERR <reason>` and counted, never ignored: a well-behaved client
+//!   must not block forever on `read_line` because its frame was garbled
+//!   in flight.
+//! - **Stale sockets.** On startup the server probes an existing socket
+//!   file: if a live server answers, startup fails with `AddrInUse`;
+//!   if nothing is listening, the stale file (a previous crash) is
+//!   reclaimed.
+//! - **Client timeouts.** [`UdsClient::register`] arms read *and* write
+//!   timeouts on the stream, so even the unsupervised client can never
+//!   hang indefinitely on a wedged server. For automatic reconnect,
+//!   backoff, and degraded-mode fallback, wrap it in
+//!   [`crate::SupervisedClient`].
 //!
 //! The server additionally prunes registered applications whose processes
 //! have died without a BYE (checked against `/proc`), and can optionally
@@ -35,7 +61,7 @@
 //!
 //! ```text
 //! client → server:  REPORT <pid> jobs_run=100 steals=7 ...
-//! server → client:  OK
+//! server → client:  OK <epoch>
 //! client → server:  STATS <pid>
 //! server → client:  STATS jobs_run=100 steals=7 ...
 //! ```
@@ -49,11 +75,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use procctl::{partition, AppDemand};
+use procctl::{partition, validate_cpus, validate_processes, AppDemand};
 
 use crate::controller::TargetSlot;
 use crate::proc_scan;
 use crate::stats::{Registry, Snapshot};
+
+/// Default read/write timeout armed on every client stream: the longest a
+/// client call can block on a wedged (alive but unresponsive) server.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default registration lease: a client that neither POLLs nor REPORTs
+/// for this long is deregistered and its processor share reclaimed.
+pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(30);
 
 /// Server tuning.
 #[derive(Clone, Debug)]
@@ -68,17 +102,33 @@ pub struct UdsServerConfig {
     pub account_system_load: bool,
     /// How long a system-load sample stays fresh.
     pub sample_ttl: Duration,
+    /// How long a registration stays valid without a POLL/REPORT refresh.
+    pub lease_ttl: Duration,
+    /// Drop registrations whose process no longer exists (`/proc` check;
+    /// Linux-only, a no-op elsewhere). Leases catch what this cannot:
+    /// processes that are alive but wedged.
+    pub prune_dead: bool,
 }
 
 impl UdsServerConfig {
-    /// Defaults: no system-load accounting, 1 s sample TTL.
+    /// Defaults: no system-load accounting, 1 s sample TTL, 30 s lease,
+    /// dead-process pruning on.
     pub fn new(path: impl Into<PathBuf>, cpus: usize) -> Self {
         UdsServerConfig {
             path: path.into(),
             cpus,
             account_system_load: false,
             sample_ttl: Duration::from_secs(1),
+            lease_ttl: DEFAULT_LEASE_TTL,
+            prune_dead: true,
         }
+    }
+
+    /// Checks the configuration for values that would corrupt every
+    /// partition decision downstream (a 0 or absurd `cpus`).
+    pub fn validate(&self) -> io::Result<()> {
+        validate_cpus(u32::try_from(self.cpus).unwrap_or(u32::MAX))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
     }
 }
 
@@ -86,21 +136,46 @@ impl UdsServerConfig {
 struct AppReg {
     pid: u32,
     nworkers: u32,
+    /// Last REGISTER/POLL/REPORT from this pid (the lease refresh).
+    last_seen: Instant,
 }
 
 struct ServerState {
     apps: Vec<AppReg>,
     last_sample: Option<(Instant, u32)>,
-    /// Latest `REPORT` line per pid (cleared on BYE).
+    /// Latest `REPORT` line per pid (cleared on BYE and lease expiry).
     reports: std::collections::BTreeMap<u32, String>,
 }
 
 impl ServerState {
+    /// Drops registrations that died (`/proc`, if enabled) or let their
+    /// lease lapse, counting the latter.
+    fn prune(&mut self, cfg: &UdsServerConfig, registry: &Registry) {
+        #[cfg(target_os = "linux")]
+        if cfg.prune_dead {
+            self.apps.retain(|a| proc_scan::process_exists(a.pid));
+        }
+        let expired: Vec<u32> = self
+            .apps
+            .iter()
+            .filter(|a| a.last_seen.elapsed() > cfg.lease_ttl)
+            .map(|a| a.pid)
+            .collect();
+        if !expired.is_empty() {
+            registry.counter("lease_expiries").add(expired.len() as u64);
+            self.apps.retain(|a| !expired.contains(&a.pid));
+            for pid in expired {
+                self.reports.remove(&pid);
+            }
+        }
+        registry.gauge("apps").set(self.apps.len() as i64);
+    }
+
     /// The target for `pid`, recomputed from the current registry (the
-    /// paper's equal partition with caps and a floor of one).
-    fn target_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> u32 {
-        // Prune applications that died without saying BYE.
-        self.apps.retain(|a| proc_scan::process_exists(a.pid));
+    /// paper's equal partition with caps and a floor of one), or `None`
+    /// when `pid` holds no live registration (never registered, lease
+    /// expired, or the server restarted since).
+    fn target_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> Option<u32> {
         let uncontrolled = if cfg.account_system_load {
             let fresh = self
                 .last_sample
@@ -129,27 +204,70 @@ impl ServerState {
             .iter()
             .zip(&targets)
             .find(|(a, _)| a.pid == pid)
-            .map_or(cfg.cpus as u32, |(_, &t)| t.max(1))
+            .map(|(_, &t)| t.max(1))
     }
+}
+
+/// The server's boot epoch: distinct across restarts so clients can tell
+/// "the server I registered with" from "a new server that forgot me".
+fn boot_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(1, |d| d.as_nanos() as u64);
+    // Fold in the pid so two servers booted within one clock tick (or on
+    // a coarse clock) still differ.
+    nanos ^ (u64::from(std::process::id()).rotate_left(48)) | 1
 }
 
 /// The standalone control server.
 pub struct UdsServer {
     cfg: UdsServerConfig,
+    epoch: u64,
     stop: Arc<AtomicBool>,
     registry: Arc<Registry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl UdsServer {
-    /// Binds the socket and starts serving. An existing socket file at the
-    /// path is removed first (stale from a crashed server).
+    /// Binds the socket and starts serving.
+    ///
+    /// An existing socket file is probed first: if a live server answers
+    /// the connect, this fails with [`io::ErrorKind::AddrInUse`]; if
+    /// nothing is listening the file is stale (a crashed predecessor) and
+    /// is reclaimed. An invalid `cfg` (see [`UdsServerConfig::validate`])
+    /// fails with [`io::ErrorKind::InvalidInput`].
     pub fn start(cfg: UdsServerConfig) -> io::Result<Self> {
-        let _ = std::fs::remove_file(&cfg.path);
+        cfg.validate()?;
+        if cfg.path.exists() {
+            match UnixStream::connect(&cfg.path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("a live server already answers on {}", cfg.path.display()),
+                    ));
+                }
+                // Nobody home: a stale socket from a crashed server.
+                Err(_) => std::fs::remove_file(&cfg.path)?,
+            }
+        }
         let listener = UnixListener::bind(&cfg.path)?;
         listener.set_nonblocking(true)?;
+        let epoch = boot_epoch();
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Registry::new());
+        // Pre-register every statistic so a STATS reply (and the in-process
+        // snapshot) always carries the full schema, zeros included.
+        for name in [
+            "registers",
+            "polls",
+            "byes",
+            "reports",
+            "malformed",
+            "lease_expiries",
+        ] {
+            registry.counter(name);
+        }
+        registry.gauge("apps");
         let state = Arc::new(Mutex::new(ServerState {
             apps: Vec::new(),
             last_sample: None,
@@ -175,7 +293,7 @@ impl UdsServer {
                                         .name("procctl-uds-conn".into())
                                         .spawn(move || {
                                             let _ = serve_connection(
-                                                stream, &state, &cfg3, &stop2, &reg2,
+                                                stream, &state, &cfg3, &stop2, &reg2, epoch,
                                             );
                                         })
                                         .expect("spawn connection handler"),
@@ -195,6 +313,7 @@ impl UdsServer {
         };
         Ok(UdsServer {
             cfg,
+            epoch,
             stop,
             registry,
             accept_thread: Some(accept_thread),
@@ -206,9 +325,14 @@ impl UdsServer {
         &self.cfg.path
     }
 
+    /// This server instance's boot epoch (stamped on every reply).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// A point-in-time copy of the server's statistics (registers, polls,
-    /// byes served; live application count) — the same data the wire-level
-    /// `STATS` request returns.
+    /// byes served; malformed requests; lease expiries; live application
+    /// count) — the same data the wire-level `STATS` request returns.
     pub fn stats(&self) -> Snapshot {
         self.registry.snapshot()
     }
@@ -224,12 +348,131 @@ impl Drop for UdsServer {
     }
 }
 
+/// Answers one request line. Every line gets a reply — malformed input is
+/// answered with `ERR <reason>` rather than silence, so a client blocked
+/// in `read_line` always makes progress.
+fn handle_line(
+    line: &str,
+    state: &Mutex<ServerState>,
+    cfg: &UdsServerConfig,
+    registry: &Registry,
+    epoch: u64,
+) -> String {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.as_slice() {
+        ["REGISTER", pid, n] => match (pid.parse::<u32>(), n.parse::<u32>()) {
+            (Ok(pid), Ok(n)) => {
+                if validate_processes(n).is_err() {
+                    registry.counter("malformed").incr();
+                    return "ERR bad-nworkers\n".to_string();
+                }
+                registry.counter("registers").incr();
+                let mut st = state.lock();
+                let now = Instant::now();
+                match st.apps.iter_mut().find(|a| a.pid == pid) {
+                    Some(a) => {
+                        // Re-registration refreshes the lease and adopts
+                        // the new worker count.
+                        a.nworkers = n;
+                        a.last_seen = now;
+                    }
+                    None => st.apps.push(AppReg {
+                        pid,
+                        nworkers: n,
+                        last_seen: now,
+                    }),
+                }
+                registry.gauge("apps").set(st.apps.len() as i64);
+                format!("OK {epoch}\n")
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        ["POLL", pid] => match pid.parse::<u32>() {
+            Ok(pid) => {
+                registry.counter("polls").incr();
+                let mut st = state.lock();
+                st.prune(cfg, registry);
+                if let Some(a) = st.apps.iter_mut().find(|a| a.pid == pid) {
+                    a.last_seen = Instant::now();
+                } else {
+                    // Expired lease, dead registration, or a pre-restart
+                    // client the new server never heard of.
+                    return "ERR unregistered\n".to_string();
+                }
+                match st.target_of(pid, cfg) {
+                    Some(t) => format!("TARGET {t} {epoch}\n"),
+                    None => "ERR unregistered\n".to_string(),
+                }
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        ["BYE", pid] => match pid.parse::<u32>() {
+            Ok(pid) => {
+                registry.counter("byes").incr();
+                let mut st = state.lock();
+                st.apps.retain(|a| a.pid != pid);
+                st.reports.remove(&pid);
+                registry.gauge("apps").set(st.apps.len() as i64);
+                format!("OK {epoch}\n")
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        ["REPORT", pid, rest @ ..] => match pid.parse::<u32>() {
+            Ok(pid) => {
+                registry.counter("reports").incr();
+                let mut st = state.lock();
+                if let Some(a) = st.apps.iter_mut().find(|a| a.pid == pid) {
+                    a.last_seen = Instant::now();
+                }
+                st.reports.insert(pid, rest.join(" "));
+                format!("OK {epoch}\n")
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        ["STATS"] => format!("STATS {}\n", registry.snapshot().render_line()),
+        ["STATS", pid] => match pid.parse::<u32>() {
+            Ok(pid) => {
+                let st = state.lock();
+                match st.reports.get(&pid) {
+                    Some(line) if !line.is_empty() => format!("STATS {line}\n"),
+                    _ => "STATS\n".to_string(),
+                }
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        [] => {
+            registry.counter("malformed").incr();
+            "ERR empty\n".to_string()
+        }
+        _ => {
+            registry.counter("malformed").incr();
+            "ERR malformed\n".to_string()
+        }
+    }
+}
+
 fn serve_connection(
     stream: UnixStream,
     state: &Mutex<ServerState>,
     cfg: &UdsServerConfig,
     stop: &AtomicBool,
     registry: &Registry,
+    epoch: u64,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
@@ -248,89 +491,89 @@ fn serve_connection(
             {
                 continue
             }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Non-UTF-8 bytes on the wire: answer, then drop the
+                // connection (the stream offset is unrecoverable).
+                registry.counter("malformed").incr();
+                let _ = writer.write_all(b"ERR malformed\n");
+                return Ok(());
+            }
             Err(e) => return Err(e),
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        // Malformed requests are dropped, like the simulated server's.
-        let reply = match fields.as_slice() {
-            ["REGISTER", pid, n] => match (pid.parse::<u32>(), n.parse::<u32>()) {
-                (Ok(pid), Ok(n)) => {
-                    registry.counter("registers").incr();
-                    let mut st = state.lock();
-                    if !st.apps.iter().any(|a| a.pid == pid) {
-                        st.apps.push(AppReg { pid, nworkers: n });
-                    }
-                    registry.gauge("apps").set(st.apps.len() as i64);
-                    Some("OK\n".to_string())
-                }
-                _ => None,
-            },
-            ["POLL", pid] => match pid.parse::<u32>() {
-                Ok(pid) => {
-                    registry.counter("polls").incr();
-                    let t = state.lock().target_of(pid, cfg);
-                    Some(format!("TARGET {t}\n"))
-                }
-                _ => None,
-            },
-            ["BYE", pid] => match pid.parse::<u32>() {
-                Ok(pid) => {
-                    registry.counter("byes").incr();
-                    let mut st = state.lock();
-                    st.apps.retain(|a| a.pid != pid);
-                    st.reports.remove(&pid);
-                    registry.gauge("apps").set(st.apps.len() as i64);
-                    Some("OK\n".to_string())
-                }
-                _ => None,
-            },
-            ["REPORT", pid, rest @ ..] => match pid.parse::<u32>() {
-                Ok(pid) => {
-                    registry.counter("reports").incr();
-                    state.lock().reports.insert(pid, rest.join(" "));
-                    Some("OK\n".to_string())
-                }
-                _ => None,
-            },
-            ["STATS"] => Some(format!("STATS {}\n", registry.snapshot().render_line())),
-            ["STATS", pid] => match pid.parse::<u32>() {
-                Ok(pid) => {
-                    let st = state.lock();
-                    Some(match st.reports.get(&pid) {
-                        Some(line) if !line.is_empty() => format!("STATS {line}\n"),
-                        _ => "STATS\n".to_string(),
-                    })
-                }
-                _ => None,
-            },
-            _ => None,
-        };
-        if let Some(r) = reply {
-            writer.write_all(r.as_bytes())?;
-        }
+        let reply = handle_line(&line, state, cfg, registry, epoch);
+        writer.write_all(reply.as_bytes())?;
     }
 }
 
+/// A decoded reply to `POLL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollReply {
+    /// A live target, stamped with the server's boot epoch.
+    Target {
+        /// Desired number of unsuspended workers.
+        target: u32,
+        /// The replying server's boot epoch.
+        epoch: u64,
+    },
+    /// The server holds no registration for this pid: the lease expired
+    /// or the server restarted. Re-register before polling again.
+    Unregistered,
+}
+
 /// Client-side connection to a [`UdsServer`].
+#[derive(Debug)]
 pub struct UdsClient {
     reader: BufReader<UnixStream>,
     writer: UnixStream,
     pid: u32,
+    nworkers: u32,
+    epoch: u64,
 }
 
 impl UdsClient {
-    /// Connects and registers this process with `nworkers` workers.
+    /// Connects and registers this process with `nworkers` workers, with
+    /// the [`DEFAULT_IO_TIMEOUT`] armed on the stream.
     pub fn register(path: impl AsRef<Path>, nworkers: u32) -> io::Result<Self> {
+        Self::register_with_timeout(path, nworkers, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Connects and registers, arming `io_timeout` as both read and write
+    /// timeout — even against a wedged (accepting but silent) server, no
+    /// client call blocks longer than the timeout.
+    pub fn register_with_timeout(
+        path: impl AsRef<Path>,
+        nworkers: u32,
+        io_timeout: Duration,
+    ) -> io::Result<Self> {
         let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
         let writer = stream.try_clone()?;
         let mut client = UdsClient {
             reader: BufReader::new(stream),
             writer,
             pid: std::process::id(),
+            nworkers,
+            epoch: 0,
         };
-        client.send(&format!("REGISTER {} {}\n", client.pid, nworkers))?;
-        client.expect_line("OK")?;
+        client.re_register()?;
         Ok(client)
+    }
+
+    /// Re-sends REGISTER on the existing connection (after `ERR
+    /// unregistered`: a lapsed lease or a restarted server behind a
+    /// proxy). Returns the server's boot epoch.
+    pub fn re_register(&mut self) -> io::Result<u64> {
+        let (pid, nworkers) = (self.pid, self.nworkers);
+        self.send(&format!("REGISTER {pid} {nworkers}\n"))?;
+        let epoch = self.expect_ok()?;
+        self.epoch = epoch;
+        Ok(epoch)
+    }
+
+    /// The boot epoch of the server this client last registered with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn send(&mut self, msg: &str) -> io::Result<()> {
@@ -348,28 +591,59 @@ impl UdsClient {
         Ok(line.trim().to_string())
     }
 
-    fn expect_line(&mut self, what: &str) -> io::Result<()> {
+    /// Reads a reply, mapping `ERR <reason>` lines to errors.
+    fn read_reply(&mut self) -> io::Result<String> {
         let line = self.read_line()?;
-        if line == what {
-            Ok(())
-        } else {
-            Err(io::Error::new(
+        if let Some(reason) = line.strip_prefix("ERR") {
+            return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("expected {what}, got {line}"),
-            ))
+                format!("server error:{reason}"),
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Expects `OK <epoch>` and returns the epoch.
+    fn expect_ok(&mut self) -> io::Result<u64> {
+        let line = self.read_reply()?;
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["OK", e] => e
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected OK, got {line}"),
+            )),
         }
     }
 
-    /// Polls the server for this process's current target.
-    pub fn poll(&mut self) -> io::Result<u32> {
+    /// Polls the server, distinguishing a live target from "the server no
+    /// longer knows this pid" (lease expiry or restart).
+    pub fn poll_reply(&mut self) -> io::Result<PollReply> {
         let pid = self.pid;
         self.send(&format!("POLL {pid}\n"))?;
         let line = self.read_line()?;
         match line.split_whitespace().collect::<Vec<_>>().as_slice() {
-            ["TARGET", n] => n
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            ["TARGET", n, e] => match (n.parse(), e.parse()) {
+                (Ok(target), Ok(epoch)) => Ok(PollReply::Target { target, epoch }),
+                _ => Err(io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            },
+            ["ERR", "unregistered"] => Ok(PollReply::Unregistered),
             _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
+    /// Polls the server for this process's current target. An
+    /// unregistered reply surfaces as [`io::ErrorKind::NotConnected`];
+    /// see [`UdsClient::poll_reply`] to handle it without string
+    /// matching.
+    pub fn poll(&mut self) -> io::Result<u32> {
+        match self.poll_reply()? {
+            PollReply::Target { target, .. } => Ok(target),
+            PollReply::Unregistered => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server holds no registration for this pid (lease expired or server restarted)",
+            )),
         }
     }
 
@@ -377,7 +651,7 @@ impl UdsClient {
     pub fn bye(&mut self) -> io::Result<()> {
         let pid = self.pid;
         self.send(&format!("BYE {pid}\n"))?;
-        self.expect_line("OK")
+        self.expect_ok().map(|_| ())
     }
 
     /// Pushes this process's statistics line to the server (newlines in
@@ -391,14 +665,14 @@ impl UdsClient {
         }
         let pid = self.pid;
         self.send(&format!("REPORT {pid} {line}\n"))?;
-        self.expect_line("OK")
+        self.expect_ok().map(|_| ())
     }
 
     /// Fetches the latest statistics line another application reported,
     /// or an empty string when `pid` never reported.
     pub fn app_stats(&mut self, pid: u32) -> io::Result<String> {
         self.send(&format!("STATS {pid}\n"))?;
-        let line = self.read_line()?;
+        let line = self.read_reply()?;
         match line.strip_prefix("STATS") {
             Some(rest) => Ok(rest.trim_start().to_string()),
             None => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
@@ -408,7 +682,7 @@ impl UdsClient {
     /// Fetches the server's statistics as sorted `(key, value)` pairs.
     pub fn stats(&mut self) -> io::Result<Vec<(String, i64)>> {
         self.send("STATS\n")?;
-        let line = self.read_line()?;
+        let line = self.read_reply()?;
         let mut fields = line.split_whitespace();
         if fields.next() != Some("STATS") {
             return Err(io::Error::new(io::ErrorKind::InvalidData, line));
@@ -429,6 +703,11 @@ impl UdsClient {
     /// Spawns a background thread that polls every `interval` and stores
     /// the target into `slot` (for wiring a [`crate::Pool`] to a remote
     /// server). The thread exits when the returned guard is dropped.
+    ///
+    /// This poller does not reconnect: a dead or restarted server leaves
+    /// the slot at its last value. Use
+    /// [`crate::SupervisedClient::spawn_poller`] for the fault-tolerant
+    /// version with reconnect and degraded-mode fallback.
     pub fn spawn_poller(self, slot: Arc<TargetSlot>, interval: Duration) -> PollerGuard {
         self.spawn_poller_inner(slot, interval, None)
     }
@@ -458,9 +737,9 @@ impl UdsClient {
             .name("procctl-uds-poller".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
-                    if let Ok(t) = self.poll() {
+                    if let Ok(PollReply::Target { target, .. }) = self.poll_reply() {
                         slot.target
-                            .store((t as usize).clamp(1, slot.nworkers), Ordering::Release);
+                            .store((target as usize).clamp(1, slot.nworkers), Ordering::Release);
                     }
                     if let Some(reg) = &registry {
                         let _ = self.report(&reg.snapshot().render_line());
@@ -470,10 +749,7 @@ impl UdsClient {
                 let _ = self.bye();
             })
             .expect("spawn poller");
-        PollerGuard {
-            stop,
-            handle: Some(handle),
-        }
+        PollerGuard::from_parts(stop, handle)
     }
 }
 
@@ -481,6 +757,15 @@ impl UdsClient {
 pub struct PollerGuard {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+}
+
+impl PollerGuard {
+    pub(crate) fn from_parts(stop: Arc<AtomicBool>, handle: JoinHandle<()>) -> Self {
+        PollerGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
 }
 
 impl Drop for PollerGuard {
@@ -495,6 +780,7 @@ impl Drop for PollerGuard {
 #[cfg(all(test, target_os = "linux"))]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sock_path(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("procctl-test-{}-{tag}.sock", std::process::id()))
@@ -531,15 +817,152 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_ignored() {
+    fn malformed_requests_get_err_replies() {
         let path = sock_path("malformed");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        // Garbage on the wire gets an ERR reply (not silence), and the
+        // connection keeps working.
+        c.send("NONSENSE 1 2 3\n").expect("send");
+        let reply = c.read_line().expect("err reply");
+        assert!(reply.starts_with("ERR"), "got {reply:?}");
+        c.send("POLL notanumber\n").expect("send");
+        let reply = c.read_line().expect("err reply");
+        assert!(reply.starts_with("ERR"), "got {reply:?}");
+        assert_eq!(c.poll().expect("poll after garbage"), 4);
+        assert_eq!(server.stats().counters["malformed"], 2);
+    }
+
+    #[test]
+    fn absurd_nworkers_rejected_over_the_wire() {
+        let path = sock_path("absurd");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        c.send("REGISTER 4242 0\n").expect("send");
+        assert!(c.read_line().expect("reply").starts_with("ERR"));
+        c.send(&format!("REGISTER 4242 {}\n", u32::MAX))
+            .expect("send");
+        assert!(c.read_line().expect("reply").starts_with("ERR"));
+        // Neither registration landed.
+        assert_eq!(server.stats().gauges["apps"], 1);
+    }
+
+    #[test]
+    fn invalid_cpus_config_rejected() {
+        let path = sock_path("badcpus");
+        let err = UdsServer::start(UdsServerConfig::new(&path, 0))
+            .err()
+            .expect("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = UdsServer::start(UdsServerConfig::new(&path, 1 << 20))
+            .err()
+            .expect("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn stale_socket_reclaimed_live_server_respected() {
+        let path = sock_path("stale");
+        // A listener that dies without removing its socket file (std's
+        // UnixListener never unlinks) — the crashed-server case.
+        let stale = UnixListener::bind(&path).expect("bind stale");
+        drop(stale);
+        assert!(path.exists(), "socket file must linger to test reclaim");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("reclaim stale");
+        // A second server on the same path must refuse, not steal it.
+        let err = UdsServer::start(UdsServerConfig::new(&path, 4))
+            .err()
+            .expect("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        drop(server);
+    }
+
+    #[test]
+    fn poll_without_register_is_unregistered() {
+        let path = sock_path("unreg");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
         let mut c = UdsClient::register(&path, 4).expect("client");
-        // Slip garbage onto the wire; the server must drop it silently and
-        // keep serving.
-        c.send("NONSENSE 1 2 3\n").expect("send");
-        c.send("POLL notanumber\n").expect("send");
-        assert_eq!(c.poll().expect("poll after garbage"), 4);
+        c.bye().expect("bye");
+        assert_eq!(c.poll_reply().expect("reply"), PollReply::Unregistered);
+        // Re-registering on the same connection restores service.
+        c.re_register().expect("re-register");
+        assert_eq!(c.poll().expect("poll"), 4);
+    }
+
+    #[test]
+    fn lease_expires_for_wedged_client() {
+        let path = sock_path("lease");
+        let mut cfg = UdsServerConfig::new(&path, 8);
+        cfg.lease_ttl = Duration::from_millis(80);
+        cfg.prune_dead = false; // isolate the lease mechanism
+        let server = UdsServer::start(cfg).expect("server");
+        let mut live = UdsClient::register(&path, 8).expect("live client");
+        // A second "application" that registers and then goes silent —
+        // wedged but (hypothetically) alive. Fake pid, so only the lease
+        // can reclaim it (pruning is off).
+        live.send("REGISTER 999999 8\n").expect("send");
+        assert!(live.read_line().expect("reply").starts_with("OK"));
+        // Two apps share 8 cpus: 4 each. Polling also refreshes our lease.
+        assert_eq!(live.poll().expect("poll"), 4);
+        // Outlive the wedged client's lease (polling keeps ours fresh).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(30));
+            let t = live.poll().expect("poll");
+            if t == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "wedged client never expired");
+        }
+        assert!(server.stats().counters["lease_expiries"] >= 1);
+        assert_eq!(server.stats().gauges["apps"], 1);
+    }
+
+    #[test]
+    fn epoch_is_stable_within_a_server_and_changes_across_restarts() {
+        let path = sock_path("epoch");
+        let first_epoch;
+        {
+            let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+            first_epoch = server.epoch();
+            let mut c = UdsClient::register(&path, 4).expect("client");
+            assert_eq!(c.epoch(), first_epoch);
+            match c.poll_reply().expect("poll") {
+                PollReply::Target { epoch, .. } => assert_eq!(epoch, first_epoch),
+                other => panic!("expected a target, got {other:?}"),
+            }
+        }
+        let server2 = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server2");
+        assert_ne!(server2.epoch(), first_epoch, "restart must bump the epoch");
+        let c2 = UdsClient::register(&path, 4).expect("client2");
+        assert_eq!(c2.epoch(), server2.epoch());
+    }
+
+    #[test]
+    fn client_io_timeout_prevents_indefinite_hang() {
+        // A bare listener that accepts but never replies — the wedged
+        // server. The unsupervised client must error out, not hang.
+        let path = sock_path("wedged");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let held = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let started = Instant::now();
+        let err = UdsClient::register_with_timeout(&path, 4, Duration::from_millis(150))
+            .expect_err("register against a silent server must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "timed out too slowly: {:?}",
+            started.elapsed()
+        );
+        drop(held.join());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -547,10 +970,7 @@ mod tests {
         let path = sock_path("poller");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 6)).expect("server");
         let client = UdsClient::register(&path, 12).expect("client");
-        let slot = Arc::new(TargetSlot {
-            target: std::sync::atomic::AtomicUsize::new(12),
-            nworkers: 12,
-        });
+        let slot = Arc::new(TargetSlot::new(12));
         let _guard = client.spawn_poller(Arc::clone(&slot), Duration::from_millis(20));
         let deadline = Instant::now() + Duration::from_secs(5);
         while slot.target.load(Ordering::Acquire) != 6 {
@@ -571,6 +991,9 @@ mod tests {
         assert_eq!(stats["registers"], 1);
         assert_eq!(stats["polls"], 2);
         assert_eq!(stats["apps"], 1);
+        // The fault counters are part of the schema from boot.
+        assert_eq!(stats["malformed"], 0);
+        assert_eq!(stats["lease_expiries"], 0);
         // The in-process snapshot agrees with the wire reply.
         let snap = server.stats();
         assert_eq!(snap.counters["polls"], 2);
@@ -602,10 +1025,7 @@ mod tests {
         let path = sock_path("report-poller");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
         let client = UdsClient::register(&path, 4).expect("client");
-        let slot = Arc::new(TargetSlot {
-            target: std::sync::atomic::AtomicUsize::new(4),
-            nworkers: 4,
-        });
+        let slot = Arc::new(TargetSlot::new(4));
         let registry = Arc::new(Registry::new());
         registry.counter("jobs_run").add(42);
         let _guard =
@@ -636,5 +1056,61 @@ mod tests {
         // reliance on pid liveness. Target is the equal share.
         let t = c2.poll().expect("poll");
         assert!(t == 8, "got {t}");
+    }
+
+    /// Builds a parser harness around [`handle_line`] with no sockets.
+    fn fuzz_reply(line: &str) -> String {
+        let cfg = UdsServerConfig::new("/nonexistent", 8);
+        let registry = Registry::new();
+        let state = Mutex::new(ServerState {
+            apps: vec![AppReg {
+                pid: 1,
+                nworkers: 4,
+                last_seen: Instant::now(),
+            }],
+            last_sample: None,
+            reports: std::collections::BTreeMap::new(),
+        });
+        handle_line(line, &state, &cfg, &registry, 7)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The wire parser never panics and always produces exactly one
+        /// newline-terminated reply — `ERR …` or a valid verb reply —
+        /// for arbitrary byte lines (lossy-decoded, as `read_line` would
+        /// accept or reject them).
+        #[test]
+        fn wire_parser_total_on_arbitrary_lines(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let line = String::from_utf8_lossy(&bytes).into_owned();
+            let reply = fuzz_reply(&line);
+            prop_assert!(reply.ends_with('\n'), "reply not newline-terminated: {:?}", reply);
+            prop_assert_eq!(reply.matches('\n').count(), 1);
+            let valid = reply.starts_with("ERR ")
+                || reply.starts_with("OK ")
+                || reply.starts_with("TARGET ")
+                || reply.starts_with("STATS");
+            prop_assert!(valid, "unclassifiable reply: {:?}", reply);
+        }
+
+        /// Well-formed verbs with arbitrary numeric arguments never panic
+        /// either (overflow pids, absurd worker counts, huge stats pids).
+        #[test]
+        fn wire_parser_total_on_numeric_edge_cases(
+            verb in 0usize..5,
+            a in any::<u64>(),
+            b in any::<u64>(),
+        ) {
+            let line = match verb {
+                0 => format!("REGISTER {a} {b}"),
+                1 => format!("POLL {a}"),
+                2 => format!("BYE {a}"),
+                3 => format!("REPORT {a} x={b}"),
+                _ => format!("STATS {a}"),
+            };
+            let reply = fuzz_reply(&line);
+            prop_assert!(reply.ends_with('\n'));
+        }
     }
 }

@@ -1,0 +1,261 @@
+//! Chaos-lane integration tests for the fault-tolerant control plane.
+//!
+//! Every test is deterministic: fault schedules come from fixed seeds
+//! (see `chaos::ChaosProxy`), and timing assertions use generous
+//! deadlines rather than exact sleeps. CI runs this file in its own
+//! `chaos` lane.
+
+#![cfg(target_os = "linux")]
+
+use native_rt::{
+    ChaosConfig, ChaosProxy, Pool, SupervisedClient, SupervisorConfig, TargetSlot, UdsClient,
+    UdsServer, UdsServerConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("procctl-chaos-{}-{tag}.sock", std::process::id()))
+}
+
+fn fast_sup_cfg(path: &std::path::Path, nworkers: u32) -> SupervisorConfig {
+    let mut cfg = SupervisorConfig::new(path, nworkers);
+    cfg.io_timeout = Duration::from_millis(250);
+    cfg.backoff_initial = Duration::from_millis(10);
+    cfg.backoff_max = Duration::from_millis(80);
+    cfg
+}
+
+/// Wait until `cond` holds or panic after `secs` seconds.
+fn wait_for(secs: u64, what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The acceptance scenario: a pool driven through a `SupervisedClient`
+/// survives a server kill + restart. It must enter degraded mode (target
+/// == nworkers) within a poll interval or two, re-register against the
+/// restarted server's new epoch, and converge back to the fair-partition
+/// target — with `reconnects` and `degraded_enters` observable via STATS.
+#[test]
+fn pool_survives_server_kill_and_restart() {
+    let path = sock_path("kill-restart");
+    let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+    let first_epoch = server.epoch();
+
+    let slot = Arc::new(TargetSlot::new(8));
+    let pool = Pool::with_slot(Arc::clone(&slot), 8, false);
+    let registry = pool.registry();
+    let sup = SupervisedClient::new(fast_sup_cfg(&path, 8), Arc::clone(&registry));
+    assert!(sup.connected());
+    assert_eq!(sup.epoch(), Some(first_epoch));
+    let _poller = sup.spawn_poller(Arc::clone(&slot), Duration::from_millis(25), true);
+
+    // Healthy: one 8-worker app on a 4-cpu machine gets all 4 processors.
+    wait_for(5, "initial fair target", || {
+        slot.target.load(Ordering::Acquire) == 4
+    });
+
+    // The pool keeps doing real work across the whole outage.
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for _ in 0..64 {
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    // Kill the server. The poller must fall back to the uncontrolled
+    // target (all 8 workers runnable) — the paper's no-server behavior.
+    drop(server);
+    wait_for(5, "degraded fallback target", || {
+        slot.target.load(Ordering::Acquire) == 8
+    });
+
+    // Restart on the same path: new epoch, empty registration table. The
+    // supervisor must reconnect, re-register, and converge back to 4.
+    let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("restart");
+    assert_ne!(
+        server.epoch(),
+        first_epoch,
+        "epochs must differ across restarts"
+    );
+    wait_for(5, "post-restart fair target", || {
+        slot.target.load(Ordering::Acquire) == 4
+    });
+
+    pool.wait_idle();
+    assert_eq!(done.load(Ordering::Relaxed), 64);
+
+    // Recovery is visible in the pool's own registry...
+    let snap = registry.snapshot();
+    assert!(snap.counters["reconnects"] >= 1, "{snap:?}");
+    assert!(snap.counters["degraded_enters"] >= 1, "{snap:?}");
+    assert!(snap.counters["epoch_changes"] >= 1, "{snap:?}");
+    assert_eq!(snap.gauges["degraded"], 0, "must have left degraded mode");
+    assert!(snap.histograms["degraded_ns"].count >= 1);
+
+    // ...and over the wire: the poller REPORTs the shared registry, so a
+    // second client can read the fault counters through STATS.
+    let mut observer = UdsClient::register(&path, 1).expect("observer");
+    let line = loop {
+        let line = observer.app_stats(std::process::id()).expect("app stats");
+        if line.contains("reconnects=") {
+            break line;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        line.contains("degraded_enters="),
+        "STATS line missing fault counters: {line}"
+    );
+}
+
+/// A restarted server hands out a fresh epoch; a direct (non-poller)
+/// supervised client observes the bump and counts it.
+#[test]
+fn restart_bumps_epoch_and_client_re_registers() {
+    let path = sock_path("epoch-bump");
+    let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+    let registry = Arc::new(native_rt::Registry::new());
+    let mut sup = SupervisedClient::new(fast_sup_cfg(&path, 4), Arc::clone(&registry));
+    assert_eq!(sup.poll_target(), Some(4));
+    let e1 = sup.epoch().expect("epoch after first poll");
+
+    drop(server);
+    // First poll after the kill fails and enters degraded mode.
+    wait_for(5, "degraded after kill", || sup.poll_target().is_none());
+
+    let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("restart");
+    wait_for(5, "healthy poll after restart", || {
+        sup.poll_target() == Some(4)
+    });
+    let e2 = sup.epoch().expect("epoch after restart");
+    assert_ne!(e1, e2, "boot epoch must change across restarts");
+    let snap = registry.snapshot();
+    assert!(snap.counters["epoch_changes"] >= 1);
+    assert!(snap.counters["reconnects"] >= 1);
+}
+
+/// A client that stops polling loses its lease: the remaining app's
+/// share grows back to the whole machine and the server counts the
+/// expiry.
+#[test]
+fn wedged_client_lease_expires_and_share_returns() {
+    let path = sock_path("lease-reclaim");
+    let mut cfg = UdsServerConfig::new(&path, 4);
+    cfg.lease_ttl = Duration::from_millis(80);
+    cfg.prune_dead = false; // isolate lease expiry from the /proc prune
+    let server = UdsServer::start(cfg).expect("server");
+
+    // The "wedged" app registers over a raw connection with a pid that is
+    // not ours (same-process registrations share one pid) and never polls
+    // again.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut s = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+        s.write_all(b"REGISTER 999999 8\n").expect("register");
+        let mut line = String::new();
+        BufReader::new(&s).read_line(&mut line).expect("reply");
+        assert!(line.starts_with("OK "), "unexpected reply: {line}");
+        // Keep the stream open but silent — a wedged client, not a dead one.
+        std::mem::forget(s);
+    }
+
+    let mut live = UdsClient::register(&path, 8).expect("live app");
+    // Two registered apps on 4 cpus: 2 each.
+    assert_eq!(live.poll().expect("poll"), 2);
+
+    // Outlive the wedged app's lease, keeping our own fresh.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(30));
+        if live.poll().expect("poll") == 4 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "lease never expired");
+    }
+    let snap = server.stats();
+    assert!(snap.counters["lease_expiries"] >= 1, "{snap:?}");
+}
+
+/// Torn and corrupted reply frames, injected by the chaos proxy with a
+/// fixed seed, never wedge or panic the supervised client — it keeps
+/// producing targets (healthy or fallback) through the noise.
+#[test]
+fn client_survives_truncated_and_garbled_frames() {
+    let server_path = sock_path("garble-upstream");
+    let proxy_path = sock_path("garble-listen");
+    let _server = UdsServer::start(UdsServerConfig::new(&server_path, 4)).expect("server");
+    let mut cfg = ChaosConfig::passthrough(&proxy_path, &server_path, 0xC0FFEE);
+    cfg.truncate_prob = 0.15;
+    cfg.garble_prob = 0.15;
+    cfg.drop_prob = 0.10;
+    let proxy = ChaosProxy::start(cfg).expect("proxy");
+
+    let mut sup_cfg = fast_sup_cfg(&proxy_path, 8);
+    sup_cfg.io_timeout = Duration::from_millis(120); // dropped replies resolve fast
+    let registry = Arc::new(native_rt::Registry::new());
+    let mut sup = SupervisedClient::new(sup_cfg, Arc::clone(&registry));
+
+    let mut healthy = 0u32;
+    for _ in 0..120 {
+        if sup.poll_target() == Some(4) {
+            healthy += 1;
+        }
+        sup.retry_now();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        healthy >= 10,
+        "made almost no progress through faults: {healthy}"
+    );
+
+    let faults = proxy.stats();
+    let injected =
+        faults.counters["truncates"] + faults.counters["garbles"] + faults.counters["drops"];
+    assert!(injected >= 1, "proxy injected nothing: {faults:?}");
+    // Garbled frames surface as poll errors, never as panics or hangs.
+    let snap = registry.snapshot();
+    assert!(snap.counters["poll_errors"] >= 1, "{snap:?}");
+}
+
+/// A paused proxy is the "wedged but alive" server: the client's I/O
+/// timeout bounds the stall and degraded mode kicks in; resuming lets it
+/// recover.
+#[test]
+fn wedged_server_bounded_by_client_timeout() {
+    let server_path = sock_path("pause-upstream");
+    let proxy_path = sock_path("pause-listen");
+    let _server = UdsServer::start(UdsServerConfig::new(&server_path, 4)).expect("server");
+    let proxy =
+        ChaosProxy::start(ChaosConfig::passthrough(&proxy_path, &server_path, 7)).expect("proxy");
+
+    let registry = Arc::new(native_rt::Registry::new());
+    let mut sup = SupervisedClient::new(fast_sup_cfg(&proxy_path, 8), Arc::clone(&registry));
+    assert_eq!(sup.poll_target(), Some(4));
+
+    proxy.pause();
+    let start = Instant::now();
+    let got = sup.poll_target();
+    let stalled = start.elapsed();
+    assert_eq!(got, None, "wedged server must yield the fallback");
+    assert!(
+        stalled < Duration::from_secs(2),
+        "I/O timeout did not bound the stall: {stalled:?}"
+    );
+
+    proxy.resume();
+    wait_for(5, "recovery after resume", || {
+        sup.retry_now();
+        sup.poll_target() == Some(4)
+    });
+    let snap = registry.snapshot();
+    assert!(snap.counters["degraded_enters"] >= 1);
+    assert_eq!(snap.gauges["degraded"], 0);
+}

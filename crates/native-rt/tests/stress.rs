@@ -205,6 +205,52 @@ fn conservation_holds_under_process_control_churn() {
     );
 }
 
+/// Supervised pollers churned against a server that dies and comes back:
+/// pools keep finishing work, every poller thread joins cleanly, and no
+/// poll ever wedges. (The TSan lane runs this to race-check the
+/// supervised-client threads against the pool's workers.)
+#[cfg(target_os = "linux")]
+#[test]
+fn supervised_poller_churn_across_server_restarts() {
+    use native_rt::{SupervisedClient, SupervisorConfig, TargetSlot, UdsServer, UdsServerConfig};
+
+    let path = std::env::temp_dir().join(format!("procctl-stress-sup-{}.sock", std::process::id()));
+    let mut server = Some(UdsServer::start(UdsServerConfig::new(&path, 2)).expect("server"));
+    let ran = Arc::new(AtomicUsize::new(0));
+    for round in 0..3 {
+        // Alternate rounds run without a server: pollers must stay in
+        // degraded mode and the pools must still drain their queues.
+        if round == 1 {
+            server = None;
+        } else if server.is_none() {
+            server = Some(UdsServer::start(UdsServerConfig::new(&path, 2)).expect("restart"));
+        }
+        let guards: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::new(TargetSlot::new(4));
+                let pool = Pool::with_slot(Arc::clone(&slot), 4, false);
+                let mut cfg = SupervisorConfig::new(&path, 4);
+                cfg.io_timeout = Duration::from_millis(100);
+                cfg.backoff_initial = Duration::from_millis(5);
+                cfg.backoff_max = Duration::from_millis(40);
+                let sup = SupervisedClient::new(cfg, pool.registry());
+                let guard = sup.spawn_poller(slot, Duration::from_millis(10), true);
+                for _ in 0..100 {
+                    let r = Arc::clone(&ran);
+                    pool.execute(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                pool.wait_idle();
+                (pool, guard)
+            })
+            .collect();
+        drop(guards); // joins poller threads, then pool workers
+    }
+    drop(server);
+    assert_eq!(ran.load(Ordering::Relaxed), 600);
+}
+
 /// A suspended worker parked for a long stretch still wakes for shutdown.
 #[test]
 fn long_suspension_then_clean_shutdown() {

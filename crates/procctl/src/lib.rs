@@ -31,7 +31,9 @@ mod proto;
 mod server;
 
 pub use client::{decentralized_target, ClientControl, Decision};
-pub use partition::{partition, AppDemand};
+pub use partition::{
+    partition, validate_cpus, validate_processes, AppDemand, SizeError, MAX_CPUS, MAX_PROCESSES,
+};
 pub use proto::{
     decode_request, decode_target, encode_bye, encode_poll, encode_register,
     encode_register_weighted, encode_target, Request,

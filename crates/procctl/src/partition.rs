@@ -12,6 +12,63 @@
 //! weight extension (the paper's "given that all three have the same
 //! priority" aside generalized).
 
+/// Largest machine size the control plane accepts. Bigger values are
+/// assumed to be corruption (a garbled config or wire frame), not a real
+/// machine: a 0-or-absurd `cpus` would otherwise flow into [`partition`]
+/// and produce 0-targets that starve every registered application.
+pub const MAX_CPUS: u32 = 4096;
+
+/// Largest per-application process count the control plane accepts over
+/// the wire (a `REGISTER` claiming more is rejected as malformed).
+pub const MAX_PROCESSES: u32 = 1 << 20;
+
+/// A control-plane size (cpus or processes) outside its sane range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeError {
+    /// What was being validated (`"cpus"`, `"processes"`).
+    pub what: &'static str,
+    /// The offending value.
+    pub value: u64,
+    /// The inclusive upper bound.
+    pub max: u64,
+}
+
+impl std::fmt::Display for SizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} must be in 1..={}, got {}",
+            self.what, self.max, self.value
+        )
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+/// Validates a machine size before it reaches [`partition`].
+pub fn validate_cpus(num_cpus: u32) -> Result<(), SizeError> {
+    if num_cpus == 0 || num_cpus > MAX_CPUS {
+        return Err(SizeError {
+            what: "cpus",
+            value: u64::from(num_cpus),
+            max: u64::from(MAX_CPUS),
+        });
+    }
+    Ok(())
+}
+
+/// Validates an application's claimed process count (wire-facing).
+pub fn validate_processes(processes: u32) -> Result<(), SizeError> {
+    if processes == 0 || processes > MAX_PROCESSES {
+        return Err(SizeError {
+            what: "processes",
+            value: u64::from(processes),
+            max: u64::from(MAX_PROCESSES),
+        });
+    }
+    Ok(())
+}
+
 /// One controllable application, as the server sees it.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AppDemand {
@@ -207,6 +264,26 @@ mod tests {
         assert_eq!(t.iter().sum::<u32>(), 16);
         assert!(t[0] > t[1], "weighted app should get more: {t:?}");
         assert_eq!(t[0], 12);
+    }
+
+    #[test]
+    fn size_validation_bounds() {
+        assert!(validate_cpus(1).is_ok());
+        assert!(validate_cpus(MAX_CPUS).is_ok());
+        assert_eq!(
+            validate_cpus(0),
+            Err(SizeError {
+                what: "cpus",
+                value: 0,
+                max: u64::from(MAX_CPUS),
+            })
+        );
+        assert!(validate_cpus(MAX_CPUS + 1).is_err());
+        assert!(validate_processes(1).is_ok());
+        assert!(validate_processes(0).is_err());
+        assert!(validate_processes(MAX_PROCESSES + 1).is_err());
+        let msg = validate_cpus(0).unwrap_err().to_string();
+        assert!(msg.contains("cpus"), "error names the field: {msg}");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! A scripted chaos drill against the fault-tolerant control plane.
+//!
+//! One process, five acts: start a control server, attach a real worker
+//! pool through a `SupervisedClient`, kill the server mid-flight, let
+//! the pool run degraded, restart the server, and print the fault
+//! counters that the recovery left behind — the transcript pasted into
+//! EXPERIMENTS.md §Chaos drill.
+//!
+//! Run with: `cargo run --release --example chaos_drill`
+
+#[cfg(target_os = "linux")]
+fn main() {
+    use native_rt::{
+        Pool, SupervisedClient, SupervisorConfig, TargetSlot, UdsClient, UdsServer, UdsServerConfig,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let path = std::env::temp_dir().join(format!("procctl-drill-{}.sock", std::process::id()));
+    let cpus = 4;
+    let nworkers = 8;
+
+    let server = UdsServer::start(UdsServerConfig::new(&path, cpus)).expect("server");
+    println!("[t=0ms] server up: {} cpus, epoch {}", cpus, server.epoch());
+
+    let slot = Arc::new(TargetSlot::new(nworkers));
+    let pool = Pool::with_slot(Arc::clone(&slot), nworkers, false);
+    let mut cfg = SupervisorConfig::new(&path, nworkers as u32);
+    cfg.io_timeout = Duration::from_millis(250);
+    cfg.backoff_initial = Duration::from_millis(20);
+    cfg.backoff_max = Duration::from_millis(200);
+    let sup = SupervisedClient::new(cfg, pool.registry());
+    let first_epoch = sup.epoch().expect("registered");
+    let _poller = sup.spawn_poller(Arc::clone(&slot), Duration::from_millis(25), true);
+
+    let start = Instant::now();
+    let t = |start: Instant| start.elapsed().as_millis();
+    let target = |slot: &Arc<TargetSlot>| slot.target.load(Ordering::Acquire);
+    let settle = |slot: &Arc<TargetSlot>, want: usize| {
+        while target(slot) != want {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    settle(&slot, cpus);
+    println!(
+        "[t={}ms] pool registered (epoch {first_epoch}): target {} of {} workers",
+        t(start),
+        target(&slot),
+        nworkers
+    );
+
+    // Keep the pool busy with real work for the whole drill.
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..4000 {
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            std::thread::sleep(Duration::from_micros(200));
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    println!("[t={}ms] >>> killing the server", t(start));
+    drop(server);
+    settle(&slot, nworkers);
+    println!(
+        "[t={}ms] degraded mode: target {} (uncontrolled — all workers runnable)",
+        t(start),
+        target(&slot)
+    );
+
+    std::thread::sleep(Duration::from_millis(300));
+    println!(
+        "[t={}ms] >>> restarting the server ({} jobs done so far)",
+        t(start),
+        done.load(Ordering::Relaxed)
+    );
+    let server = UdsServer::start(UdsServerConfig::new(&path, cpus)).expect("restart");
+    println!("[t={}ms] new epoch {}", t(start), server.epoch());
+    settle(&slot, cpus);
+    println!(
+        "[t={}ms] recovered: re-registered, target back to {}",
+        t(start),
+        target(&slot)
+    );
+
+    pool.wait_idle();
+    println!(
+        "[t={}ms] all {} jobs done",
+        t(start),
+        done.load(Ordering::Relaxed)
+    );
+
+    // The poller REPORTs the pool registry, so the recovery is visible
+    // over the wire to any client — this is what an operator would see.
+    std::thread::sleep(Duration::from_millis(60)); // one more REPORT cycle
+    let mut observer = UdsClient::register(&path, 1).expect("observer");
+    let line = observer
+        .app_stats(std::process::id())
+        .expect("app stats over the wire");
+    let fault_keys = [
+        "reconnects",
+        "degraded_enters",
+        "epoch_changes",
+        "poll_errors",
+        "degraded",
+    ];
+    let faults: Vec<&str> = line
+        .split_whitespace()
+        .filter(|kv| {
+            fault_keys
+                .iter()
+                .any(|k| kv.starts_with(&format!("{k}=")) || kv.starts_with(&format!("{k}_ns.")))
+        })
+        .collect();
+    println!(
+        "[t={}ms] STATS (fault counters): {}",
+        t(start),
+        faults.join(" ")
+    );
+    println!(
+        "[t={}ms] server-side: {}",
+        t(start),
+        server.stats().render_line()
+    );
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("chaos_drill requires Linux (Unix sockets + /proc)");
+}
