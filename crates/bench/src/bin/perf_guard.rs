@@ -1,0 +1,168 @@
+//! `perf_guard` — CI throughput-regression guard for the work-stealing
+//! pool.
+//!
+//! Compares a fresh `pool_bench --smoke` report against the checked-in
+//! baseline (`results/pool_bench_smoke_baseline.json`), matching the
+//! *stealing*-engine rows by config label and comparing `jobs_per_sec`.
+//! The run fails (exit 1) when the geometric-mean throughput ratio drops
+//! below 0.75 (a >25% fleet-wide regression) or any single matched
+//! config drops below 0.50 — the single-config gate is looser because
+//! one smoke-sized row on a noisy shared runner can easily halve without
+//! meaning anything, while a uniform 25% drop across the matrix cannot.
+//!
+//! ```text
+//! USAGE: perf_guard [--fresh PATH] [--baseline PATH] [--write-baseline]
+//! ```
+//!
+//! `--write-baseline` promotes the fresh report to the new baseline
+//! instead of judging it (used when a deliberate change moves the
+//! floor). Central-engine rows are ignored: the guard protects the
+//! work-stealing engine, which is where the scheduling changes land.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use metrics::json::parse;
+use metrics::JsonValue;
+
+const GEOMEAN_FLOOR: f64 = 0.75;
+const SINGLE_FLOOR: f64 = 0.50;
+
+/// `config label -> jobs_per_sec` for the stealing-engine rows.
+fn stealing_rates(doc: &JsonValue) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(runs) = doc.get("runs").and_then(JsonValue::as_arr) else {
+        return out;
+    };
+    for run in runs {
+        if run.get("engine").and_then(JsonValue::as_str) != Some("stealing") {
+            continue;
+        }
+        let (Some(label), Some(rate)) = (
+            run.get("config").and_then(JsonValue::as_str),
+            run.get("jobs_per_sec").and_then(JsonValue::as_num),
+        ) else {
+            continue;
+        };
+        if rate > 0.0 {
+            out.insert(label.to_string(), rate);
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let rates = stealing_rates(&doc);
+    if rates.is_empty() {
+        return Err(format!("{path} contains no stealing-engine runs"));
+    }
+    Ok(rates)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut fresh_path = "results/pool_bench_smoke.json".to_string();
+    let mut baseline_path = "results/pool_bench_smoke_baseline.json".to_string();
+    let mut write_baseline = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fresh" => {
+                i += 1;
+                fresh_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if write_baseline {
+        // Validate before promoting: a garbled report must not become
+        // the floor every future run is judged against.
+        if let Err(e) = load(&fresh_path) {
+            eprintln!("perf_guard: refusing to promote baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        let text = std::fs::read_to_string(&fresh_path).expect("just read it");
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("perf_guard: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("perf_guard: promoted {fresh_path} -> {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let fresh = match load(&fresh_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_guard: {e} (run `pool_bench --smoke` first)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match load(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_guard: {e} (regenerate with --write-baseline)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ratios: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (label, &base) in &baseline {
+        if let Some(&now) = fresh.get(label) {
+            ratios.push((label.clone(), base, now, now / base));
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!(
+            "perf_guard: no config labels shared between {fresh_path} and {baseline_path} — \
+             the suite shape changed; regenerate the baseline with --write-baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let geomean =
+        (ratios.iter().map(|(_, _, _, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!(
+        "perf_guard: {} matched stealing configs, geomean ratio {:.3} (floor {GEOMEAN_FLOOR})",
+        ratios.len(),
+        geomean
+    );
+    let mut failed = false;
+    for (label, base, now, ratio) in &ratios {
+        let flag = if *ratio < SINGLE_FLOOR {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        if *ratio < SINGLE_FLOOR {
+            failed = true;
+        }
+        println!("  {label:<36} base {base:>12.0}  now {now:>12.0}  ratio {ratio:>5.2}{flag}");
+    }
+    if geomean < GEOMEAN_FLOOR {
+        eprintln!(
+            "perf_guard: FAIL — geomean jobs/sec ratio {geomean:.3} below {GEOMEAN_FLOOR} \
+             (>25% fleet-wide throughput regression on the work-stealing engine)"
+        );
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("perf_guard: OK — no throughput regression beyond thresholds");
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ! {
+    eprintln!("USAGE: perf_guard [--fresh PATH] [--baseline PATH] [--write-baseline]");
+    std::process::exit(2);
+}

@@ -5,17 +5,22 @@
 //! aligned table, then writes `results/pool_bench.json` and a Perfetto
 //! trace `results/pool_bench_trace.json`. With `--smoke` (or `--quick`)
 //! a seconds-long subset runs and the artifacts get a `_smoke` suffix.
+//! `--pin` pins the stealing engine's workers with `sched_setaffinity`
+//! (artifacts get a `_pin` suffix); `--no-pin` is the explicit default.
 
 use bench::poolbench::{results_json, results_table, results_trace, run_config, speedups, suite};
 use bench::report::write_result;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
-    let cfgs = suite(smoke);
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let pin = args.iter().any(|a| a == "--pin") && !args.iter().any(|a| a == "--no-pin");
+    let cfgs = suite(smoke, pin);
     println!(
-        "pool_bench: {} configurations ({} mode) on {} host cpus",
+        "pool_bench: {} configurations ({} mode{}) on {} host cpus",
         cfgs.len(),
         if smoke { "smoke" } else { "full" },
+        if pin { ", pinned" } else { "" },
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
@@ -40,7 +45,11 @@ fn main() {
         println!("  {label:<28} {s:>6.2}x");
     }
 
-    let suffix = if smoke { "_smoke" } else { "" };
+    let suffix = format!(
+        "{}{}",
+        if smoke { "_smoke" } else { "" },
+        if pin { "_pin" } else { "" }
+    );
     write_result(
         &format!("pool_bench{suffix}.json"),
         &results_json(&results).render_pretty(),

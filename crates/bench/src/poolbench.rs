@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use metrics::json::counts_to_json;
 use metrics::{table, JsonValue, TraceBuilder};
-use native_rt::{CentralPool, Controller, Pool, Snapshot};
+use native_rt::{CentralPool, Controller, Pool, PoolConfig, Snapshot};
 
 /// Which queue discipline serves the workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,20 +99,24 @@ pub struct Config {
     pub workers: usize,
     /// Whether the controller halves the pool's CPU share mid-run.
     pub controlled: bool,
+    /// Pin workers with `sched_setaffinity(2)` (stealing engine only —
+    /// the central pool has no affinity support and ignores it).
+    pub pin: bool,
     /// Total jobs to run.
     pub jobs: usize,
 }
 
 impl Config {
-    /// A short unique label, e.g. `stealing/forkjoin/tiny/w8/ctl`.
+    /// A short unique label, e.g. `stealing/forkjoin/tiny/w8/ctl/pin`.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/w{}{}",
+            "{}/{}/{}/w{}{}{}",
             self.engine.name(),
             self.style.name(),
             self.grain.name(),
             self.workers,
-            if self.controlled { "/ctl" } else { "" }
+            if self.controlled { "/ctl" } else { "" },
+            if self.pin { "/pin" } else { "" }
         )
     }
 }
@@ -205,7 +209,11 @@ pub fn run_config(cfg: &Config) -> Outcome {
         Engine::Central => {
             AnyPool::Central(Arc::new(CentralPool::new(&controller, cfg.workers, false)))
         }
-        Engine::Stealing => AnyPool::Stealing(Arc::new(Pool::new(&controller, cfg.workers, false))),
+        Engine::Stealing => {
+            let mut pc = PoolConfig::new(cfg.workers);
+            pc.pin = cfg.pin;
+            AnyPool::Stealing(Arc::new(Pool::with_config(&controller, pc)))
+        }
     };
 
     let done = Arc::new(AtomicUsize::new(0));
@@ -291,8 +299,10 @@ pub fn run_config(cfg: &Config) -> Outcome {
     }
 }
 
-/// The benchmark matrix. `smoke` shrinks it to a CI-friendly subset.
-pub fn suite(smoke: bool) -> Vec<Config> {
+/// The benchmark matrix. `smoke` shrinks it to a CI-friendly subset;
+/// `pin` turns on worker pinning for the stealing rows (the central pool
+/// has no affinity support, so its rows are always unpinned).
+pub fn suite(smoke: bool, pin: bool) -> Vec<Config> {
     let (workers, grains, jobs_scale): (&[usize], &[Grain], usize) = if smoke {
         (&[1, 4], &[Grain::Tiny, Grain::Small], 1)
     } else {
@@ -323,6 +333,7 @@ pub fn suite(smoke: bool) -> Vec<Config> {
                             grain,
                             workers: w,
                             controlled,
+                            pin: pin && engine == Engine::Stealing,
                             jobs: base * jobs_scale,
                         });
                     }
@@ -351,11 +362,12 @@ pub fn speedups(results: &[(Config, Outcome)]) -> Vec<(String, f64)> {
         });
         if let Some((_, central)) = twin {
             let label = format!(
-                "{}/{}/w{}{}",
+                "{}/{}/w{}{}{}",
                 cfg.style.name(),
                 cfg.grain.name(),
                 cfg.workers,
-                if cfg.controlled { "/ctl" } else { "" }
+                if cfg.controlled { "/ctl" } else { "" },
+                if cfg.pin { "/pin" } else { "" }
             );
             out.push((label, outcome.jobs_per_sec / central.jobs_per_sec.max(1e-9)));
         }
@@ -397,6 +409,7 @@ pub fn results_table(results: &[(Config, Outcome)]) -> String {
                     .copied()
                     .unwrap_or(0)
                     .to_string(),
+                steal_tiers_cell(&o.stats),
             ]
         })
         .collect();
@@ -410,9 +423,30 @@ pub fn results_table(results: &[(Config, Outcome)]) -> String {
             "inject",
             "steal",
             "susp",
+            "tiers smt/llc/sock/rem",
         ],
         &rows,
     )
+}
+
+/// The per-tier steal counters as one compact `a/b/c/d` cell (central
+/// rows, which never steal by tier, render as `-`).
+fn steal_tiers_cell(stats: &Snapshot) -> String {
+    if !stats.counters.contains_key("steal_tier_smt") {
+        return "-".to_string();
+    }
+    native_rt::STEAL_TIER_NAMES
+        .iter()
+        .map(|t| {
+            stats
+                .counters
+                .get(&format!("steal_tier_{t}"))
+                .copied()
+                .unwrap_or(0)
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 /// The machine-readable report (`results/pool_bench.json`).
@@ -427,6 +461,7 @@ pub fn results_json(results: &[(Config, Outcome)]) -> JsonValue {
                 ("grain", JsonValue::str(cfg.grain.name())),
                 ("workers", JsonValue::uint(cfg.workers as u64)),
                 ("controlled", JsonValue::Bool(cfg.controlled)),
+                ("pin", JsonValue::Bool(cfg.pin)),
                 ("jobs", JsonValue::uint(o.jobs as u64)),
                 ("elapsed_us", JsonValue::uint(o.elapsed.as_micros() as u64)),
                 ("jobs_per_sec", JsonValue::num(o.jobs_per_sec)),
@@ -481,6 +516,7 @@ pub fn results_trace(results: &[(Config, Outcome)]) -> JsonValue {
                 ("jobs", JsonValue::uint(o.jobs as u64)),
                 ("jobs_per_sec", JsonValue::num(o.jobs_per_sec)),
                 ("p99_queue_wait_ns", JsonValue::uint(o.p99_queue_wait_ns)),
+                ("steal_tiers", JsonValue::str(steal_tiers_cell(&o.stats))),
             ]),
         );
         tb.counter(
@@ -508,6 +544,7 @@ mod tests {
                 grain: Grain::Tiny,
                 workers: 2,
                 controlled: false,
+                pin: false,
                 jobs: 127,
             };
             let o = run_config(&cfg);
@@ -518,8 +555,8 @@ mod tests {
 
     #[test]
     fn smoke_suite_is_small_and_full_is_larger() {
-        let smoke = suite(true);
-        let full = suite(false);
+        let smoke = suite(true, false);
+        let full = suite(false, false);
         assert!(!smoke.is_empty());
         assert!(smoke.len() < full.len());
         assert!(smoke.iter().all(|c| c.workers <= 4 && c.jobs <= 4_000));
@@ -534,6 +571,7 @@ mod tests {
                 grain: Grain::Tiny,
                 workers: 2,
                 controlled: false,
+                pin: false,
                 jobs: 64,
             },
             Config {
@@ -542,6 +580,7 @@ mod tests {
                 grain: Grain::Tiny,
                 workers: 2,
                 controlled: false,
+                pin: true,
                 jobs: 64,
             },
         ];

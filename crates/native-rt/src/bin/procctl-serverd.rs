@@ -14,8 +14,15 @@
 //!
 //! ```text
 //! USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N]
-//!                        [--account-system-load]
+//!                        [--account-system-load] [--weighted]
 //! ```
+//!
+//! `--weighted` skews each application's processor share by its observed
+//! throughput (the `jobs_run` counter from its latest REPORT); equal or
+//! absent reports reduce to the paper's equal partition. CPU-set replies
+//! (`POLL <pid> cpus`) are cut from the detected machine topology when
+//! the partitioned processor count matches the machine, so adjacent
+//! shares stay cache-adjacent.
 
 /// Minimal async-signal-safe shutdown latch: the handler only stores an
 /// atomic flag; the main loop does the actual teardown. Raw `signal(2)`
@@ -54,6 +61,7 @@ fn main() {
     let mut path: Option<String> = None;
     let mut cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut account = false;
+    let mut weighted = false;
     let mut lease_ttl = native_rt::DEFAULT_LEASE_TTL;
     let mut i = 1;
     while i < args.len() {
@@ -75,6 +83,7 @@ fn main() {
                 lease_ttl = std::time::Duration::from_millis(ms);
             }
             "--account-system-load" => account = true,
+            "--weighted" => weighted = true,
             "--help" | "-h" => usage(""),
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_string());
@@ -90,19 +99,28 @@ fn main() {
 
     let mut cfg = native_rt::UdsServerConfig::new(&path, cpus);
     cfg.account_system_load = account;
+    cfg.weighted = weighted;
     cfg.lease_ttl = lease_ttl;
+    // Hand out CPU sets in the machine's topological order when we are
+    // partitioning the real machine; a simulated size keeps the identity
+    // order (the synthetic topology is identity-ordered anyway).
+    let topo = native_rt::CpuTopology::shared();
+    if topo.len() == cpus {
+        cfg.cpu_order = Some(topo.linear_order());
+    }
     let server = native_rt::UdsServer::start(cfg).unwrap_or_else(|e| {
         eprintln!("procctl-serverd: cannot bind {path}: {e}");
         std::process::exit(1);
     });
     sig::install();
     println!(
-        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {})",
+        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {}, {} shares)",
         cpus,
         server.path().display(),
         server.epoch(),
         lease_ttl.as_millis(),
         if account { "on" } else { "off" },
+        if weighted { "throughput-weighted" } else { "equal" },
     );
     // Serve until SIGTERM/SIGINT.
     while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
@@ -119,7 +137,7 @@ fn usage(err: &str) -> ! {
         eprintln!("procctl-serverd: {err}");
     }
     eprintln!(
-        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load]"
+        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -13,7 +13,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use procctl::{partition, AppDemand};
+use procctl::{assign_cpu_sets, partition, AppDemand};
+
+use crate::topology::CpuTopology;
 
 /// Per-pool slot the controller writes targets into.
 #[derive(Debug)]
@@ -22,17 +24,53 @@ pub struct TargetSlot {
     pub target: AtomicUsize,
     /// Total workers in the pool (the cap).
     pub nworkers: usize,
+    /// The concrete CPUs assigned to this pool, when the control plane
+    /// hands out sets and not just counts (`None` = count-only mode:
+    /// old servers, degraded mode, or no controller).
+    cpuset: Mutex<Option<Arc<Vec<u32>>>>,
+    /// Bumped on every *actual change* of `cpuset`, so workers can poll
+    /// cheaply for "did my assignment move?" without taking the lock.
+    cpuset_gen: AtomicUsize,
 }
 
 impl TargetSlot {
     /// A slot for an `nworkers`-worker pool, initialized to all workers
     /// runnable (the uncontrolled default until a controller or poller
-    /// writes a target).
+    /// writes a target) and no CPU set assigned.
     pub fn new(nworkers: usize) -> Self {
         TargetSlot {
             target: AtomicUsize::new(nworkers.max(1)),
             nworkers,
+            cpuset: Mutex::new(None),
+            cpuset_gen: AtomicUsize::new(0),
         }
+    }
+
+    /// Publishes a CPU-set assignment (`None` reverts to count-only
+    /// mode). The generation only advances when the set actually
+    /// changes, so a poller rewriting the same assignment every
+    /// interval does not make workers rebuild their victim rings.
+    pub fn set_cpus(&self, cpus: Option<Vec<u32>>) {
+        let mut slot = self.cpuset.lock();
+        let changed = match (&*slot, &cpus) {
+            (None, None) => false,
+            (Some(old), Some(new)) => old.as_slice() != new.as_slice(),
+            _ => true,
+        };
+        if changed {
+            *slot = cpus.map(Arc::new);
+            self.cpuset_gen.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// The currently assigned CPU set, if any.
+    pub fn cpus(&self) -> Option<Arc<Vec<u32>>> {
+        self.cpuset.lock().clone()
+    }
+
+    /// The CPU-set change generation (see [`TargetSlot::set_cpus`]).
+    pub fn cpus_generation(&self) -> usize {
+        self.cpuset_gen.load(Ordering::Acquire)
     }
 }
 
@@ -43,6 +81,10 @@ struct Registry {
 /// The centralized controller.
 pub struct Controller {
     cpus: usize,
+    /// CPU ids in topological order (SMT siblings adjacent, then LLC
+    /// groups, then sockets) — the order contiguous CPU sets are cut
+    /// from at every recompute.
+    cpu_order: Arc<Vec<u32>>,
     registry: Arc<Mutex<Registry>>,
     stop: Arc<AtomicBool>,
     ticker: Option<JoinHandle<()>>,
@@ -67,16 +109,27 @@ impl Controller {
     /// pool a meaningless 0-target downstream.
     pub fn try_new(cpus: usize, interval: Duration) -> Result<Self, procctl::SizeError> {
         procctl::validate_cpus(u32::try_from(cpus).unwrap_or(u32::MAX))?;
+        // Partition the real machine's layout when the controller spans
+        // exactly its CPUs; otherwise (tests, simulated sizes) use the
+        // deterministic synthetic layout of the requested size.
+        let detected = CpuTopology::shared();
+        let topo = if detected.len() == cpus {
+            Arc::clone(detected)
+        } else {
+            Arc::new(CpuTopology::synthetic(cpus))
+        };
+        let cpu_order = Arc::new(topo.linear_order());
         let registry = Arc::new(Mutex::new(Registry { pools: Vec::new() }));
         let stop = Arc::new(AtomicBool::new(false));
         let ticker = {
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
+            let cpu_order = Arc::clone(&cpu_order);
             std::thread::Builder::new()
                 .name("procctl-server".into())
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
-                        Self::recompute(&registry, cpus);
+                        Self::recompute(&registry, cpus, &cpu_order);
                         std::thread::sleep(interval);
                     }
                 })
@@ -84,6 +137,7 @@ impl Controller {
         };
         Ok(Controller {
             cpus,
+            cpu_order,
             registry,
             stop,
             ticker: Some(ticker),
@@ -96,18 +150,20 @@ impl Controller {
         let slot = Arc::new(TargetSlot {
             target: AtomicUsize::new(self.cpus.min(nworkers.max(1))),
             nworkers,
+            cpuset: Mutex::new(None),
+            cpuset_gen: AtomicUsize::new(0),
         });
         self.registry.lock().pools.push(Arc::downgrade(&slot));
-        Self::recompute(&self.registry, self.cpus);
+        Self::recompute(&self.registry, self.cpus, &self.cpu_order);
         slot
     }
 
     /// Recomputes all live pools' targets now (also called by the ticker).
     pub fn recompute_now(&self) {
-        Self::recompute(&self.registry, self.cpus);
+        Self::recompute(&self.registry, self.cpus, &self.cpu_order);
     }
 
-    fn recompute(registry: &Mutex<Registry>, cpus: usize) {
+    fn recompute(registry: &Mutex<Registry>, cpus: usize, cpu_order: &[u32]) {
         let mut reg = registry.lock();
         // Drop dead pools (their `Arc` slots were released on pool drop —
         // the native analog of the BYE message).
@@ -121,9 +177,16 @@ impl Controller {
             .iter()
             .map(|s| AppDemand::new(s.nworkers as u32))
             .collect();
-        let targets = partition(cpus as u32, 0, &demands);
-        for (slot, t) in slots.iter().zip(targets) {
-            slot.target.store((t as usize).max(1), Ordering::Release);
+        // Effective targets (with the floor of one) drive both counts and
+        // CPU-set slices, so every pool's set matches its target size.
+        let targets: Vec<u32> = partition(cpus as u32, 0, &demands)
+            .into_iter()
+            .map(|t| t.max(1))
+            .collect();
+        let sets = assign_cpu_sets(cpu_order, &targets);
+        for ((slot, t), set) in slots.iter().zip(&targets).zip(sets) {
+            slot.target.store(*t as usize, Ordering::Release);
+            slot.set_cpus(Some(set));
         }
     }
 
@@ -200,6 +263,39 @@ mod tests {
         assert_eq!(slot.target.load(Ordering::Acquire), 6);
         // Floor of one even for a degenerate pool.
         assert_eq!(TargetSlot::new(0).target.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn recompute_hands_out_disjoint_contiguous_cpu_sets() {
+        let c = Controller::new(8, Duration::from_millis(50));
+        let a = c.register(16);
+        let b = c.register(16);
+        c.recompute_now();
+        let sa = a.cpus().expect("a gets a set");
+        let sb = b.cpus().expect("b gets a set");
+        assert_eq!(sa.len(), 4);
+        assert_eq!(sb.len(), 4);
+        assert!(sa.iter().all(|c| !sb.contains(c)), "{sa:?} vs {sb:?}");
+        // An identical recompute must not churn the generation.
+        let (ga, gb) = (a.cpus_generation(), b.cpus_generation());
+        c.recompute_now();
+        assert_eq!(a.cpus_generation(), ga);
+        assert_eq!(b.cpus_generation(), gb);
+    }
+
+    #[test]
+    fn set_cpus_generation_tracks_actual_changes_only() {
+        let slot = TargetSlot::new(4);
+        assert_eq!(slot.cpus_generation(), 0);
+        slot.set_cpus(Some(vec![0, 1]));
+        assert_eq!(slot.cpus_generation(), 1);
+        slot.set_cpus(Some(vec![0, 1])); // same set — no bump
+        assert_eq!(slot.cpus_generation(), 1);
+        slot.set_cpus(None); // back to count-only mode
+        assert_eq!(slot.cpus_generation(), 2);
+        slot.set_cpus(None);
+        assert_eq!(slot.cpus_generation(), 2);
+        assert!(slot.cpus().is_none());
     }
 
     #[test]

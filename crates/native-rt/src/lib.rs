@@ -53,6 +53,7 @@ pub mod proc_scan;
 pub mod stats;
 #[cfg(unix)]
 mod supervise;
+pub mod topology;
 #[cfg(unix)]
 mod uds;
 
@@ -62,12 +63,13 @@ pub use chaos::{ChaosConfig, ChaosProxy};
 pub use controller::{Controller, TargetSlot};
 pub use deque::{Steal, Stealer, Worker};
 pub use injector::Injector;
-pub use pool::{Job, Pool, PoolMetrics};
+pub use pool::{Job, Pool, PoolConfig, PoolMetrics};
 pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
 pub use supervise::{SupervisedClient, SupervisorConfig};
+pub use topology::{CpuRecord, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
 #[cfg(unix)]
 pub use uds::{
-    PollReply, PollerGuard, UdsClient, UdsServer, UdsServerConfig, DEFAULT_IO_TIMEOUT,
-    DEFAULT_LEASE_TTL,
+    CpusPollReply, PollReply, PollerGuard, UdsClient, UdsServer, UdsServerConfig,
+    DEFAULT_IO_TIMEOUT, DEFAULT_LEASE_TTL,
 };

@@ -10,13 +10,24 @@
 //!   injector](crate::injector) (the `injector_pops` path), unless the
 //!   caller *is* a worker of this pool, in which case the job goes
 //!   straight into that worker's deque;
-//! - an empty worker steals FIFO from a random victim, sweeping all
-//!   deques with exponential backoff on CAS contention (`steals` /
-//!   `steal_fails`);
-//! - an idle worker spins through a bounded budget of cheap re-checks
-//!   and then parks on its *own* condvar, woken one-at-a-time by
-//!   producers — no global `work_cv` thundering herd. The spin phase is
-//!   measured into the `spin_before_park_ns` histogram.
+//! - an empty worker steals FIFO from the topologically *nearest*
+//!   victims first — SMT sibling, then same-LLC, then same-socket, then
+//!   remote rings (see [`crate::topology`]), randomizing only within a
+//!   tier — with exponential backoff on CAS contention (`steals` /
+//!   `steal_fails` / `steal_tier_*`). Suspended workers drop out of the
+//!   victim rings (their deques are drained, by invariant empty);
+//! - an idle worker spins through an *adaptive* budget of cheap
+//!   re-checks — an EWMA of its recent wait-for-work latency, clamped
+//!   to [1µs, 100µs] — and then parks on its *own* condvar, woken
+//!   one-at-a-time by producers — no global `work_cv` thundering herd.
+//!   The spin phase is measured into the `spin_before_park_ns`
+//!   histogram and the live budget into the `spin_budget` gauge;
+//! - when the control plane assigns a concrete CPU set
+//!   ([`TargetSlot::set_cpus`]) and the pool was built with
+//!   [`PoolConfig::pin`], each worker pins itself to its CPU via
+//!   `sched_setaffinity` and re-pins on every assignment change
+//!   (`affinity_applied` gauge); with no set assigned, pinned workers
+//!   fall back to the whole machine (count-only / degraded mode).
 //!
 //! Process control is unchanged in meaning: **between** jobs — the safe
 //! suspension point — a worker compares the pool's count of unsuspended
@@ -42,6 +53,7 @@ use crate::controller::{Controller, TargetSlot};
 use crate::deque::{self, Steal, Stealer, Worker};
 use crate::injector::Injector;
 use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
+use crate::topology::{self, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -76,6 +88,13 @@ pub struct PoolMetrics {
     pub steals: u64,
     /// Steal attempts that lost a CAS race and had to retry.
     pub steal_fails: u64,
+    /// Successful steals broken out by victim distance
+    /// ([`STEAL_TIER_NAMES`] order: smt, llc, socket, remote); the
+    /// entries sum to `steals`.
+    pub steal_tier_hits: [u64; NUM_STEAL_TIERS],
+    /// Victims passed over because they were suspended (their deques
+    /// are drained before parking, so probing them is pure waste).
+    pub steal_skips_suspended: u64,
 }
 
 /// Suspension parking state (process control, not idleness).
@@ -106,14 +125,61 @@ struct IdleSlot {
     cv: Condvar,
 }
 
-/// Bound on the idle spin phase: how many availability polls before a
-/// worker commits to parking.
-const SPIN_POLLS: u32 = 64;
+/// Floor of the adaptive idle-spin budget: always worth a microsecond
+/// of re-checks before paying for a park/unpark round trip.
+const SPIN_BUDGET_MIN_NS: u64 = 1_000;
+/// Ceiling of the adaptive idle-spin budget: past 100µs of spinning the
+/// burned cycles dwarf any wakeup latency saved.
+const SPIN_BUDGET_MAX_NS: u64 = 100_000;
+/// Starting budget before any wait has been observed (≈ the old fixed
+/// 64-poll spin on contemporary hardware).
+const SPIN_BUDGET_START_NS: u64 = 20_000;
 /// Upper bound for one idle park; a bounded wait guards the unlikely
 /// missed-wake interleavings so they cost latency, never liveness.
 const IDLE_PARK_POLL: Duration = Duration::from_millis(10);
 /// Same bound for suspension parks (shutdown races).
 const SUSPEND_PARK_POLL: Duration = Duration::from_millis(50);
+
+/// Per-worker adaptive spin control: an EWMA (α = 1/4) of this worker's
+/// observed wait-for-work latencies drives how long it spins before
+/// parking. Short waits → spin a bit longer and skip the park; long
+/// waits → park almost immediately and let the CPU go — the budget the
+/// concurrency-restriction literature says must track observed latency.
+struct SpinState {
+    /// Smoothed wait latency; 0 until the first observation.
+    ewma_ns: u64,
+    /// Current spin budget, `2×ewma` clamped to
+    /// [`SPIN_BUDGET_MIN_NS`, `SPIN_BUDGET_MAX_NS`] — except that waits
+    /// far beyond the ceiling drop the budget to the floor (parking is
+    /// then a rounding error, so spinning longer buys nothing).
+    budget_ns: u64,
+}
+
+impl SpinState {
+    fn new() -> SpinState {
+        SpinState {
+            ewma_ns: 0,
+            budget_ns: SPIN_BUDGET_START_NS,
+        }
+    }
+
+    /// Folds one observed wait (spin only, or spin + park) into the
+    /// EWMA and recomputes the budget.
+    fn observe_wait(&mut self, ns: u64) {
+        self.ewma_ns = if self.ewma_ns == 0 {
+            ns
+        } else {
+            self.ewma_ns - self.ewma_ns / 4 + ns / 4
+        };
+        self.budget_ns = if self.ewma_ns <= SPIN_BUDGET_MAX_NS {
+            self.ewma_ns
+                .saturating_mul(2)
+                .clamp(SPIN_BUDGET_MIN_NS, SPIN_BUDGET_MAX_NS)
+        } else {
+            SPIN_BUDGET_MIN_NS
+        };
+    }
+}
 
 thread_local! {
     /// `(pool key, worker deque)` of the pool worker running on this
@@ -154,6 +220,12 @@ struct PoolShared {
     active: AtomicUsize,
     /// Workers suspended by process control, oldest first.
     suspended: Mutex<Vec<Arc<ParkToken>>>,
+    /// Per-worker "suspended" flags, indexed like `stealers`: set after
+    /// a suspending worker drains its deque (so the deque is provably
+    /// empty while the flag is up) and cleared by the worker itself on
+    /// resume. Stealers skip flagged victims instead of probing their
+    /// permanently-empty deques.
+    suspended_flags: Box<[AtomicBool]>,
     /// Workers parked for lack of work.
     sleepers: Mutex<Vec<Arc<IdleSlot>>>,
     /// `sleepers.len()`, readable without the lock (producer fast path).
@@ -169,10 +241,21 @@ struct PoolShared {
     injector_pops: Counter,
     steals: Counter,
     steal_fails: Counter,
+    /// Successful steals by victim distance tier (`steal_tier_smt`,
+    /// `steal_tier_llc`, `steal_tier_socket`, `steal_tier_remote`).
+    steal_tier_hits: [Counter; NUM_STEAL_TIERS],
+    /// Suspended victims skipped during steal sweeps.
+    steal_skips_suspended: Counter,
     /// Live (unsuspended) worker count, sampled at safe points.
     active_gauge: Gauge,
     /// The controller target, sampled at safe points.
     target_gauge: Gauge,
+    /// Workers currently holding a narrow (own-CPU) affinity pin.
+    npinned: AtomicUsize,
+    /// Gauge mirror of `npinned` (0 when pinning is off or count-only).
+    affinity_applied: Gauge,
+    /// The most recently recomputed adaptive spin budget, nanoseconds.
+    spin_budget: Gauge,
     /// Submission-to-dequeue latency of each job, nanoseconds.
     queue_wait: Hist,
     /// How long each suspension lasted, nanoseconds.
@@ -185,6 +268,41 @@ struct PoolShared {
     /// Busy-wait (1989-style) instead of sleeping when the queues are
     /// empty but work is outstanding.
     idle_spin: bool,
+    /// The machine layout victim rings and pinning are derived from.
+    topology: Arc<CpuTopology>,
+    /// Pin workers to their assigned CPUs via `sched_setaffinity`.
+    pin: bool,
+}
+
+/// Construction options for a [`Pool`] beyond the worker count.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker thread count (must be ≥ 1).
+    pub nworkers: usize,
+    /// Busy-wait (1989-style) instead of the adaptive spin-then-park
+    /// protocol when no work is queued.
+    pub idle_spin: bool,
+    /// Pin workers with `sched_setaffinity(2)`: to their own CPU while
+    /// the control plane assigns a concrete set, to the whole machine
+    /// otherwise. Best-effort — a no-op off Linux or when the kernel
+    /// rejects the mask (e.g. synthetic CPU ids beyond the real ones).
+    pub pin: bool,
+    /// Topology override for victim rings and pin targets; `None` uses
+    /// the process-wide detected topology
+    /// ([`CpuTopology::shared`]).
+    pub topology: Option<Arc<CpuTopology>>,
+}
+
+impl PoolConfig {
+    /// Defaults: spin-then-park idling, no pinning, detected topology.
+    pub fn new(nworkers: usize) -> Self {
+        PoolConfig {
+            nworkers,
+            idle_spin: false,
+            pin: false,
+            topology: None,
+        }
+    }
 }
 
 /// A controlled work-stealing worker pool.
@@ -198,8 +316,16 @@ impl Pool {
     /// `idle_spin` selects period-faithful busy-waiting (true) or the
     /// adaptive spin-then-park protocol (false) when no work is queued.
     pub fn new(controller: &Controller, nworkers: usize, idle_spin: bool) -> Self {
-        let target = controller.register(nworkers);
-        Self::with_slot(target, nworkers, idle_spin)
+        let mut cfg = PoolConfig::new(nworkers);
+        cfg.idle_spin = idle_spin;
+        Self::with_config(controller, cfg)
+    }
+
+    /// Creates a pool registered with `controller` using the full
+    /// [`PoolConfig`] (pinning, topology override).
+    pub fn with_config(controller: &Controller, cfg: PoolConfig) -> Self {
+        let target = controller.register(cfg.nworkers);
+        Self::with_slot_config(target, cfg)
     }
 
     /// Creates a pool whose target is driven externally (e.g. by a
@@ -212,7 +338,18 @@ impl Pool {
     /// degraded mode through outages, and the supervisor's fault
     /// counters travel with the pool's own stats through REPORT/STATS.
     pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
+        let mut cfg = PoolConfig::new(nworkers);
+        cfg.idle_spin = idle_spin;
+        Self::with_slot_config(target, cfg)
+    }
+
+    /// [`Pool::with_slot`] with the full [`PoolConfig`].
+    pub fn with_slot_config(target: Arc<TargetSlot>, cfg: PoolConfig) -> Self {
+        let nworkers = cfg.nworkers;
         assert!(nworkers >= 1);
+        let topology = cfg
+            .topology
+            .unwrap_or_else(|| Arc::clone(CpuTopology::shared()));
         let registry = Arc::new(Registry::new());
         let mut locals = Vec::with_capacity(nworkers);
         let mut stealers = Vec::with_capacity(nworkers);
@@ -221,6 +358,9 @@ impl Pool {
             locals.push(w);
             stealers.push(s);
         }
+        let steal_tier_hits = std::array::from_fn(|i| {
+            registry.counter(&format!("steal_tier_{}", STEAL_TIER_NAMES[i]))
+        });
         let shared = Arc::new(PoolShared {
             injector: Injector::new(nworkers),
             stealers: stealers.into_boxed_slice(),
@@ -229,6 +369,7 @@ impl Pool {
             idle_mu: Mutex::new(()),
             active: AtomicUsize::new(nworkers),
             suspended: Mutex::new(Vec::new()),
+            suspended_flags: (0..nworkers).map(|_| AtomicBool::new(false)).collect(),
             sleepers: Mutex::new(Vec::new()),
             nsleepers: AtomicUsize::new(0),
             target,
@@ -240,14 +381,21 @@ impl Pool {
             injector_pops: registry.counter("injector_pops"),
             steals: registry.counter("steals"),
             steal_fails: registry.counter("steal_fails"),
+            steal_tier_hits,
+            steal_skips_suspended: registry.counter("steal_skips_suspended"),
             active_gauge: registry.gauge("active"),
             target_gauge: registry.gauge("target"),
+            npinned: AtomicUsize::new(0),
+            affinity_applied: registry.gauge("affinity_applied"),
+            spin_budget: registry.gauge("spin_budget"),
             queue_wait: registry.histogram("queue_wait_ns"),
             park: registry.histogram("park_ns"),
             unpark: registry.histogram("unpark_ns"),
             spin_before_park: registry.histogram("spin_before_park_ns"),
             registry,
-            idle_spin,
+            idle_spin: cfg.idle_spin,
+            topology,
+            pin: cfg.pin,
         });
         let workers = locals
             .into_iter()
@@ -315,6 +463,8 @@ impl Pool {
             injector_pops: self.shared.injector_pops.get(),
             steals: self.shared.steals.get(),
             steal_fails: self.shared.steal_fails.get(),
+            steal_tier_hits: std::array::from_fn(|i| self.shared.steal_tier_hits[i].get()),
+            steal_skips_suspended: self.shared.steal_skips_suspended.get(),
         }
     }
 
@@ -384,7 +534,13 @@ fn work_available(sh: &PoolShared) -> bool {
 }
 
 /// Acquires one task: own deque, then injector, then stealing.
-fn find_task(sh: &PoolShared, worker: &Worker<Task>, index: usize, rng: &mut u64) -> Option<Task> {
+fn find_task(
+    sh: &PoolShared,
+    worker: &Worker<Task>,
+    index: usize,
+    rings: &VictimRings,
+    rng: &mut u64,
+) -> Option<Task> {
     if let Some(t) = worker.pop() {
         sh.local_hits.incr();
         return Some(*t);
@@ -393,7 +549,7 @@ fn find_task(sh: &PoolShared, worker: &Worker<Task>, index: usize, rng: &mut u64
         sh.injector_pops.incr();
         return Some(t);
     }
-    steal_task(sh, index, rng)
+    steal_task(sh, rings, rng)
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -405,32 +561,112 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
-/// Sweeps the other workers' deques from a random start, with
-/// exponential backoff between sweeps while CAS races persist.
-fn steal_task(sh: &PoolShared, index: usize, rng: &mut u64) -> Option<Task> {
-    let n = sh.stealers.len();
-    if n <= 1 {
+/// One worker's view of the others as steal victims, grouped by CPU
+/// distance and tagged with the [`TargetSlot::cpus_generation`] it was
+/// derived from (stale rings are rebuilt at the next safe point).
+struct VictimRings {
+    /// Victim worker indices, nearest tier first.
+    tiers: [Vec<usize>; NUM_STEAL_TIERS],
+    /// The CPU this worker maps to under the current assignment.
+    my_cpu: u32,
+    /// A concrete CPU set is assigned (pin narrow); false = count-only
+    /// mode (pin wide).
+    narrow: bool,
+    /// Generation of the assignment the rings were built from.
+    generation: usize,
+}
+
+impl VictimRings {
+    /// Maps every worker to a CPU — round-robin over the assigned set
+    /// when one is published, round-robin over the whole topology
+    /// otherwise — and groups the other workers by distance tier.
+    fn build(sh: &PoolShared, index: usize) -> VictimRings {
+        let generation = sh.target.cpus_generation();
+        let cpuset = sh.target.cpus();
+        let assigned = cpuset.as_ref().filter(|c| !c.is_empty());
+        let n = sh.stealers.len();
+        let cpu_of_worker: Vec<u32> = (0..n)
+            .map(|w| match assigned {
+                Some(cs) => cs[w % cs.len()],
+                None => sh.topology.cpu_at(w),
+            })
+            .collect();
+        let tiers = topology::steal_tiers(&sh.topology, &cpu_of_worker, index);
+        VictimRings {
+            tiers,
+            my_cpu: cpu_of_worker[index],
+            narrow: assigned.is_some(),
+            generation,
+        }
+    }
+}
+
+/// (Re)pins the calling worker after an assignment change: to its own
+/// CPU while a set is assigned, to the whole machine in count-only /
+/// degraded mode (so a server outage widens, never strands, affinity).
+/// Returns whether a narrow pin is in force, maintaining the
+/// `affinity_applied` gauge. No-op unless the pool was built with
+/// [`PoolConfig::pin`].
+fn apply_affinity(sh: &PoolShared, rings: &VictimRings, was_narrow: bool) -> bool {
+    if !sh.pin {
+        return false;
+    }
+    let narrow = if rings.narrow {
+        topology::pin_current_thread(&[rings.my_cpu])
+    } else {
+        let all: Vec<u32> = (0..sh.topology.len())
+            .map(|i| sh.topology.cpu_at(i))
+            .collect();
+        topology::pin_current_thread(&all);
+        false
+    };
+    if narrow != was_narrow {
+        if narrow {
+            sh.npinned.fetch_add(1, Ordering::AcqRel);
+        } else {
+            sh.npinned.fetch_sub(1, Ordering::AcqRel);
+        }
+        sh.affinity_applied
+            .set(sh.npinned.load(Ordering::Acquire) as i64);
+    }
+    narrow
+}
+
+/// Sweeps the other workers' deques nearest-tier-first — randomizing
+/// the start *within* each tier so same-distance victims share the
+/// load — with exponential backoff between sweeps while CAS races
+/// persist. Suspended victims are skipped outright: their deques were
+/// drained before they parked.
+fn steal_task(sh: &PoolShared, rings: &VictimRings, rng: &mut u64) -> Option<Task> {
+    if sh.stealers.len() <= 1 {
         return None;
     }
     let mut backoff: u32 = 0;
     loop {
-        let start = (xorshift(rng) as usize) % n;
         let mut contended = false;
-        for off in 0..n {
-            let victim = (start + off) % n;
-            if victim == index {
+        for (tier, ring) in rings.tiers.iter().enumerate() {
+            if ring.is_empty() {
                 continue;
             }
-            match sh.stealers[victim].steal() {
-                Steal::Success(t) => {
-                    sh.steals.incr();
-                    return Some(*t);
+            let start = (xorshift(rng) as usize) % ring.len();
+            for off in 0..ring.len() {
+                let victim = ring[(start + off) % ring.len()];
+                if sh.suspended_flags[victim].load(Ordering::Acquire) {
+                    sh.steal_skips_suspended.incr();
+                    continue;
                 }
-                Steal::Retry => {
-                    sh.steal_fails.incr();
-                    contended = true;
+                match sh.stealers[victim].steal() {
+                    Steal::Success(t) => {
+                        sh.steals.incr();
+                        sh.steal_tier_hits[tier].incr();
+                        return Some(*t);
+                    }
+                    Steal::Retry => {
+                        sh.steal_fails.incr();
+                        contended = true;
+                    }
+                    Steal::Empty => {}
                 }
-                Steal::Empty => {}
             }
         }
         if !contended {
@@ -508,15 +744,30 @@ fn resume_one(sh: &PoolShared) {
     token.cv.notify_one();
 }
 
-/// Spins through a bounded budget of availability checks, then parks on
-/// this worker's private slot until a producer wakes it (idle protocol).
-fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>) {
+/// Folds one completed wait into the worker's spin state and publishes
+/// the recomputed budget on the `spin_budget` gauge.
+fn observe_wait(sh: &PoolShared, spin: &mut SpinState, waited_ns: u64) {
+    spin.observe_wait(waited_ns);
+    sh.spin_budget.set(spin.budget_ns as i64);
+}
+
+/// Spins through this worker's adaptive budget of availability checks
+/// (see [`SpinState`]), then parks on its private slot until a producer
+/// wakes it (idle protocol). Every exit path feeds the total wait back
+/// into the budget EWMA.
+fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>, spin: &mut SpinState) {
     let started = Instant::now();
-    for poll in 0..SPIN_POLLS {
+    let budget = Duration::from_nanos(spin.budget_ns);
+    let mut poll: u32 = 0;
+    loop {
         if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
-            sh.spin_before_park
-                .record(started.elapsed().as_nanos() as u64);
+            let waited = started.elapsed().as_nanos() as u64;
+            sh.spin_before_park.record(waited);
+            observe_wait(sh, spin, waited);
             return;
+        }
+        if started.elapsed() >= budget {
+            break;
         }
         for _ in 0..(1u32 << (poll / 8).min(6)) {
             std::hint::spin_loop();
@@ -524,6 +775,7 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>) {
         if poll % 8 == 7 {
             std::thread::yield_now();
         }
+        poll = poll.wrapping_add(1);
     }
     // Commit to parking: publish the slot, then re-check, so a producer
     // either sees us in the list or we see its work.
@@ -537,6 +789,7 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>) {
         .record(started.elapsed().as_nanos() as u64);
     if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
         unregister_sleeper(sh, slot);
+        observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
         return;
     }
     {
@@ -549,6 +802,7 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>) {
         }
     }
     unregister_sleeper(sh, slot);
+    observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
 }
 
 /// Removes `slot` from the sleeper list if a waker has not already
@@ -568,11 +822,20 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
         woken: Mutex::new(false),
         cv: Condvar::new(),
     });
+    let mut spin = SpinState::new();
+    let mut rings = VictimRings::build(sh, index);
+    let mut narrow_pin = apply_affinity(sh, &rings, false);
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
             return;
         }
         // --- Safe suspension point: no job held, no lock held. ---
+        if rings.generation != sh.target.cpus_generation() {
+            // The control plane moved our CPU set: rebuild the victim
+            // rings and follow the assignment with the affinity mask.
+            rings = VictimRings::build(sh, index);
+            narrow_pin = apply_affinity(sh, &rings, narrow_pin);
+        }
         let target = sh.target.target.load(Ordering::Acquire);
         let active = sh.active.load(Ordering::Acquire);
         sh.active_gauge.set(active as i64);
@@ -586,9 +849,14 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
             {
                 sh.suspends.incr();
                 // Publish queued jobs before parking: nothing may be
-                // stranded behind a suspended worker.
+                // stranded behind a suspended worker. Only then raise
+                // the suspended flag — stealers may skip a flagged
+                // victim only while its deque is provably empty.
                 drain_local(sh, &worker);
-                match park_suspended(sh) {
+                sh.suspended_flags[index].store(true, Ordering::Release);
+                let outcome = park_suspended(sh);
+                sh.suspended_flags[index].store(false, Ordering::Release);
+                match outcome {
                     SuspendOutcome::Resumed => continue, // re-enter the safe point
                     SuspendOutcome::Shutdown => return,
                 }
@@ -597,7 +865,7 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
             resume_one(sh);
         }
         // --- Acquire and run. ---
-        match find_task(sh, &worker, index, &mut rng) {
+        match find_task(sh, &worker, index, &rings, &mut rng) {
             Some(task) => {
                 // Recorded with no lock held (the sample starts at
                 // submission time, before the producer touched a shard).
@@ -619,7 +887,7 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                     }
                     std::thread::yield_now();
                 } else {
-                    idle_spin_then_park(sh, &idle_slot);
+                    idle_spin_then_park(sh, &idle_slot, &mut spin);
                 }
             }
         }
@@ -825,10 +1093,7 @@ mod tests {
     fn resume_racing_park_and_shutdown_stays_sound() {
         for round in 0..20 {
             let n = 4;
-            let slot = Arc::new(TargetSlot {
-                target: AtomicUsize::new(n),
-                nworkers: n,
-            });
+            let slot = Arc::new(TargetSlot::new(n));
             let pool = Pool::with_slot(Arc::clone(&slot), n, false);
             for flip in 0..40 {
                 slot.target
@@ -860,6 +1125,85 @@ mod tests {
         });
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn steal_tier_hits_partition_steals() {
+        let c = controller(8);
+        let mut cfg = PoolConfig::new(8);
+        cfg.topology = Some(Arc::new(CpuTopology::synthetic(8)));
+        let pool = Pool::with_config(&c, cfg);
+        for _ in 0..2000 {
+            pool.execute(|| std::hint::black_box(()));
+        }
+        pool.wait_idle();
+        let m = pool.metrics();
+        assert_eq!(m.jobs_run, 2000);
+        assert_eq!(
+            m.steal_tier_hits.iter().sum::<u64>(),
+            m.steals,
+            "per-tier counters must partition steals: {m:?}"
+        );
+        assert_eq!(m.local_hits + m.injector_pops + m.steals, m.jobs_run);
+    }
+
+    #[test]
+    fn pinned_pool_runs_everything_and_reports_affinity() {
+        let c = controller(2);
+        let mut cfg = PoolConfig::new(4);
+        cfg.pin = true;
+        let pool = Pool::with_config(&c, cfg);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let k = Arc::clone(&counter);
+            pool.execute(move || {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        // Pinning is best-effort; whatever happened, the gauge must
+        // exist and never exceed the worker count.
+        let snap = pool.stats();
+        assert!(snap.gauges["affinity_applied"] <= 4);
+    }
+
+    #[test]
+    fn spin_budget_gauge_tracks_idle_waits() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false);
+        for _ in 0..50 {
+            pool.execute(|| {});
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        pool.wait_idle();
+        std::thread::sleep(Duration::from_millis(50));
+        let snap = pool.stats();
+        let budget = snap.gauges["spin_budget"];
+        assert!(
+            budget >= SPIN_BUDGET_MIN_NS as i64 && budget <= SPIN_BUDGET_MAX_NS as i64,
+            "budget out of clamp range: {budget}"
+        );
+    }
+
+    #[test]
+    fn spin_state_adapts_and_clamps() {
+        let mut s = SpinState::new();
+        assert_eq!(s.budget_ns, SPIN_BUDGET_START_NS);
+        s.observe_wait(500); // short waits → the floor, not zero
+        assert_eq!(s.budget_ns, SPIN_BUDGET_MIN_NS);
+        for _ in 0..64 {
+            s.observe_wait(40_000); // moderate waits → ~2× the EWMA
+        }
+        assert!(
+            s.budget_ns > 50_000 && s.budget_ns <= SPIN_BUDGET_MAX_NS,
+            "budget should track 2×EWMA: {}",
+            s.budget_ns
+        );
+        for _ in 0..64 {
+            s.observe_wait(10_000_000); // very long waits → park at once
+        }
+        assert_eq!(s.budget_ns, SPIN_BUDGET_MIN_NS);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use crate::controller::TargetSlot;
 use crate::stats::{Counter, Gauge, Hist, Registry};
-use crate::uds::{PollReply, PollerGuard, UdsClient, DEFAULT_IO_TIMEOUT};
+use crate::uds::{CpusPollReply, PollReply, PollerGuard, UdsClient, DEFAULT_IO_TIMEOUT};
 
 /// Supervision tuning.
 #[derive(Clone, Debug)]
@@ -83,6 +83,12 @@ pub struct SupervisedClient {
     conn: Option<UdsClient>,
     last_epoch: Option<u64>,
     ever_connected: bool,
+    /// Whether the connected server speaks the `POLL <pid> cpus`
+    /// extension. Optimistically true after every (re)connect — the
+    /// replacement server may be newer — and cleared on the first
+    /// `ERR malformed` downgrade, so one old server costs exactly one
+    /// wasted request per connection, not one per poll.
+    cpus_supported: bool,
     backoff: Duration,
     next_attempt: Option<Instant>,
     rng: u64,
@@ -114,6 +120,7 @@ impl SupervisedClient {
             conn: None,
             last_epoch: None,
             ever_connected: false,
+            cpus_supported: true,
             next_attempt: None,
             degraded_since: None,
         };
@@ -188,6 +195,9 @@ impl SupervisedClient {
                 self.conn = Some(c);
                 self.backoff = self.cfg.backoff_initial;
                 self.next_attempt = None;
+                // A fresh connection may be to an upgraded server: probe
+                // the CPU-set extension again.
+                self.cpus_supported = true;
                 true
             }
             Err(_) => {
@@ -257,6 +267,68 @@ impl SupervisedClient {
         None
     }
 
+    /// Polls with the CPU-set extension. `Some((target, cpus))` is a
+    /// healthy reply; `cpus` is `None` when the server is too old for
+    /// the extension (detected via its `ERR malformed` answer, after
+    /// which this falls back to a plain poll in the same round and stops
+    /// sending the extension until the next reconnect). `None` means
+    /// degraded — apply [`SupervisedClient::fallback_target`] and drop
+    /// any CPU pinning, since nobody owns the partition anymore.
+    pub fn poll_target_cpus(&mut self) -> Option<(u32, Option<Vec<u32>>)> {
+        if !self.cpus_supported {
+            return self.poll_target().map(|t| (t, None));
+        }
+        for attempt in 0..2 {
+            if !self.ensure_connected() {
+                break;
+            }
+            let reply = self
+                .conn
+                .as_mut()
+                .expect("just connected")
+                .poll_cpus_reply();
+            match reply {
+                Ok(CpusPollReply::Target {
+                    target,
+                    epoch,
+                    cpus,
+                }) => {
+                    self.note_epoch(epoch);
+                    self.leave_degraded();
+                    return Some((target, cpus));
+                }
+                Ok(CpusPollReply::Unregistered) => {
+                    let conn = self.conn.as_mut().expect("just connected");
+                    match conn.re_register() {
+                        Ok(epoch) => {
+                            self.note_epoch(epoch);
+                            if attempt == 0 {
+                                continue;
+                            }
+                        }
+                        Err(_) => {
+                            self.poll_errors.incr();
+                            self.disconnect();
+                        }
+                    }
+                }
+                Ok(CpusPollReply::Unsupported) => {
+                    // Pre-extension server: downgrade for the life of
+                    // this connection and answer count-only this round.
+                    self.cpus_supported = false;
+                    return self.poll_target().map(|t| (t, None));
+                }
+                Err(_) => {
+                    self.poll_errors.incr();
+                    self.disconnect();
+                }
+            }
+            break;
+        }
+        self.enter_degraded();
+        None
+    }
+
     /// Pushes a statistics line to the server, best effort: a failure
     /// tears down the connection (the next poll reconnects) but is not
     /// fatal.
@@ -276,10 +348,13 @@ impl SupervisedClient {
     }
 
     /// Spawns a background thread that polls every `interval`, storing
-    /// the (healthy or fallback) target into `slot`, and — when `report`
+    /// the (healthy or fallback) target — and, against a CPU-set-capable
+    /// server, the assigned CPU set — into `slot`, and — when `report`
     /// is true — REPORTing a snapshot of the supervisor's registry (and
     /// everything else in it, e.g. a pool's counters) to the server on
     /// every healthy poll. The thread exits when the guard drops.
+    /// Entering degraded mode clears the slot's CPU set (workers unpin
+    /// back to the whole machine); recovery re-publishes it.
     ///
     /// This is the fault-tolerant replacement for
     /// [`UdsClient::spawn_poller`]: a killed or restarted server drives
@@ -298,13 +373,23 @@ impl SupervisedClient {
             .name("procctl-supervised-poller".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
-                    let target = match self.poll_target() {
-                        Some(t) => (t as usize).clamp(1, slot.nworkers),
-                        // Degraded: uncontrolled behavior, every worker
-                        // runnable (floor of one preserved by max(1)).
-                        None => slot.nworkers.max(1),
-                    };
-                    slot.target.store(target, Ordering::Release);
+                    match self.poll_target_cpus() {
+                        Some((t, cpus)) => {
+                            slot.target
+                                .store((t as usize).clamp(1, slot.nworkers), Ordering::Release);
+                            // `None` against a pre-extension server keeps
+                            // the pool in count-only mode.
+                            slot.set_cpus(cpus);
+                        }
+                        // Degraded: uncontrolled behavior — every worker
+                        // runnable (floor of one preserved by max(1)),
+                        // and no CPU set: nobody owns the partition, so
+                        // workers widen their affinity back out.
+                        None => {
+                            slot.target.store(slot.nworkers.max(1), Ordering::Release);
+                            slot.set_cpus(None);
+                        }
+                    }
                     if report {
                         let line = self.registry.snapshot().render_line();
                         self.report(&line);
@@ -374,6 +459,60 @@ mod tests {
         // re-register on the same connection and still produce a target.
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(sup.poll_target(), Some(8));
+    }
+
+    #[test]
+    fn poll_target_cpus_returns_the_assigned_set() {
+        let path = sock_path("cpus-healthy");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), registry);
+        let (target, cpus) = sup.poll_target_cpus().expect("healthy poll");
+        assert_eq!(target, 4);
+        assert_eq!(cpus.expect("cpu set"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn old_server_downgrades_to_count_only_same_round() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixListener;
+        // A pre-extension server: REGISTER and two-field POLL work,
+        // anything else (including `POLL <pid> cpus`) is ERR malformed.
+        let path = sock_path("cpus-old");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                let reply = match fields.as_slice() {
+                    ["REGISTER", ..] => "OK 1\n".to_string(),
+                    ["POLL", _pid] => "TARGET 3 1\n".to_string(),
+                    ["BYE", ..] => return,
+                    _ => "ERR malformed\n".to_string(),
+                };
+                writer.write_all(reply.as_bytes()).expect("write");
+            }
+        });
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), Arc::clone(&registry));
+        // First poll: extension probe gets ERR malformed, downgrade, and
+        // the SAME call still produces a count-only healthy target.
+        assert_eq!(sup.poll_target_cpus(), Some((3, None)));
+        assert!(!sup.cpus_supported, "must remember the downgrade");
+        // Subsequent polls skip the probe entirely and stay healthy.
+        assert_eq!(sup.poll_target_cpus(), Some((3, None)));
+        assert_eq!(registry.snapshot().counters["degraded_enters"], 0);
+        sup.bye();
+        handle.join().expect("old server thread");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

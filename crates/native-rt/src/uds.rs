@@ -15,6 +15,25 @@
 //! server → client:  OK <epoch>
 //! ```
 //!
+//! **CPU-set extension** (topology-aware handout). A client that wants to
+//! know *which* processors it was assigned — not just how many — appends
+//! `cpus` to its poll:
+//!
+//! ```text
+//! client → server:  POLL <pid> cpus
+//! server → client:  TARGET <n> <epoch> cpus=<cpulist>
+//! ```
+//!
+//! where `<cpulist>` is kernel cpulist syntax (`0-3,8`), a contiguous
+//! slice of the server's topology-linearized CPU order
+//! ([`procctl::assign_cpu_sets`]). The extension is client-opt-in per
+//! request, which is what makes it wire-compatible in both directions: an
+//! *old client* never sends the suffix and sees unchanged `TARGET <n>
+//! <epoch>` replies; a *new client* against an *old server* gets `ERR
+//! malformed` (the old parser's total fallback), which
+//! [`UdsClient::poll_cpus_reply`] maps to [`CpusPollReply::Unsupported`]
+//! — the cue to fall back to count-only polls.
+//!
 //! Fault tolerance (see DESIGN.md §"Failure modes & recovery"):
 //!
 //! - **Epochs.** The server stamps every reply with its boot epoch. A
@@ -108,11 +127,22 @@ pub struct UdsServerConfig {
     /// Linux-only, a no-op elsewhere). Leases catch what this cannot:
     /// processes that are alive but wedged.
     pub prune_dead: bool,
+    /// CPU ids in topological order (SMT siblings adjacent, then LLC
+    /// groups, then sockets) that CPU-set replies are cut from. `None`
+    /// uses the identity order `0..cpus` — correct when `cpus` matches
+    /// the machine; pass [`crate::topology::CpuTopology::linear_order`]
+    /// of the detected topology to hand out cache-friendly slices.
+    pub cpu_order: Option<Vec<u32>>,
+    /// Weight each application's partition share by its observed
+    /// throughput (the `jobs_run` counter from its latest `REPORT`),
+    /// instead of splitting equally. Applications that have not reported
+    /// — or report equal counters — reduce to the equal partition.
+    pub weighted: bool,
 }
 
 impl UdsServerConfig {
     /// Defaults: no system-load accounting, 1 s sample TTL, 30 s lease,
-    /// dead-process pruning on.
+    /// dead-process pruning on, identity CPU order, unweighted shares.
     pub fn new(path: impl Into<PathBuf>, cpus: usize) -> Self {
         UdsServerConfig {
             path: path.into(),
@@ -121,6 +151,8 @@ impl UdsServerConfig {
             sample_ttl: Duration::from_secs(1),
             lease_ttl: DEFAULT_LEASE_TTL,
             prune_dead: true,
+            cpu_order: None,
+            weighted: false,
         }
     }
 
@@ -171,40 +203,93 @@ impl ServerState {
         registry.gauge("apps").set(self.apps.len() as i64);
     }
 
-    /// The target for `pid`, recomputed from the current registry (the
-    /// paper's equal partition with caps and a floor of one), or `None`
-    /// when `pid` holds no live registration (never registered, lease
-    /// expired, or the server restarted since).
-    fn target_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> Option<u32> {
-        let uncontrolled = if cfg.account_system_load {
-            let fresh = self
-                .last_sample
-                .is_some_and(|(at, _)| at.elapsed() < cfg.sample_ttl);
-            if !fresh {
-                let exclude: Vec<u32> = self
-                    .apps
-                    .iter()
-                    .map(|a| a.pid)
-                    .chain([std::process::id()])
-                    .collect();
-                let n = proc_scan::system_runnable_excluding(&exclude).unwrap_or(0);
-                self.last_sample = Some((Instant::now(), n));
-            }
-            self.last_sample.map_or(0, |(_, n)| n)
-        } else {
-            0
-        };
+    /// The system-wide uncontrollable load to subtract (0 when
+    /// accounting is off), sampling `/proc` when the cached sample went
+    /// stale.
+    fn uncontrolled_load(&mut self, cfg: &UdsServerConfig) -> u32 {
+        if !cfg.account_system_load {
+            return 0;
+        }
+        let fresh = self
+            .last_sample
+            .is_some_and(|(at, _)| at.elapsed() < cfg.sample_ttl);
+        if !fresh {
+            let exclude: Vec<u32> = self
+                .apps
+                .iter()
+                .map(|a| a.pid)
+                .chain([std::process::id()])
+                .collect();
+            let n = proc_scan::system_runnable_excluding(&exclude).unwrap_or(0);
+            self.last_sample = Some((Instant::now(), n));
+        }
+        self.last_sample.map_or(0, |(_, n)| n)
+    }
+
+    /// One registered app's partition weight: 1.0 in the default equal
+    /// split, or `1.0 + jobs_run` from its latest REPORT when
+    /// `cfg.weighted` — so observed throughput skews shares, equal (or
+    /// absent) reports reduce to the equal partition, and a zero counter
+    /// never zeroes an app out entirely.
+    fn weight_of(&self, pid: u32, cfg: &UdsServerConfig) -> f64 {
+        if !cfg.weighted {
+            return 1.0;
+        }
+        let jobs = self
+            .reports
+            .get(&pid)
+            .and_then(|line| {
+                line.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("jobs_run="))
+            })
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        1.0 + jobs.max(0.0)
+    }
+
+    /// Recomputes every registered app's target (the paper's partition
+    /// with caps and a floor of one), in registration order.
+    fn effective_targets(&mut self, cfg: &UdsServerConfig) -> Vec<u32> {
+        let uncontrolled = self.uncontrolled_load(cfg);
         let demands: Vec<AppDemand> = self
             .apps
             .iter()
-            .map(|a| AppDemand::new(a.nworkers))
+            .map(|a| AppDemand {
+                processes: a.nworkers,
+                weight: self.weight_of(a.pid, cfg),
+            })
             .collect();
-        let targets = partition(cfg.cpus as u32, uncontrolled, &demands);
+        partition(cfg.cpus as u32, uncontrolled, &demands)
+            .into_iter()
+            .map(|t| t.max(1))
+            .collect()
+    }
+
+    /// The target for `pid`, or `None` when `pid` holds no live
+    /// registration (never registered, lease expired, or the server
+    /// restarted since).
+    fn target_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> Option<u32> {
+        let targets = self.effective_targets(cfg);
         self.apps
             .iter()
             .zip(&targets)
             .find(|(a, _)| a.pid == pid)
-            .map(|(_, &t)| t.max(1))
+            .map(|(_, &t)| t)
+    }
+
+    /// The target *and* concrete CPU set for `pid`: every app's
+    /// effective target is sliced contiguously from the configured CPU
+    /// order, so each reply is consistent with what every other
+    /// registered app would be told in the same instant.
+    fn target_and_cpus_of(&mut self, pid: u32, cfg: &UdsServerConfig) -> Option<(u32, Vec<u32>)> {
+        let targets = self.effective_targets(cfg);
+        let idx = self.apps.iter().position(|a| a.pid == pid)?;
+        let order: Vec<u32> = match &cfg.cpu_order {
+            Some(o) if !o.is_empty() => o.clone(),
+            _ => (0..cfg.cpus as u32).collect(),
+        };
+        let set = procctl::assign_cpu_sets(&order, &targets).swap_remove(idx);
+        Some((targets[idx], set))
     }
 }
 
@@ -412,6 +497,33 @@ fn handle_line(
                 "ERR malformed\n".to_string()
             }
         },
+        // The CPU-set extension: same poll semantics, but the reply also
+        // names the processors (`cpus=<cpulist>`). Old servers fall into
+        // the final `ERR malformed` arm here, which new clients treat as
+        // "extension unsupported".
+        ["POLL", pid, "cpus"] => match pid.parse::<u32>() {
+            Ok(pid) => {
+                registry.counter("polls").incr();
+                let mut st = state.lock();
+                st.prune(cfg, registry);
+                if let Some(a) = st.apps.iter_mut().find(|a| a.pid == pid) {
+                    a.last_seen = Instant::now();
+                } else {
+                    return "ERR unregistered\n".to_string();
+                }
+                match st.target_and_cpus_of(pid, cfg) {
+                    Some((t, cpus)) => {
+                        let list = crate::topology::format_cpulist(&cpus);
+                        format!("TARGET {t} {epoch} cpus={list}\n")
+                    }
+                    None => "ERR unregistered\n".to_string(),
+                }
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
         ["BYE", pid] => match pid.parse::<u32>() {
             Ok(pid) => {
                 registry.counter("byes").incr();
@@ -518,6 +630,26 @@ pub enum PollReply {
     /// The server holds no registration for this pid: the lease expired
     /// or the server restarted. Re-register before polling again.
     Unregistered,
+}
+
+/// A decoded reply to `POLL <pid> cpus` (the CPU-set extension).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CpusPollReply {
+    /// A live target, with the assigned CPU set when the server speaks
+    /// the extension (a server may legitimately answer without one).
+    Target {
+        /// Desired number of unsuspended workers.
+        target: u32,
+        /// The replying server's boot epoch.
+        epoch: u64,
+        /// The concrete processors assigned, when present and non-empty.
+        cpus: Option<Vec<u32>>,
+    },
+    /// No live registration for this pid — re-register before polling.
+    Unregistered,
+    /// The server predates the extension (it answered `ERR malformed`).
+    /// Fall back to plain count-only [`UdsClient::poll_reply`].
+    Unsupported,
 }
 
 /// Client-side connection to a [`UdsServer`].
@@ -629,6 +761,38 @@ impl UdsClient {
                 _ => Err(io::Error::new(io::ErrorKind::InvalidData, line.clone())),
             },
             ["ERR", "unregistered"] => Ok(PollReply::Unregistered),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
+    /// Polls with the CPU-set extension (`POLL <pid> cpus`),
+    /// distinguishing a live target (with its assigned processors) from
+    /// "unregistered" from "server too old for the extension". The last
+    /// case is how wire compatibility with pre-extension servers works:
+    /// they answer `ERR malformed`, and the caller downgrades to plain
+    /// [`UdsClient::poll_reply`].
+    pub fn poll_cpus_reply(&mut self) -> io::Result<CpusPollReply> {
+        let pid = self.pid;
+        self.send(&format!("POLL {pid} cpus\n"))?;
+        let line = self.read_line()?;
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["TARGET", n, e, rest @ ..] => match (n.parse::<u32>(), e.parse::<u64>()) {
+                (Ok(target), Ok(epoch)) => {
+                    let cpus = rest
+                        .iter()
+                        .find_map(|f| f.strip_prefix("cpus="))
+                        .and_then(crate::topology::parse_cpulist)
+                        .filter(|c| !c.is_empty());
+                    Ok(CpusPollReply::Target {
+                        target,
+                        epoch,
+                        cpus,
+                    })
+                }
+                _ => Err(io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            },
+            ["ERR", "unregistered"] => Ok(CpusPollReply::Unregistered),
+            ["ERR", ..] => Ok(CpusPollReply::Unsupported),
             _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
         }
     }
@@ -1072,6 +1236,142 @@ mod tests {
             reports: std::collections::BTreeMap::new(),
         });
         handle_line(line, &state, &cfg, &registry, 7)
+    }
+
+    /// A socketless two-app server state for partition-policy tests.
+    fn two_app_state() -> Mutex<ServerState> {
+        // prune_dead is on in the configs below, so both pids must be
+        // live processes: use this test process and pid 1 (init).
+        Mutex::new(ServerState {
+            apps: vec![
+                AppReg {
+                    pid: std::process::id(),
+                    nworkers: 16,
+                    last_seen: Instant::now(),
+                },
+                AppReg {
+                    pid: 1,
+                    nworkers: 16,
+                    last_seen: Instant::now(),
+                },
+            ],
+            last_sample: None,
+            reports: std::collections::BTreeMap::new(),
+        })
+    }
+
+    #[test]
+    fn cpus_poll_roundtrip_over_the_wire() {
+        let path = sock_path("cpuspoll");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 16).expect("client");
+        match c.poll_cpus_reply().expect("poll cpus") {
+            CpusPollReply::Target {
+                target,
+                epoch,
+                cpus,
+            } => {
+                assert_eq!(target, 8);
+                assert_ne!(epoch, 0);
+                assert_eq!(cpus.expect("cpu set"), (0..8).collect::<Vec<u32>>());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The plain poll still works on the same connection (old clients
+        // and new clients coexist against the same server).
+        assert_eq!(c.poll().expect("plain poll"), 8);
+    }
+
+    #[test]
+    fn cpus_poll_respects_configured_cpu_order() {
+        let path = sock_path("cpuorder");
+        let mut cfg = UdsServerConfig::new(&path, 4);
+        // A topological order where "adjacent" ids are not numeric
+        // neighbors — the set must be a prefix slice of THIS order.
+        cfg.cpu_order = Some(vec![2, 3, 0, 1]);
+        let _server = UdsServer::start(cfg).expect("server");
+        let mut c = UdsClient::register(&path, 2).expect("client");
+        match c.poll_cpus_reply().expect("poll cpus") {
+            CpusPollReply::Target { target, cpus, .. } => {
+                assert_eq!(target, 2);
+                assert_eq!(cpus.expect("cpu set"), vec![2, 3]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpus_poll_against_pre_extension_server_is_unsupported() {
+        // Simulate an old server: answers REGISTER, but its parser has
+        // never heard of the three-field POLL and replies ERR malformed.
+        let path = sock_path("oldserver");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            for _ in 0..2 {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let reply = if line.starts_with("REGISTER") {
+                    "OK 1\n"
+                } else {
+                    "ERR malformed\n"
+                };
+                writer.write_all(reply.as_bytes()).expect("write");
+            }
+        });
+        let mut c = UdsClient::register(&path, 4).expect("register on old server");
+        assert_eq!(
+            c.poll_cpus_reply().expect("reply"),
+            CpusPollReply::Unsupported
+        );
+        handle.join().expect("old server thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn weighted_equal_reports_reduce_to_equal_partition() {
+        let mut cfg = UdsServerConfig::new("/nonexistent", 8);
+        cfg.weighted = true;
+        let state = two_app_state();
+        let my_pid = std::process::id();
+        // Identical throughput reports for both apps.
+        for pid in [my_pid, 1] {
+            state
+                .lock()
+                .reports
+                .insert(pid, "jobs_run=500 steals=7".to_string());
+        }
+        let mut st = state.lock();
+        assert_eq!(st.target_of(my_pid, &cfg), Some(4));
+        assert_eq!(st.target_of(1, &cfg), Some(4));
+        // And with no reports at all, weighting degrades to equal too.
+        st.reports.clear();
+        assert_eq!(st.target_of(my_pid, &cfg), Some(4));
+        assert_eq!(st.target_of(1, &cfg), Some(4));
+    }
+
+    #[test]
+    fn weighted_unequal_reports_skew_shares() {
+        let mut cfg = UdsServerConfig::new("/nonexistent", 8);
+        cfg.weighted = true;
+        let state = two_app_state();
+        let my_pid = std::process::id();
+        let mut st = state.lock();
+        st.reports.insert(my_pid, "jobs_run=3000".to_string());
+        st.reports.insert(1, "jobs_run=100".to_string());
+        let hot = st.target_of(my_pid, &cfg).expect("hot target");
+        let cold = st.target_of(1, &cfg).expect("cold target");
+        assert!(hot > cold, "throughput should skew shares: {hot} vs {cold}");
+        assert_eq!(hot + cold, 8, "still partitions the whole machine");
+        // The same reports with weighting off: equal shares.
+        cfg.weighted = false;
+        assert_eq!(st.target_of(my_pid, &cfg), Some(4));
     }
 
     proptest! {

@@ -116,6 +116,47 @@ fn pool_survives_server_kill_and_restart() {
     );
 }
 
+/// CPU-set handout across an outage: under a live server the poller
+/// publishes the assigned CPU set; killing the server drops the slot to
+/// count-only degraded mode (no set — workers widen their affinity);
+/// a restart re-registers and re-publishes a concrete set, so workers
+/// re-pin on recovery.
+#[test]
+fn cpu_set_targets_survive_server_kill_and_restart() {
+    let path = sock_path("cpuset-kill-restart");
+    let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+
+    let slot = Arc::new(TargetSlot::new(8));
+    let pool = Pool::with_slot(Arc::clone(&slot), 8, false);
+    let sup = SupervisedClient::new(fast_sup_cfg(&path, 8), pool.registry());
+    let _poller = sup.spawn_poller(Arc::clone(&slot), Duration::from_millis(25), true);
+
+    // Healthy: the only app on a 4-cpu machine is handed all four CPUs.
+    wait_for(5, "initial CPU-set handout", || {
+        slot.cpus().is_some_and(|c| c.len() == 4)
+    });
+    let gen_pinned = slot.cpus_generation();
+
+    // Kill the server: degraded mode must clear the set (count-only),
+    // not leave workers pinned to a stale assignment.
+    drop(server);
+    wait_for(5, "degraded clears the CPU set", || slot.cpus().is_none());
+    assert_eq!(
+        slot.target.load(Ordering::Acquire),
+        8,
+        "degraded fallback must free all workers"
+    );
+    assert_ne!(slot.cpus_generation(), gen_pinned, "clear bumps generation");
+
+    // Restart: the poller re-registers and the set comes back, so the
+    // pool's workers re-apply their affinity.
+    let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("restart");
+    wait_for(5, "CPU set re-published after restart", || {
+        slot.cpus().is_some_and(|c| c.len() == 4)
+    });
+    assert_eq!(slot.target.load(Ordering::Acquire), 4);
+}
+
 /// A restarted server hands out a fresh epoch; a direct (non-poller)
 /// supervised client observes the bump and counts it.
 #[test]

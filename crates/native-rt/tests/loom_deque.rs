@@ -147,6 +147,94 @@ fn push_races_steal_without_loss() {
     });
 }
 
+/// A hunting worker walking the *tiered* victim order (SMT sibling
+/// first, then LLC mates — the order `topology::steal_tiers` computes)
+/// races another thief over the same deques: every element still lands
+/// exactly once, independent of which tier the winning scan came from.
+/// The tier layout is pure data (no atomics), so computing it under loom
+/// is free; what the model checks is that a tier-ordered *sequence* of
+/// steals composes as safely as the single-victim primitives above.
+#[test]
+fn tiered_victim_scan_conserves_elements() {
+    use native_rt::topology::{steal_tiers, CpuTopology};
+
+    loom::model(|| {
+        // Workers 0..3 pinned to synthetic CPUs 0..3: for worker 0 the
+        // tier order is [1] (SMT sibling), then [2, 3] (LLC mates).
+        let topo = CpuTopology::synthetic(4);
+        let tiers = steal_tiers(&topo, &[0, 1, 2, 3], 0);
+        assert_eq!(tiers[0], vec![1]);
+        assert_eq!(tiers[1], vec![2, 3]);
+
+        // Victims 1 and 2 hold one element each; victim 3 stays empty
+        // (a suspended worker's drained deque looks exactly like this).
+        let (w1, s1) = deque::<usize>();
+        let (w2, s2) = deque::<usize>();
+        let (_w3, s3) = deque::<usize>();
+        w1.push(Box::new(10));
+        w2.push(Box::new(20));
+        let stealers = [s1, s2, s3];
+
+        let got = Arc::new(AtomicUsize::new(0));
+
+        // The tier-ordered hunter: scan smt, then llc, like the pool's
+        // steal_task does, taking at most one element per full scan.
+        let hunter_got = Arc::clone(&got);
+        let hunter_stealers = stealers.clone();
+        let hunter = thread::spawn(move || {
+            for _ in 0..2 {
+                'scan: for tier in [vec![0usize], vec![1, 2]] {
+                    for v in tier {
+                        loop {
+                            match hunter_stealers[v].steal() {
+                                Steal::Success(x) => {
+                                    hunter_got.fetch_add(*x, Ordering::Relaxed);
+                                    break 'scan;
+                                }
+                                Steal::Retry => {}
+                                Steal::Empty => break,
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        // A rival thief races the hunter for victim 1's element.
+        let rival_got = Arc::clone(&got);
+        let rival = thread::spawn(move || loop {
+            match stealers[0].steal() {
+                Steal::Success(x) => {
+                    rival_got.fetch_add(*x, Ordering::Relaxed);
+                    break;
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        });
+
+        hunter.join().unwrap();
+        rival.join().unwrap();
+
+        // Sweep anything neither got (the hunter may have taken victim
+        // 1's element in round one and victim 2's in round two, or the
+        // rival may have won victim 1 while the hunter only got victim
+        // 2 — in every interleaving each element is taken exactly once).
+        let mut rest = 0usize;
+        while let Some(x) = w1.pop() {
+            rest += *x;
+        }
+        while let Some(x) = w2.pop() {
+            rest += *x;
+        }
+        assert_eq!(
+            got.load(Ordering::Relaxed) + rest,
+            30,
+            "tiered scan lost or duplicated an element"
+        );
+    });
+}
+
 /// Growth (buffer doubling) while a thief holds a pointer to the old
 /// buffer must stay safe: retired buffers are kept alive, so the steal
 /// either retries against the new buffer or wins a valid element.

@@ -203,6 +203,48 @@ fn conservation_holds_under_process_control_churn() {
         m.jobs_run,
         "jobs leaked between queues under suspension churn: {m:?}"
     );
+
+    // Deterministic tail for the suspended-victim skip: wait until the
+    // pool settles at its target of one active worker (the other five
+    // parked as suspended, their steal flags raised), then push one more
+    // burst. The active worker's hunt between injector pops must *skip*
+    // the flagged victims — their deques are provably empty — and count
+    // each skip.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = pool.metrics();
+        if m.suspends > m.resumes {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool never settled into suspension: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for _ in 0..64 {
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    pool.wait_idle();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while pool.metrics().steal_skips_suspended == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "steal scans never skipped a suspended victim: {:?}",
+            pool.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let m = pool.metrics();
+    assert_eq!(m.jobs_run, 1264);
+    assert_eq!(
+        m.local_hits + m.injector_pops + m.steals,
+        m.jobs_run,
+        "skipping suspended victims broke conservation: {m:?}"
+    );
 }
 
 /// Supervised pollers churned against a server that dies and comes back:

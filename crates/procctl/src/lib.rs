@@ -32,10 +32,11 @@ mod server;
 
 pub use client::{decentralized_target, ClientControl, Decision};
 pub use partition::{
-    partition, validate_cpus, validate_processes, AppDemand, SizeError, MAX_CPUS, MAX_PROCESSES,
+    assign_cpu_sets, partition, validate_cpus, validate_processes, AppDemand, SizeError, MAX_CPUS,
+    MAX_PROCESSES,
 };
 pub use proto::{
-    decode_request, decode_target, encode_bye, encode_poll, encode_register,
-    encode_register_weighted, encode_target, Request,
+    decode_request, decode_target, decode_target_cpus, encode_bye, encode_poll, encode_register,
+    encode_register_weighted, encode_target, encode_target_cpus, Request,
 };
 pub use server::{classify, Classified, DecisionLog, Server, ServerConfig, SweepApp, SweepRecord};

@@ -174,6 +174,36 @@ pub fn partition(num_cpus: u32, uncontrolled: u32, apps: &[AppDemand]) -> Vec<u3
     targets
 }
 
+/// Assigns each application a *concrete* set of CPUs, not just a count:
+/// consecutive, contiguous slices of `cpu_order` (a topology-linearized
+/// CPU list — SMT siblings adjacent, then LLC groups, then sockets), one
+/// slice per entry of `targets`, wrapping around when the floor-of-one
+/// proviso oversubscribes the machine.
+///
+/// Contiguity is the point: an application's processes land on
+/// cache-sharing neighbors, and because slice `i` starts at the sum of
+/// targets `0..i`, a *shrink* of application `i` (earlier targets
+/// unchanged) keeps a prefix of its previous block — the workers it
+/// retains stay where their cache state is.
+pub fn assign_cpu_sets(cpu_order: &[u32], targets: &[u32]) -> Vec<Vec<u32>> {
+    if cpu_order.is_empty() {
+        return targets.iter().map(|_| Vec::new()).collect();
+    }
+    let mut cursor = 0usize;
+    targets
+        .iter()
+        .map(|&t| {
+            (0..t)
+                .map(|_| {
+                    let cpu = cpu_order[cursor % cpu_order.len()];
+                    cursor += 1;
+                    cpu
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +314,43 @@ mod tests {
         assert!(validate_processes(MAX_PROCESSES + 1).is_err());
         let msg = validate_cpus(0).unwrap_err().to_string();
         assert!(msg.contains("cpus"), "error names the field: {msg}");
+    }
+
+    #[test]
+    fn cpu_sets_are_contiguous_slices_of_the_order() {
+        let order: Vec<u32> = (0..8).collect();
+        let sets = assign_cpu_sets(&order, &[3, 2, 3]);
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]]);
+    }
+
+    #[test]
+    fn cpu_sets_respect_a_nontrivial_order() {
+        // A topology order interleaving sockets' SMT pairs.
+        let order = vec![0, 4, 1, 5, 2, 6, 3, 7];
+        let sets = assign_cpu_sets(&order, &[4, 4]);
+        assert_eq!(sets, vec![vec![0, 4, 1, 5], vec![2, 6, 3, 7]]);
+    }
+
+    #[test]
+    fn oversubscription_wraps_around() {
+        let order: Vec<u32> = (0..2).collect();
+        let sets = assign_cpu_sets(&order, &[1, 1, 1]);
+        assert_eq!(sets, vec![vec![0], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn shrink_keeps_a_prefix_of_the_old_block() {
+        let order: Vec<u32> = (0..8).collect();
+        let before = assign_cpu_sets(&order, &[2, 4, 2]);
+        // App 1 shrinks 4 → 2 with app 0 unchanged: it keeps cpus 2,3.
+        let after = assign_cpu_sets(&order, &[2, 2, 2]);
+        assert_eq!(after[1], before[1][..2].to_vec());
+    }
+
+    #[test]
+    fn empty_order_yields_empty_sets() {
+        let sets = assign_cpu_sets(&[], &[2, 2]);
+        assert_eq!(sets, vec![Vec::<u32>::new(), Vec::new()]);
     }
 
     #[test]

@@ -105,10 +105,7 @@ fn run_worker(sock: &str, name: &str) {
     let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
     let nworkers = 2 * cores;
     let client = native_rt::UdsClient::register(sock, nworkers as u32).expect("register");
-    let slot = Arc::new(native_rt::TargetSlot {
-        target: std::sync::atomic::AtomicUsize::new(nworkers),
-        nworkers,
-    });
+    let slot = Arc::new(native_rt::TargetSlot::new(nworkers));
     let _poller = client.spawn_poller(Arc::clone(&slot), Duration::from_millis(100));
     let pool = native_rt::Pool::with_slot(slot, nworkers, false);
 
