@@ -43,12 +43,18 @@ struct PoolShared {
     queue: Mutex<VecDeque<(Instant, Job)>>,
     /// Signaled when work arrives or the pool shuts down.
     work_cv: Condvar,
+    // sched-atomic(handoff): final fetch_sub(AcqRel) publishes the last
+    // job's writes to wait_idle's Acquire load.
     outstanding: AtomicUsize,
     idle_cv: Condvar,
     idle_mu: Mutex<()>,
+    // sched-atomic(handoff): suspend/resume CAS (AcqRel) orders the
+    // worker's hand-off against peers reading the count.
     active: AtomicUsize,
     suspended: Mutex<Vec<Arc<ParkToken>>>,
     target: Arc<TargetSlot>,
+    // sched-atomic(handoff): Release store in shutdown() publishes final
+    // queue state to the workers' Acquire re-check.
     shutdown: AtomicBool,
     registry: Arc<Registry>,
     jobs_run: Counter,

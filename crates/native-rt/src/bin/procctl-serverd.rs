@@ -32,6 +32,9 @@
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
+    // sched-atomic(relaxed): a bare flag polled by the accept loop; no
+    // data is published under it, so the handler can store Relaxed
+    // (also the safest thing to do in async-signal context).
     pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
@@ -42,12 +45,15 @@ mod sig {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        SHUTDOWN.store(true, Ordering::SeqCst);
+        SHUTDOWN.store(true, Ordering::Relaxed);
     }
 
     /// Installs the SIGINT/SIGTERM handlers.
     pub fn install() {
         let h = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is async-signal-safe to install; the handler
+        // only does a Relaxed atomic store, which is signal-safe. The
+        // handler address outlives the process (it is a static fn).
         unsafe {
             signal(SIGINT, h);
             signal(SIGTERM, h);
@@ -123,7 +129,7 @@ fn main() {
         if weighted { "throughput-weighted" } else { "equal" },
     );
     // Serve until SIGTERM/SIGINT.
-    while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+    while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     let stats = server.stats();

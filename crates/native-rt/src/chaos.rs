@@ -137,7 +137,12 @@ fn pick_fault(cfg: &ChaosConfig, rng: &mut u64) -> Fault {
 /// severs every proxied connection, and removes the listen socket.
 pub struct ChaosProxy {
     listen_path: PathBuf,
+    // sched-atomic(handoff): Release store in Drop publishes the
+    // tear-down decision before the listener socket is unlinked; pump
+    // threads' Acquire loads pair with it.
     stop: Arc<AtomicBool>,
+    // sched-atomic(handoff): pause()/resume() publish with Release; the
+    // pump loop's Acquire load pairs with it.
     paused: Arc<AtomicBool>,
     registry: Arc<Registry>,
     accept_thread: Option<JoinHandle<()>>,
@@ -166,6 +171,7 @@ impl ChaosProxy {
             "garbles",
             "delays",
         ] {
+            // sched-counters: connections upstream_failures forwards disconnects drops truncates garbles delays
             registry.counter(name);
         }
         let accept_thread = {

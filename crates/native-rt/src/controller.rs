@@ -21,6 +21,8 @@ use crate::topology::CpuTopology;
 #[derive(Debug)]
 pub struct TargetSlot {
     /// Desired number of unsuspended workers.
+    // sched-atomic(handoff): the controller's Release store publishes a
+    // recomputed partition; workers' Acquire loads pair with it.
     pub target: AtomicUsize,
     /// Total workers in the pool (the cap).
     pub nworkers: usize,
@@ -30,6 +32,9 @@ pub struct TargetSlot {
     cpuset: Mutex<Option<Arc<Vec<u32>>>>,
     /// Bumped on every *actual change* of `cpuset`, so workers can poll
     /// cheaply for "did my assignment move?" without taking the lock.
+    // sched-atomic(handoff): the Release bump publishes the new cpuset
+    // written under the lock just before; pollers load with Acquire and
+    // then take the lock for the value.
     cpuset_gen: AtomicUsize,
 }
 
@@ -86,6 +91,8 @@ pub struct Controller {
     /// from at every recompute.
     cpu_order: Arc<Vec<u32>>,
     registry: Arc<Mutex<Registry>>,
+    // sched-atomic(handoff): Release store on shutdown; the ticker's
+    // Acquire load pairs with it before the final recompute.
     stop: Arc<AtomicBool>,
     ticker: Option<JoinHandle<()>>,
 }

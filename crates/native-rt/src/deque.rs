@@ -42,6 +42,9 @@ const INITIAL_CAP: usize = 64;
 /// masked into the slot array; capacity is always a power of two.
 struct Buffer<T> {
     mask: isize,
+    // sched-atomic(verified): Relaxed slot accesses are ordered by the
+    // Release fence in push / the top CAS, per the Chase-Lev protocol
+    // (Le et al., PPoPP'13); loom model-checks this in deque_tests.
     slots: Box<[AtomicPtr<T>]>,
 }
 
@@ -72,19 +75,29 @@ impl<T> Buffer<T> {
 
 struct Inner<T> {
     /// Next index stealers take from.
+    // sched-atomic(verified): orderings follow Le et al. (PPoPP'13)
+    // exactly, including the SeqCst fences; loom-checked in deque_tests.
     top: AtomicIsize,
     /// Next index the owner pushes to.
+    // sched-atomic(verified): see `top` — same proof covers the pair.
     bottom: AtomicIsize,
     /// Current buffer generation.
+    // sched-atomic(verified): Release store in grow pairs with the
+    // Acquire load in steal; owner-side Relaxed loads are single-thread.
     buffer: AtomicPtr<Buffer<T>>,
     /// Outgrown generations, freed on drop (stealers may hold stale
     /// buffer pointers until then).
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
-// The raw buffer pointers are owned by `Inner` and only ever dereferenced
-// under the Chase-Lev protocol; `T: Send` is the real requirement.
+// SAFETY: the raw buffer pointers are owned by `Inner` and only ever
+// dereferenced under the Chase-Lev protocol (at most one owner thread,
+// stealers arbitrated by the CAS on `top`); `T: Send` is the real
+// requirement the bounds carry over.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: shared access is the whole point of the algorithm — every
+// cross-thread path goes through the fences/CAS above, never through
+// unsynchronized `&mut`.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
@@ -93,6 +106,10 @@ impl<T> Drop for Inner<T> {
         let buf = self.buffer.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         let b = self.bottom.load(Ordering::Relaxed);
+        // SAFETY: `drop(&mut self)` proves no Worker/Stealer handle is
+        // left, so every slot in [t, b) and every retired buffer is
+        // exclusively ours to free; the pointers were all minted by
+        // Box::into_raw / Buffer::alloc.
         unsafe {
             for i in t..b {
                 drop(Box::from_raw((*buf).get(i)));
@@ -172,9 +189,14 @@ impl<T: Send> Worker<T> {
         let b = inner.bottom.load(Ordering::Relaxed);
         let t = inner.top.load(Ordering::Acquire);
         let mut buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buffer` always points at the live generation; only
+        // the owner (us, single-threaded by !Sync + !Clone) retires it,
+        // and retired generations are freed no earlier than Inner::drop.
         if b - t >= unsafe { (*buf).cap() } {
             buf = self.grow(t, b);
         }
+        // SAFETY: same buffer liveness as above; slot `b` is outside
+        // [top, bottom) so no stealer reads it until bottom is published.
         unsafe { (*buf).put(b, Box::into_raw(value)) };
         // Publish the slot before publishing the new bottom.
         fence(Ordering::Release);
@@ -193,6 +215,8 @@ impl<T: Send> Worker<T> {
         fence(Ordering::SeqCst);
         let t = inner.top.load(Ordering::Relaxed);
         if t <= b {
+            // SAFETY: buffer liveness as in push; slot `b` was filled by
+            // a prior push on this same thread.
             let ptr = unsafe { (*buf).get(b) };
             if t == b {
                 // Last element: race the stealers for it via top.
@@ -201,8 +225,12 @@ impl<T: Send> Worker<T> {
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
                 inner.bottom.store(b + 1, Ordering::Relaxed);
+                // SAFETY: winning the CAS on `top` means no stealer took
+                // slot `b`; the pointer is ours exclusively.
                 return won.then(|| unsafe { Box::from_raw(ptr) });
             }
+            // SAFETY: t < b leaves at least one element below the
+            // stealers' range after our bottom store; exclusive.
             Some(unsafe { Box::from_raw(ptr) })
         } else {
             // Already empty; restore bottom.
@@ -228,7 +256,11 @@ impl<T: Send> Worker<T> {
     fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
         let inner = &*self.inner;
         let old = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: `old` is the live generation (owner-only call); `new`
+        // was just allocated and is unshared until the Release store.
         let new = unsafe { Buffer::alloc(((*old).cap() as usize) * 2) };
+        // SAFETY: same pointers as above; indices [t, b) are in range of
+        // both generations by construction (new.cap = 2 * old.cap).
         unsafe {
             for i in t..b {
                 (*new).put(i, (*old).get(i));
@@ -254,12 +286,18 @@ impl<T: Send> Stealer<T> {
         // Speculative read: the owner may be popping this very slot. The
         // CAS on top arbitrates; on failure the pointer is dead to us.
         let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: the Acquire load sees a fully initialized generation
+        // (grow publishes with Release); the slot read is speculative
+        // and the value is only trusted after the CAS below succeeds.
+        // TSan flags this read by design -- see .tsan-suppressions.
         let ptr = unsafe { (*buf).get(t) };
         if inner
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
         {
+            // SAFETY: the CAS on `top` succeeded, so this thread (and
+            // no other, owner included) owns slot `t`'s pointer.
             Steal::Success(unsafe { Box::from_raw(ptr) })
         } else {
             Steal::Retry

@@ -31,8 +31,13 @@ struct Shard<T> {
 pub struct Injector<T> {
     shards: Box<[Shard<T>]>,
     /// Round-robin cursor for producers.
+    // sched-atomic(relaxed): pure distribution hint; shard mutexes do
+    // the real synchronization.
     cursor: AtomicUsize,
     /// Approximate element count (see module docs).
+    // sched-atomic(handoff): the Release add after a shard push is the
+    // producers' publish signal for the consumers' sleep/wake fast path
+    // (Acquire load in is_empty); the shard mutex moves the data itself.
     len: AtomicUsize,
 }
 

@@ -41,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod baseline;
 #[cfg(unix)]

@@ -212,11 +212,15 @@ struct PoolShared {
     /// Steal handles for every worker's deque, indexed by worker.
     stealers: Box<[Stealer<Task>]>,
     /// Jobs submitted and not yet finished.
+    // sched-atomic(handoff): the final fetch_sub(AcqRel) publishes the
+    // last job's writes to wait_idle's Acquire load before idle_cv fires.
     outstanding: AtomicUsize,
     /// Signaled when `outstanding` hits zero.
     idle_cv: Condvar,
     idle_mu: Mutex<()>,
     /// Unsuspended workers.
+    // sched-atomic(handoff): the suspend/resume CAS (AcqRel) orders the
+    // deque drain against stealers observing the new count.
     active: AtomicUsize,
     /// Workers suspended by process control, oldest first.
     suspended: Mutex<Vec<Arc<ParkToken>>>,
@@ -225,12 +229,19 @@ struct PoolShared {
     /// empty while the flag is up) and cleared by the worker itself on
     /// resume. Stealers skip flagged victims instead of probing their
     /// permanently-empty deques.
+    // sched-atomic(handoff): Release store after the drain publishes the
+    // emptied deque; stealers' Acquire load pairs with it.
     suspended_flags: Box<[AtomicBool]>,
     /// Workers parked for lack of work.
     sleepers: Mutex<Vec<Arc<IdleSlot>>>,
     /// `sleepers.len()`, readable without the lock (producer fast path).
+    // sched-atomic(seqcst): Dekker store-load with the producer: sleeper
+    // publishes nsleepers then re-checks work; producer publishes work
+    // then reads nsleepers. Both sides need the total order.
     nsleepers: AtomicUsize,
     target: Arc<TargetSlot>,
+    // sched-atomic(handoff): Release store in shutdown() publishes the
+    // final queue state to workers' Acquire re-check before they exit.
     shutdown: AtomicBool,
     /// Statistics registry behind the handles below (snapshot API).
     registry: Arc<Registry>,
@@ -251,6 +262,8 @@ struct PoolShared {
     /// The controller target, sampled at safe points.
     target_gauge: Gauge,
     /// Workers currently holding a narrow (own-CPU) affinity pin.
+    // sched-atomic(relaxed): feeds the affinity_applied gauge only; no
+    // data is published under it.
     npinned: AtomicUsize,
     /// Gauge mirror of `npinned` (0 when pinning is off or count-only).
     affinity_applied: Gauge,
@@ -358,6 +371,7 @@ impl Pool {
             locals.push(w);
             stealers.push(s);
         }
+        // sched-counters: steal_tier_smt steal_tier_llc steal_tier_socket steal_tier_remote
         let steal_tier_hits = std::array::from_fn(|i| {
             registry.counter(&format!("steal_tier_{}", STEAL_TIER_NAMES[i]))
         });
@@ -622,12 +636,12 @@ fn apply_affinity(sh: &PoolShared, rings: &VictimRings, was_narrow: bool) -> boo
     };
     if narrow != was_narrow {
         if narrow {
-            sh.npinned.fetch_add(1, Ordering::AcqRel);
+            sh.npinned.fetch_add(1, Ordering::Relaxed);
         } else {
-            sh.npinned.fetch_sub(1, Ordering::AcqRel);
+            sh.npinned.fetch_sub(1, Ordering::Relaxed);
         }
         sh.affinity_applied
-            .set(sh.npinned.load(Ordering::Acquire) as i64);
+            .set(sh.npinned.load(Ordering::Relaxed) as i64);
     }
     narrow
 }

@@ -48,9 +48,14 @@ fn bucket_hi(b: usize) -> u64 {
 
 /// A log-bucketed histogram updated with relaxed atomics.
 pub struct AtomicHistogram {
+    // sched-atomic(relaxed): statistics only; snapshots tolerate torn
+    // cross-field reads by design (see Hist docs).
     buckets: [AtomicU64; BUCKETS],
+    // sched-atomic(relaxed): see `buckets`.
     sum: AtomicU64,
+    // sched-atomic(relaxed): see `buckets`.
     min: AtomicU64,
+    // sched-atomic(relaxed): see `buckets`.
     max: AtomicU64,
 }
 

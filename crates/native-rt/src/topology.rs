@@ -299,6 +299,9 @@ pub fn pin_current_thread(cpus: &[u32]) -> bool {
     extern "C" {
         fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const usize) -> i32;
     }
+    // SAFETY: the mask buffer is a live stack array of the size we pass;
+    // pid 0 targets the calling thread, so no other thread's state is
+    // touched; the kernel copies the mask before returning.
     unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
 }
 

@@ -308,6 +308,8 @@ fn boot_epoch() -> u64 {
 pub struct UdsServer {
     cfg: UdsServerConfig,
     epoch: u64,
+    // sched-atomic(handoff): Release store in shutdown publishes the
+    // final epoch state; accept/poll loops load with Acquire.
     stop: Arc<AtomicBool>,
     registry: Arc<Registry>,
     accept_thread: Option<JoinHandle<()>>,
@@ -350,6 +352,7 @@ impl UdsServer {
             "malformed",
             "lease_expiries",
         ] {
+            // sched-counters: registers polls byes reports malformed lease_expiries
             registry.counter(name);
         }
         registry.gauge("apps");
@@ -919,11 +922,13 @@ impl UdsClient {
 
 /// Stops the background poller (and sends BYE) when dropped.
 pub struct PollerGuard {
+    // sched-atomic(handoff): see UdsServer::stop — same protocol.
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl PollerGuard {
+    // sched-atomic(handoff): parameter view of PollerGuard::stop.
     pub(crate) fn from_parts(stop: Arc<AtomicBool>, handle: JoinHandle<()>) -> Self {
         PollerGuard {
             stop,

@@ -24,6 +24,8 @@
 //! crate reimplements the same client rule over real OS threads.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
 
 mod client;
 mod partition;

@@ -145,6 +145,7 @@ enum SState {
 }
 
 /// The central server, as a simulated-process behavior.
+#[derive(Debug)]
 pub struct Server {
     cfg: ServerConfig,
     apps: Vec<AppEntry>,

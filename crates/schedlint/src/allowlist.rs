@@ -1,0 +1,275 @@
+//! The checked-in `schedlint.toml` allowlist.
+//!
+//! Findings the team has triaged and accepted live here — each entry
+//! names the rule, scopes itself as tightly as practical (`path` suffix,
+//! `contains` message substring), and carries a mandatory
+//! `justification`. Unused entries are themselves failures: when the
+//! code an entry excused is fixed or deleted, the entry must go too,
+//! otherwise the allowlist decays into a blanket mute.
+//!
+//! The file is parsed by a deliberately tiny TOML-subset reader (the
+//! offline environment has no `toml` crate): `[[allow]]` tables of
+//! `key = "string"` pairs, `#` comments. That subset is all the schema
+//! needs.
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule ID this entry excuses (e.g. `"SL020"`).
+    pub rule: String,
+    /// Path-suffix filter; `None` matches any file.
+    pub path: Option<String>,
+    /// Message-substring filter; `None` matches any message.
+    pub contains: Option<String>,
+    /// Why the finding is acceptable. Mandatory and non-empty.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Does this entry excuse `d`?
+    pub fn matches(&self, d: &crate::Diagnostic) -> bool {
+        d.rule == self.rule
+            && self.path.as_deref().map_or(true, |p| d.path.ends_with(p))
+            && self
+                .contains
+                .as_deref()
+                .map_or(true, |c| d.message.contains(c))
+    }
+
+    /// Compact description for "unused entry" reports.
+    pub fn describe(&self) -> String {
+        let mut s = format!("rule {}", self.rule);
+        if let Some(p) = &self.path {
+            s.push_str(&format!(", path ~ {p}"));
+        }
+        if let Some(c) = &self.contains {
+            s.push_str(&format!(", message ~ {c:?}"));
+        }
+        s
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist file. Always fatal: a silently dropped entry
+/// would un-excuse (or worse, a typo'd one would never match and rot).
+#[derive(Debug, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the `[[allow]]` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
+        type Partial = (
+            u32,
+            Option<String>,
+            Option<String>,
+            Option<String>,
+            Option<String>,
+        );
+        let mut entries = Vec::new();
+        let mut cur: Option<Partial> = None;
+        let finish = |cur: &mut Option<Partial>,
+                      entries: &mut Vec<AllowEntry>|
+         -> Result<(), AllowlistError> {
+            if let Some((line, rule, path, contains, justification)) = cur.take() {
+                let rule = rule.ok_or(AllowlistError {
+                    line,
+                    message: "entry is missing `rule`".into(),
+                })?;
+                let justification =
+                    justification
+                        .filter(|j| !j.trim().is_empty())
+                        .ok_or(AllowlistError {
+                            line,
+                            message: format!(
+                                "entry for {rule} is missing a non-empty `justification` — \
+                             every allowlisted finding must say why it is acceptable"
+                            ),
+                        })?;
+                entries.push(AllowEntry {
+                    rule,
+                    path,
+                    contains,
+                    justification,
+                    line,
+                });
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut cur, &mut entries)?;
+                cur = Some((lineno, None, None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"` or `[[allow]]`, got {line:?}"),
+                });
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: "key outside any [[allow]] table".into(),
+                });
+            };
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or(AllowlistError {
+                    line: lineno,
+                    message: format!("value for `{}` must be a double-quoted string", key.trim()),
+                })?
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            let slot = match key.trim() {
+                "rule" => &mut entry.1,
+                "path" => &mut entry.2,
+                "contains" => &mut entry.3,
+                "justification" => &mut entry.4,
+                other => {
+                    return Err(AllowlistError {
+                        line: lineno,
+                        message: format!(
+                            "unknown key `{other}` (rule|path|contains|justification)"
+                        ),
+                    })
+                }
+            };
+            if slot.is_some() {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("duplicate key `{}` in entry", key.trim()),
+                });
+            }
+            *slot = Some(value.to_string());
+        }
+        finish(&mut cur, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+
+    /// Splits `diags` into (remaining, excused) and reports entries that
+    /// excused nothing. Each diagnostic is consumed by the first
+    /// matching entry.
+    pub fn apply(
+        &self,
+        diags: Vec<crate::Diagnostic>,
+    ) -> (Vec<crate::Diagnostic>, usize, Vec<&AllowEntry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut remaining = Vec::new();
+        let mut excused = 0usize;
+        for d in diags {
+            match self.entries.iter().position(|e| e.matches(&d)) {
+                Some(k) => {
+                    used[k] = true;
+                    excused += 1;
+                }
+                None => remaining.push(d),
+            }
+        }
+        let unused = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e)
+            .collect();
+        (remaining, excused, unused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    fn diag(rule: &'static str, path: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line: 1,
+            message: message.into(),
+        }
+    }
+
+    #[test]
+    fn parse_match_and_unused_tracking() {
+        let al = Allowlist::parse(
+            r#"
+# triaged exceptions
+[[allow]]
+rule = "SL020"
+path = "crates/native-rt/src/uds.rs"
+contains = "write_all"
+justification = "response write happens after the state guard is dropped"
+
+[[allow]]
+rule = "SL011"
+justification = "never fires; kept to test unused reporting"
+"#,
+        )
+        .unwrap();
+        assert_eq!(al.entries.len(), 2);
+        let diags = vec![
+            diag(
+                "SL020",
+                "crates/native-rt/src/uds.rs",
+                "calls blocking write_all",
+            ),
+            diag(
+                "SL020",
+                "crates/native-rt/src/pool.rs",
+                "calls blocking write_all",
+            ),
+        ];
+        let (remaining, excused, unused) = al.apply(diags);
+        assert_eq!(excused, 1);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].path, "crates/native-rt/src/pool.rs");
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "SL011");
+    }
+
+    #[test]
+    fn missing_justification_is_fatal() {
+        let err = Allowlist::parse("[[allow]]\nrule = \"SL040\"\n").unwrap_err();
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn missing_rule_is_fatal() {
+        let err = Allowlist::parse("[[allow]]\njustification = \"because\"\n").unwrap_err();
+        assert!(err.message.contains("rule"), "{err}");
+    }
+
+    #[test]
+    fn unquoted_value_is_fatal() {
+        let err = Allowlist::parse("[[allow]]\nrule = SL040\n").unwrap_err();
+        assert!(err.message.contains("double-quoted"), "{err}");
+    }
+}

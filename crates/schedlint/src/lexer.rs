@@ -1,0 +1,424 @@
+//! A minimal Rust lexer: just enough token structure for the lint rules.
+//!
+//! The offline build environment has no `syn`, so — like the API shims
+//! under `shims/` — the analyzer carries its own substitute. The lexer
+//! understands exactly what the rules need to be sound against real
+//! source text: comments (line, nested block, doc), string/char/byte/raw
+//! literals, lifetimes vs char literals, raw identifiers, and numbers.
+//! Everything else is single-character punctuation. Higher layers match
+//! token *patterns* (e.g. `.lock()`, `Ordering::Relaxed`) instead of
+//! building an AST; the known blind spots are documented in DESIGN.md
+//! §11.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String, byte-string, raw-string, char, or byte literal, with
+    /// its raw text (quotes included). Literal contents are never
+    /// treated as code; the counters rule reads registered names out of
+    /// them.
+    Literal(String),
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line, block, or doc), kept separately from the token
+/// stream for the annotation and `SAFETY:` rules.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Raw text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comment list, both in source
+/// order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs consume to end-of-file rather
+/// than erroring: the analyzer must never be the thing that fails on
+/// code rustc accepts (and on code it doesn't, garbage tokens only make
+/// rules conservatively silent).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Counts newlines in b[from..to] into `line`.
+    fn advance_lines(b: &[char], from: usize, to: usize, line: &mut u32) {
+        *line += b[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc `///` and `//!`).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                start_line: line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                start_line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw strings and raw/byte prefixes: r"...", r#"..."#, br"...",
+        // b"...", b'...'. Checked before plain identifiers.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i;
+            let mut _byte = false;
+            if b[j] == 'b' {
+                _byte = true;
+                j += 1;
+            }
+            let raw = j < n && b[j] == 'r';
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' && (raw || b[i] == 'b') {
+                let tok_line = line;
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes.
+                    j += 1;
+                    'raw: while j < n {
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"..." with escapes.
+                    j += 1;
+                    while j < n {
+                        if b[j] == '\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if b[j] == '"' {
+                            j += 1;
+                            break;
+                        }
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal(b[i..j].iter().collect()),
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+            if b[i] == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                // Byte literal b'x'.
+                let tok_line = line;
+                let mut j = i + 2;
+                while j < n {
+                    if b[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == '\'' {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal(b[i..j].iter().collect()),
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+            if raw && j < n && is_ident_start(b[j]) && hashes == 0 && b[i] == 'r' && b[i + 1] == '#'
+            {
+                // Raw identifier r#ident.
+                let mut k = i + 2;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[i + 2..k].iter().collect()),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            let start = i;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Literal(b[start..i].iter().collect()),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // 'a / 'static → lifetime; '\n' / 'x' → char literal. A
+            // lifetime is `'` + ident-start not followed by a closing
+            // quote right after one ident char ('x' is a char, 'xy is a
+            // lifetime... actually 'x' has the trailing quote).
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal.
+                let start = i;
+                i += 2; // skip '\ and the escape head
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                advance_lines(&b, start, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal(b[start..i].iter().collect()),
+                    line,
+                });
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                // 'x'
+                out.tokens.push(Token {
+                    tok: Tok::Literal(b[i..i + 3].iter().collect()),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: consume ident chars.
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Lifetime,
+                line,
+            });
+            i = j.max(i + 1);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(b[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Number: digits plus alphanumerics/underscores (covers hex,
+        // suffixes), one optional fractional part. `0..n` must not eat
+        // the range dots.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Num,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unsafe in a comment
+            let s = "unsafe { lock() }";
+            let r = r#"Ordering::Relaxed"#;
+            /* nested /* unsafe */ still comment */
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"Ordering".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Literal(_)))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..n { x[i] = 1_000; }";
+        let lexed = lex(src);
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes_still_allow_plain_idents() {
+        let ids = idents("let b = buffer; let r = rings;");
+        assert!(ids.contains(&"buffer".to_string()));
+        assert!(ids.contains(&"rings".to_string()));
+    }
+}

@@ -1,0 +1,78 @@
+//! `schedlint` — the workspace concurrency-invariant analyzer.
+//!
+//! The paper's whole failure mode is an invariant violation: a worker
+//! preempted inside a spinlock-protected critical section stalls every
+//! sibling. This reproduction now leans on a pile of informal rules —
+//! which atomics publish data, which orderings are load-bearing, what
+//! may happen while a `MutexGuard` is live, which counters the
+//! observability stack expects — and this crate machine-checks them on
+//! every CI run (`cargo run -p schedlint`).
+//!
+//! Five rule families, each with positive/negative fixtures under
+//! `tests/fixtures/`:
+//!
+//! | rule  | checks |
+//! |-------|--------|
+//! | SL001 | too-weak ordering on a registered atomic (`Relaxed` publish on a `handoff` atomic, sub-`SeqCst` on a Dekker-protocol atomic) |
+//! | SL002 | over-strong ordering (`SeqCst` where `AcqRel` suffices on a `handoff` atomic, anything above `Relaxed` on a statistic) |
+//! | SL003 | an atomic declared in a registry crate without a `sched-atomic(...)` annotation |
+//! | SL010 | a cycle in the cross-function lock-order graph (potential deadlock) |
+//! | SL011 | nested acquisition of the same lock name in one function (self-deadlock with non-reentrant `parking_lot` locks) |
+//! | SL020 | a blocking call (sleep/park/UDS I/O/foreign condvar wait) while a `MutexGuard` is live — the static analogue of the paper's preempted-lock-holder pathology |
+//! | SL030 | a counter registered in `native_rt::stats` with no increment site, or missing from the DESIGN.md catalog; a dynamic registration with no `sched-counters` annotation |
+//! | SL040 | an `unsafe` block/impl/fn with no `// SAFETY:` comment |
+//!
+//! There is no `syn` in the offline build environment, so the analyzer
+//! runs on its own minimal lexer ([`lexer`]) and token-pattern matching
+//! — the same in-tree-substitute policy as `shims/*`. The blind spots
+//! that buys (macro-generated code, aliased names, cross-function guard
+//! flow) are listed in DESIGN.md §11; triaged exceptions go to the
+//! checked-in `schedlint.toml` allowlist, each with a justification.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod workspace;
+
+pub use allowlist::{Allowlist, AllowlistError};
+pub use model::{AtomicCategory, FileModel};
+pub use workspace::{analyze_workspace, collect_files, Config};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `SL010`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Runs every rule over pre-parsed models. `config` carries the
+/// registry-crate scope and the counter-catalog document.
+pub fn run_rules(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(rules::atomics::check(models, config));
+    diags.extend(rules::locks::check(models));
+    diags.extend(rules::counters::check(models, config));
+    diags.extend(rules::unsafety::check(models));
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    diags
+}

@@ -1,0 +1,91 @@
+//! `cargo run -p schedlint` — the CI gate.
+//!
+//! Exit codes: 0 clean (possibly with allowlisted findings), 1 findings
+//! or stale allowlist entries, 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use schedlint::{analyze_workspace, Allowlist, Config};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("schedlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "schedlint — workspace concurrency-invariant analyzer\n\n\
+                     USAGE: schedlint [--root <workspace-root>]\n\n\
+                     Scans crates/*/src/**/*.rs and enforces SL001..SL040 (see\n\
+                     crates/schedlint/src/lib.rs for the rule catalog). Findings are\n\
+                     filtered through the checked-in schedlint.toml allowlist; unused\n\
+                     allowlist entries fail the run."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("schedlint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| schedlint::workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("schedlint: no workspace root found (no ancestor with crates/ + Cargo.toml)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = Config::load(&root);
+    let allowlist = match std::fs::read_to_string(root.join("schedlint.toml")) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("schedlint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let diags = analyze_workspace(&root, &config);
+    let total = diags.len();
+    let (remaining, excused, unused) = allowlist.apply(diags);
+
+    for d in &remaining {
+        println!("{d}");
+    }
+    for e in &unused {
+        println!(
+            "schedlint.toml:{}: unused allowlist entry ({}) — the finding it excused is \
+             gone; remove the entry",
+            e.line,
+            e.describe()
+        );
+    }
+    eprintln!(
+        "schedlint: {} finding(s): {} failing, {} allowlisted, {} stale allowlist entr(y/ies)",
+        total,
+        remaining.len(),
+        excused,
+        unused.len()
+    );
+    if remaining.is_empty() && unused.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

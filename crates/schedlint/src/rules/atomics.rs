@@ -1,0 +1,257 @@
+//! SL001/SL002/SL003 — the atomics-ordering audit.
+//!
+//! Keyed off the annotated registry: every atomic declaration in a
+//! registry crate carries a `// sched-atomic(<category>): <why>`
+//! comment (`handoff`, `seqcst`, `relaxed`, `verified` — see
+//! [`AtomicCategory`]). Usages are matched *by receiver name within the
+//! declaring crate*: `sh.suspended_flags[v].store(…, Relaxed)` is
+//! checked against the `suspended_flags` declaration. Loads, stores,
+//! and RMWs are classified separately; for `compare_exchange*` and
+//! `fetch_update` the *success* ordering (first `Ordering` argument) is
+//! the one checked.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Tok;
+use crate::model::{AtomicCategory, FileModel};
+use crate::rules::{match_paren, receiver_name};
+use crate::workspace::Config;
+use crate::Diagnostic;
+
+const LOAD_OPS: &[&str] = &["load"];
+const STORE_OPS: &[&str] = &["store"];
+const RMW_OPS: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Strength ladder for "too weak / too strong" wording.
+fn is_relaxed(o: &str) -> bool {
+    o == "Relaxed"
+}
+
+pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Crate-scoped registry: (crate, name) → category. Conflicting
+    // annotations for the same name inside one crate are an error — the
+    // name is the key usages are matched by.
+    let mut registry: BTreeMap<(String, String), (AtomicCategory, String, u32)> = BTreeMap::new();
+    for m in models {
+        for d in &m.atomic_decls {
+            let Some(cat) = d.category else {
+                if config.registry_crates.iter().any(|c| c == &m.crate_name) {
+                    diags.push(Diagnostic {
+                        rule: "SL003",
+                        path: m.path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "atomic `{}` has no `sched-atomic(...)` annotation; declare its role \
+                             (handoff|seqcst|relaxed|verified) so the ordering audit covers it",
+                            d.name
+                        ),
+                    });
+                }
+                continue;
+            };
+            let key = (m.crate_name.clone(), d.name.clone());
+            if let Some((prev, ppath, pline)) = registry.get(&key) {
+                if *prev != cat {
+                    diags.push(Diagnostic {
+                        rule: "SL003",
+                        path: m.path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "atomic `{}` annotated `{}` here but `{}` at {}:{} — same name, same \
+                             crate, categories must agree",
+                            d.name,
+                            cat.name(),
+                            prev.name(),
+                            ppath,
+                            pline
+                        ),
+                    });
+                }
+            } else {
+                registry.insert(key, (cat, m.path.clone(), d.line));
+            }
+        }
+    }
+
+    for m in models {
+        for i in 0..m.tokens.len() {
+            let Tok::Ident(op) = &m.tokens[i].tok else {
+                continue;
+            };
+            let kind = if LOAD_OPS.contains(&op.as_str()) {
+                OpKind::Load
+            } else if STORE_OPS.contains(&op.as_str()) {
+                OpKind::Store
+            } else if RMW_OPS.contains(&op.as_str()) {
+                OpKind::Rmw
+            } else {
+                continue;
+            };
+            // Must be a method call: `.op(`.
+            if i == 0
+                || !matches!(m.tokens[i - 1].tok, Tok::Punct('.'))
+                || !matches!(m.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+            {
+                continue;
+            }
+            if m.in_tests(i) {
+                continue;
+            }
+            let Some(recv) = receiver_name(m, i - 1) else {
+                continue;
+            };
+            let Some((cat, _, _)) = registry.get(&(m.crate_name.clone(), recv.clone())) else {
+                continue;
+            };
+            if *cat == AtomicCategory::Verified {
+                continue;
+            }
+            // The success ordering: first `Ordering::X` path inside the
+            // call's parentheses.
+            let close = match_paren(m, i + 1);
+            let Some(ord) = first_ordering(m, i + 2, close) else {
+                continue; // no explicit ordering (e.g. a same-named non-atomic method)
+            };
+            let line = m.tokens[i].line;
+            let diag = |rule: &'static str, message: String| Diagnostic {
+                rule,
+                path: m.path.clone(),
+                line,
+                message,
+            };
+            match cat {
+                AtomicCategory::Handoff => {
+                    if is_relaxed(ord) && kind != OpKind::Load {
+                        diags.push(diag(
+                            "SL001",
+                            format!(
+                                "`{recv}` is a hand-off atomic: `{op}` with `Ordering::Relaxed` \
+                                 publishes data without a release edge (readers may see the flag \
+                                 before the data it guards)"
+                            ),
+                        ));
+                    } else if is_relaxed(ord) && kind == OpKind::Load {
+                        diags.push(diag(
+                            "SL001",
+                            format!(
+                                "`{recv}` is a hand-off atomic: a `Relaxed` load misses the \
+                                 acquire edge pairing with its release store"
+                            ),
+                        ));
+                    } else if ord == "SeqCst" {
+                        diags.push(diag(
+                            "SL002",
+                            format!(
+                                "`{recv}` is a pairwise hand-off: `SeqCst` buys a total order \
+                                 nothing consumes — `AcqRel`/`Release`/`Acquire` suffices"
+                            ),
+                        ));
+                    }
+                }
+                AtomicCategory::SeqCst => {
+                    if ord != "SeqCst" {
+                        diags.push(diag(
+                            "SL001",
+                            format!(
+                                "`{recv}` is part of a Dekker-style store-load protocol: \
+                                 `{op}` must use `Ordering::SeqCst`, found `{ord}` (the \
+                                 handshake reorders without the total order)"
+                            ),
+                        ));
+                    }
+                }
+                AtomicCategory::Relaxed => {
+                    if !is_relaxed(ord) {
+                        diags.push(diag(
+                            "SL002",
+                            format!(
+                                "`{recv}` is a statistic/hint (`sched-atomic(relaxed)`): \
+                                 `{ord}` adds fence cost on a hot path for no synchronization \
+                                 benefit"
+                            ),
+                        ));
+                    }
+                }
+                AtomicCategory::Verified => unreachable!(),
+            }
+        }
+    }
+    diags
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// The first `…::<ordering>` path between token indices `from..to`.
+fn first_ordering(m: &FileModel, from: usize, to: usize) -> Option<&str> {
+    for j in from..to.min(m.tokens.len()) {
+        if let Tok::Ident(w) = &m.tokens[j].tok {
+            if ORDERINGS.contains(&w.as_str())
+                && j >= 2
+                && matches!(m.tokens[j - 1].tok, Tok::Punct(':'))
+                && matches!(m.tokens[j - 2].tok, Tok::Punct(':'))
+            {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse("f.rs", "native-rt", src);
+        check(&[m], &Config::for_tests())
+    }
+
+    #[test]
+    fn relaxed_publish_on_handoff_fires() {
+        let d = run(r#"
+struct S { flag: AtomicBool } // sched-atomic(handoff): publishes drain.
+fn f(s: &S) { s.flag.store(true, Ordering::Relaxed); }
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL001");
+    }
+
+    #[test]
+    fn release_on_handoff_is_clean_and_seqcst_overstrong() {
+        let d = run(r#"
+struct S { flag: AtomicBool } // sched-atomic(handoff): publishes drain.
+fn ok(s: &S) { s.flag.store(true, Ordering::Release); }
+fn strong(s: &S) { s.flag.store(true, Ordering::SeqCst); }
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL002");
+    }
+
+    #[test]
+    fn unannotated_atomic_in_registry_crate_fires_sl003() {
+        let d = run("struct S { n: AtomicUsize }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "SL003");
+    }
+}

@@ -1,0 +1,192 @@
+//! SL030 — counter conservation.
+//!
+//! Every counter registered against `native_rt::stats` must (a) have an
+//! increment site somewhere in its crate (a registered-but-never-bumped
+//! counter silently reads 0 in every REPORT/STATS export and masquerades
+//! as "nothing happened"), and (b) appear in the DESIGN.md counter
+//! catalog, which is what operators grep when a REPORT field surprises
+//! them. Dynamic registrations (`&format!(...)`) can't be tied to an
+//! increment site by name, so they must carry a
+//! `// sched-counters: name1 name2 …` annotation enumerating the names
+//! they mint; the catalog check then runs on those.
+
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::workspace::Config;
+use crate::Diagnostic;
+
+pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        if !config.registry_crates.iter().any(|c| c == &m.crate_name) {
+            continue;
+        }
+        for reg in &m.counter_regs {
+            if reg.unannotated_dynamic {
+                diags.push(Diagnostic {
+                    rule: "SL030",
+                    path: m.path.clone(),
+                    line: reg.line,
+                    message: "dynamic counter registration (non-literal name) without a \
+                              `// sched-counters: name1 name2 …` annotation — the \
+                              conservation check cannot see which counters this mints"
+                        .to_string(),
+                });
+                continue;
+            }
+            // Increment evidence: only demanded of literal registrations
+            // bound to a name. Annotated dynamic sites register through
+            // closures/arrays the name heuristic can't bind.
+            let literal = reg.names.len() == 1 && reg.binding.is_some() || reg.inline_incr;
+            if literal && !reg.inline_incr {
+                let b = reg.binding.as_deref().unwrap();
+                if !binding_incremented(models, &m.crate_name, b) {
+                    diags.push(Diagnostic {
+                        rule: "SL030",
+                        path: m.path.clone(),
+                        line: reg.line,
+                        message: format!(
+                            "counter `{}` (bound as `{b}`) is registered but never \
+                             incremented — it reads 0 in every export and hides the event \
+                             it claims to measure",
+                            reg.names.join(", ")
+                        ),
+                    });
+                }
+            }
+            for name in &reg.names {
+                if !config.counter_doc.contains(&format!("`{name}`")) {
+                    diags.push(Diagnostic {
+                        rule: "SL030",
+                        path: m.path.clone(),
+                        line: reg.line,
+                        message: format!(
+                            "counter `{name}` is missing from the {} catalog — add it \
+                             (with when-it-moves semantics) so REPORT/STATS consumers can \
+                             interpret it",
+                            config.counter_doc_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Does `binding` get `.incr()`/`.add(` anywhere in its crate (directly
+/// or through an index: `tiers[i].incr()`)?
+fn binding_incremented(models: &[FileModel], krate: &str, binding: &str) -> bool {
+    for m in models {
+        if m.crate_name != krate {
+            continue;
+        }
+        for i in 0..m.tokens.len() {
+            let Tok::Ident(w) = &m.tokens[i].tok else {
+                continue;
+            };
+            if w != binding {
+                continue;
+            }
+            let mut j = i + 1;
+            // Skip one index expression.
+            if matches!(m.tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+                let mut depth = 0isize;
+                while j < m.tokens.len() {
+                    match m.tokens[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if matches!(m.tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('.')))
+                && matches!(
+                    m.tokens.get(j + 1).map(|t| &t.tok),
+                    Some(Tok::Ident(op)) if op == "incr" || op == "add"
+                )
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, doc: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse("f.rs", "native-rt", src);
+        let mut cfg = Config::for_tests();
+        cfg.counter_doc = doc.to_string();
+        check(&[m], &cfg)
+    }
+
+    #[test]
+    fn registered_and_incremented_and_documented_is_clean() {
+        let d = run(
+            r#"
+struct Stats { jobs_run: Counter }
+fn mk(r: &Registry) -> Stats { Stats { jobs_run: r.counter("jobs_run") } }
+fn bump(s: &Stats) { s.jobs_run.incr(); }
+"#,
+            "catalog: `jobs_run` counts completed jobs.",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn never_incremented_counter_fires() {
+        let d = run(
+            r#"
+struct Stats { ghosts: Counter }
+fn mk(r: &Registry) -> Stats { Stats { ghosts: r.counter("ghosts") } }
+"#,
+            "catalog: `ghosts`.",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL030");
+        assert!(d[0].message.contains("never"));
+    }
+
+    #[test]
+    fn undocumented_counter_fires() {
+        let d = run(
+            r#"
+struct Stats { drops: Counter }
+fn mk(r: &Registry) -> Stats { Stats { drops: r.counter("drops") } }
+fn bump(s: &Stats) { s.drops.incr(); }
+"#,
+            "catalog has other things only.",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("missing from"));
+    }
+
+    #[test]
+    fn dynamic_registration_needs_annotation() {
+        let bad = r#"
+fn mk(r: &Registry) { let tiers = make(|i| r.counter(&format!("tier_{}", i))); }
+"#;
+        let good = r#"
+fn mk(r: &Registry) {
+    // sched-counters: tier_0 tier_1
+    let tiers = make(|i| r.counter(&format!("tier_{}", i)));
+}
+"#;
+        let d = run(bad, "");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("sched-counters"));
+        let d = run(good, "`tier_0` `tier_1`");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

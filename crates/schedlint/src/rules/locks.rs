@@ -1,0 +1,497 @@
+//! SL010/SL011/SL020 — lock-order and blocking-under-lock analysis.
+//!
+//! This is the static analogue of the paper's core pathology: a process
+//! preempted (or blocked) while holding a lock stalls every sibling
+//! spinning on it. Per function we track live `MutexGuard`s with a
+//! scope/`drop()` heuristic; nested acquisitions become edges in a
+//! crate-scoped lock-order graph (cycle ⇒ SL010), same-name nesting is
+//! an immediate self-deadlock with non-reentrant `parking_lot` locks
+//! (SL011), and a blocking call while any guard is live is SL020.
+//!
+//! Cross-function flow is one level deep: holding guard `A` while
+//! calling a same-crate function that acquires `B` adds edge `A → B`.
+//! Guards passed *into* functions and closures shipped to other threads
+//! are the known blind spots (DESIGN.md §11).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::rules::{match_paren, receiver_name};
+use crate::Diagnostic;
+
+/// Calls that block the calling thread. Deliberately *not* listed:
+/// `join` (collides with `slice::join`/`str::join`), `yield_now`
+/// (bounded), `write`/`read` (collide with `io::Write`/RwLock naming).
+const BLOCKING: &[&str] = &[
+    "sleep",
+    "sleep_ms",
+    "park",
+    "park_timeout",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "accept",
+    "connect",
+    "recv",
+    "recv_timeout",
+    "recv_from",
+    "send_to",
+];
+
+const WAITS: &[&str] = &["wait", "wait_while", "wait_timeout", "wait_timeout_while"];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Receiver name of the `.lock()` call — the lock's identity.
+    lock: String,
+    /// The `let` binding holding the guard, when there is one.
+    bind: Option<String>,
+    /// Brace depth the guard lives at; it dies when depth drops below.
+    birth_depth: i32,
+    /// Unbound temporary: dies at the end of its statement.
+    temp: bool,
+}
+
+/// A lock-order edge with its witness site.
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: u32,
+    via: Option<String>,
+}
+
+pub(crate) fn check(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Pass 1: per-function direct analysis. Also records, per
+    // (crate, fn-name), the set of locks the function acquires, and the
+    // calls made while guards were held.
+    let mut fn_locks: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut known_fns: BTreeSet<(String, String)> = BTreeSet::new();
+    // (crate, held-locks, callee, path, line)
+    let mut held_calls: Vec<(String, Vec<String>, String, String, u32)> = Vec::new();
+    // (crate, from, to) → witness
+    let mut edges: BTreeMap<(String, String, String), Edge> = BTreeMap::new();
+
+    for m in models {
+        for f in &m.functions {
+            known_fns.insert((m.crate_name.clone(), f.name.clone()));
+        }
+    }
+
+    for m in models {
+        for f in &m.functions {
+            if m.in_tests(f.body_start) {
+                continue;
+            }
+            let mut depth: i32 = 0;
+            let mut guards: Vec<Guard> = Vec::new();
+            let mut i = f.body_start;
+            while i < f.body_end.min(m.tokens.len()) {
+                let line = m.tokens[i].line;
+                match &m.tokens[i].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        guards.retain(|g| g.birth_depth <= depth);
+                    }
+                    Tok::Punct(';') => {
+                        guards.retain(|g| !(g.temp && g.birth_depth == depth));
+                    }
+                    Tok::Ident(w) if w == "drop" && punct(m, i + 1, '(') => {
+                        if let Some(Tok::Ident(victim)) = m.tokens.get(i + 2).map(|t| &t.tok) {
+                            if punct(m, i + 3, ')') {
+                                guards.retain(|g| {
+                                    g.bind.as_deref() != Some(victim.as_str()) && g.lock != *victim
+                                });
+                            }
+                        }
+                    }
+                    Tok::Ident(w) if w == "lock" && punct(m, i + 1, '(') && is_method(m, i) => {
+                        if let Some(lock) = receiver_name(m, i - 1) {
+                            for g in &guards {
+                                if g.lock == lock {
+                                    diags.push(Diagnostic {
+                                        rule: "SL011",
+                                        path: m.path.clone(),
+                                        line,
+                                        message: format!(
+                                            "`{}` acquires `{}` while already holding it — \
+                                             parking_lot mutexes are not reentrant; this \
+                                             self-deadlocks",
+                                            f.name, lock
+                                        ),
+                                    });
+                                } else {
+                                    edges
+                                        .entry((m.crate_name.clone(), g.lock.clone(), lock.clone()))
+                                        .or_insert(Edge {
+                                            path: m.path.clone(),
+                                            line,
+                                            via: None,
+                                        });
+                                }
+                            }
+                            fn_locks
+                                .entry((m.crate_name.clone(), f.name.clone()))
+                                .or_default()
+                                .insert(lock.clone());
+                            let (mut bind, cond) = binding_for(m, f.body_start, i);
+                            // `mu.lock().pop_front()` chains past the
+                            // guard: whatever a `let` binds, it is not
+                            // the guard, which dies at the semicolon.
+                            // (`.unwrap()`/`.expect()` still yield the
+                            // guard — std Mutex style.)
+                            let mut j = match_paren(m, i + 1);
+                            while punct(m, j, '.')
+                                && matches!(
+                                    m.tokens.get(j + 1).map(|t| &t.tok),
+                                    Some(Tok::Ident(w)) if w == "unwrap" || w == "expect"
+                                )
+                                && punct(m, j + 2, '(')
+                            {
+                                j = match_paren(m, j + 2);
+                            }
+                            let chained = punct(m, j, '.');
+                            if chained {
+                                bind = None;
+                            }
+                            guards.push(Guard {
+                                lock,
+                                bind: bind.clone(),
+                                // A guard (or scrutinee temporary —
+                                // edition 2021 keeps it alive) in an
+                                // `if let`/`while let` condition lives
+                                // through the *following* block, one
+                                // level deeper.
+                                birth_depth: if cond { depth + 1 } else { depth },
+                                temp: (bind.is_none() || chained) && !cond,
+                            });
+                        }
+                    }
+                    Tok::Ident(w)
+                        if WAITS.contains(&w.as_str())
+                            && punct(m, i + 1, '(')
+                            && is_method(m, i)
+                            && !guards.is_empty() =>
+                    {
+                        // `cv.wait(&mut g)` releases `g` while parked —
+                        // legal. A wait naming none of our guards parks
+                        // while every held lock stays held.
+                        let close = match_paren(m, i + 1);
+                        let names: BTreeSet<&str> = (i + 2..close.min(m.tokens.len()))
+                            .filter_map(|k| match &m.tokens[k].tok {
+                                Tok::Ident(s) => Some(s.as_str()),
+                                _ => None,
+                            })
+                            .collect();
+                        let foreign = !guards.iter().any(|g| {
+                            g.bind.as_deref().is_some_and(|b| names.contains(b))
+                                || names.contains(g.lock.as_str())
+                        });
+                        if foreign {
+                            diags.push(Diagnostic {
+                                rule: "SL020",
+                                path: m.path.clone(),
+                                line,
+                                message: format!(
+                                    "`{}` waits on a condvar that releases none of the held \
+                                     guards ({}) — the paper's preempted-lock-holder stall, \
+                                     made unconditional",
+                                    f.name,
+                                    held_list(&guards)
+                                ),
+                            });
+                        }
+                    }
+                    Tok::Ident(w)
+                        if BLOCKING.contains(&w.as_str())
+                            && punct(m, i + 1, '(')
+                            && (is_method(m, i) || is_path_call(m, i))
+                            && !guards.is_empty() =>
+                    {
+                        diags.push(Diagnostic {
+                            rule: "SL020",
+                            path: m.path.clone(),
+                            line,
+                            message: format!(
+                                "`{}` calls blocking `{}` while holding {} — a descheduled \
+                                 lock holder stalls every thread contending for it",
+                                f.name,
+                                w,
+                                held_list(&guards)
+                            ),
+                        });
+                    }
+                    Tok::Ident(callee)
+                        if punct(m, i + 1, '(')
+                            && !guards.is_empty()
+                            && known_fns.contains(&(m.crate_name.clone(), callee.clone()))
+                            && callee != &f.name =>
+                    {
+                        held_calls.push((
+                            m.crate_name.clone(),
+                            guards.iter().map(|g| g.lock.clone()).collect(),
+                            callee.clone(),
+                            m.path.clone(),
+                            line,
+                        ));
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Pass 2: one-level cross-function edges — holding `A` across a call
+    // into a function that acquires `B` orders A before B; acquiring a
+    // lock already held is a self-deadlock even through the call.
+    for (krate, held, callee, path, line) in &held_calls {
+        let Some(locks) = fn_locks.get(&(krate.clone(), callee.clone())) else {
+            continue;
+        };
+        for h in held {
+            for l in locks {
+                if h == l {
+                    diags.push(Diagnostic {
+                        rule: "SL011",
+                        path: path.clone(),
+                        line: *line,
+                        message: format!(
+                            "calls `{callee}` (which acquires `{l}`) while already holding \
+                             `{h}` — non-reentrant acquisition through the call"
+                        ),
+                    });
+                } else {
+                    edges
+                        .entry((krate.clone(), h.clone(), l.clone()))
+                        .or_insert(Edge {
+                            path: path.clone(),
+                            line: *line,
+                            via: Some(callee.clone()),
+                        });
+                }
+            }
+        }
+    }
+
+    // Pass 3: cycles in the per-crate lock-order graph.
+    diags.extend(find_cycles(&edges));
+    diags
+}
+
+fn punct(m: &FileModel, i: usize, c: char) -> bool {
+    matches!(m.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn is_method(m: &FileModel, i: usize) -> bool {
+    i > 0 && matches!(m.tokens[i - 1].tok, Tok::Punct('.'))
+}
+
+fn is_path_call(m: &FileModel, i: usize) -> bool {
+    i > 0 && matches!(m.tokens[i - 1].tok, Tok::Punct(':'))
+}
+
+fn held_list(guards: &[Guard]) -> String {
+    let names: Vec<String> = guards.iter().map(|g| format!("`{}`", g.lock)).collect();
+    names.join(", ")
+}
+
+/// Looks back from the `.lock()` call to the statement head for a
+/// `let [mut] NAME =` binding; also reports whether the binding sits in
+/// an `if let`/`while let` condition.
+fn binding_for(m: &FileModel, body_start: usize, i: usize) -> (Option<String>, bool) {
+    let mut j = i;
+    let mut toks: Vec<&Tok> = Vec::new();
+    while j > body_start {
+        j -= 1;
+        match &m.tokens[j].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            t => toks.push(t),
+        }
+        if toks.len() > 24 {
+            break;
+        }
+    }
+    toks.reverse(); // statement head → lock call, in source order
+    let mut bind = None;
+    let mut cond = false;
+    for (k, t) in toks.iter().enumerate() {
+        if let Tok::Ident(w) = t {
+            match w.as_str() {
+                "if" | "while" => cond = true,
+                "let" => {
+                    let mut n = k + 1;
+                    while let Some(Tok::Ident(next)) = toks.get(n) {
+                        if next == "mut" {
+                            n += 1;
+                            continue;
+                        }
+                        bind = Some(next.to_string());
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // `if cond { ... }` without `let` is not a condition binding.
+    (bind, cond)
+}
+
+/// DFS over the lock graph; a gray-node hit yields the cycle from the
+/// current path. Cycles are canonicalized (rotated to their smallest
+/// node) so each is reported once, at its first edge's witness site.
+fn find_cycles(edges: &BTreeMap<(String, String, String), Edge>) -> Vec<Diagnostic> {
+    let mut adj: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (krate, from, to) in edges.keys() {
+        adj.entry((krate.clone(), from.clone()))
+            .or_default()
+            .push(to.clone());
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut diags = Vec::new();
+    let nodes: Vec<(String, String)> = adj.keys().cloned().collect();
+    for start in &nodes {
+        let mut path: Vec<String> = vec![start.1.clone()];
+        let mut stack: Vec<(String, usize)> = vec![(start.1.clone(), 0)];
+        let mut on_path: BTreeSet<String> = [start.1.clone()].into();
+        let krate = &start.0;
+        while let Some((node, next)) = stack.last().cloned() {
+            let succs = adj
+                .get(&(krate.clone(), node.clone()))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            if next >= succs.len() {
+                stack.pop();
+                path.pop();
+                on_path.remove(&node);
+                continue;
+            }
+            stack.last_mut().unwrap().1 += 1;
+            let succ = succs[next].clone();
+            if on_path.contains(&succ) {
+                // Cycle: slice of `path` from `succ` to the end.
+                let pos = path.iter().position(|n| n == &succ).unwrap();
+                let mut cycle: Vec<String> = path[pos..].to_vec();
+                let min = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, n)| n.as_str())
+                    .map(|(k, _)| k)
+                    .unwrap();
+                cycle.rotate_left(min);
+                if seen_cycles.insert(cycle.clone()) {
+                    let from = &cycle[0];
+                    let to = &cycle[1 % cycle.len()];
+                    let w = &edges[&(krate.clone(), from.clone(), to.clone())];
+                    let mut desc = cycle.join("` → `");
+                    desc.push_str("` → `");
+                    desc.push_str(&cycle[0]);
+                    let via = w
+                        .via
+                        .as_ref()
+                        .map(|f| format!(" (edge via call to `{f}`)"))
+                        .unwrap_or_default();
+                    diags.push(Diagnostic {
+                        rule: "SL010",
+                        path: w.path.clone(),
+                        line: w.line,
+                        message: format!(
+                            "lock-order cycle in crate `{krate}`: `{desc}` — two threads \
+                             taking these in opposite order deadlock{via}"
+                        ),
+                    });
+                }
+                continue;
+            }
+            if adj.contains_key(&(krate.clone(), succ.clone())) {
+                on_path.insert(succ.clone());
+                path.push(succ.clone());
+                stack.push((succ, 0));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse("f.rs", "c", src);
+        check(&[m])
+    }
+
+    #[test]
+    fn opposite_order_is_a_cycle() {
+        let d = run(r#"
+fn ab(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+fn ba(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }
+"#);
+        assert_eq!(d.iter().filter(|d| d.rule == "SL010").count(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = run(r#"
+fn one(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+fn two(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_lock_nesting_is_sl011_direct_and_through_call() {
+        let d = run(r#"
+fn direct(s: &S) { let a = s.mu.lock(); let b = s.mu.lock(); }
+fn helper(s: &S) { let g = s.mu.lock(); }
+fn through(s: &S) { let a = s.mu.lock(); helper(s); }
+"#);
+        assert_eq!(d.iter().filter(|d| d.rule == "SL011").count(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn blocking_under_lock_fires_and_scope_end_clears() {
+        let d = run(r#"
+fn bad(s: &S) { let g = s.mu.lock(); thread::sleep(D); }
+fn scoped(s: &S) { { let g = s.mu.lock(); } thread::sleep(D); }
+fn dropped(s: &S) { let g = s.mu.lock(); drop(g); thread::sleep(D); }
+fn temp(s: &S) { s.mu.lock().x = 1; thread::sleep(D); }
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL020");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn condvar_wait_on_held_guard_is_legal_foreign_wait_is_not() {
+        let d = run(r#"
+fn ok(s: &S) { let mut g = s.mu.lock(); while !*g { s.cv.wait(&mut g); } }
+fn bad(s: &S) { let g = s.mu.lock(); s.other_cv.wait(&mut unrelated); }
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL020");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn if_let_guard_dies_with_its_block() {
+        let d = run(r#"
+fn f(s: &S) {
+    if let g = s.mu.lock() {
+        g.touch();
+    }
+    thread::sleep(D);
+}
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

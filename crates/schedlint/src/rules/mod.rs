@@ -1,0 +1,65 @@
+//! The rule implementations. Each module exposes
+//! `check(models, …) -> Vec<Diagnostic>`.
+
+pub mod atomics;
+pub mod counters;
+pub mod locks;
+pub mod unsafety;
+
+use crate::lexer::Tok;
+use crate::model::FileModel;
+
+/// Extracts the receiver *name* of a method call whose `.` sits at token
+/// index `dot` — the last field in the access chain, skipping an index
+/// expression: `self.inner.top` → `top`, `sh.flags[victim]` → `flags`,
+/// `SHUTDOWN` → `SHUTDOWN`. Returns `None` for computed receivers
+/// (`foo().bar`, `(*ptr).bar`, tuple fields).
+pub(crate) fn receiver_name(m: &FileModel, dot: usize) -> Option<String> {
+    let mut i = dot;
+    // Skip a trailing index `[ … ]`.
+    if i > 0 && matches!(m.tokens[i - 1].tok, Tok::Punct(']')) {
+        let mut depth = 0isize;
+        let mut j = i - 1;
+        loop {
+            match m.tokens[j].tok {
+                Tok::Punct(']') => depth += 1,
+                Tok::Punct('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        i = j;
+    }
+    match m.tokens.get(i.checked_sub(1)?).map(|t| &t.tok) {
+        Some(Tok::Ident(name)) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// The index one past the `)` closing the `(` at `open`.
+pub(crate) fn match_paren(m: &FileModel, open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < m.tokens.len() {
+        match m.tokens[i].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    m.tokens.len()
+}

@@ -1,0 +1,110 @@
+//! SL040 — undocumented `unsafe`.
+//!
+//! Every `unsafe` block, `unsafe impl`, and `unsafe fn` must carry a
+//! `// SAFETY:` comment ending at most four lines above it (or sitting
+//! on the same line). For `unsafe fn`, a `/// # Safety` doc section
+//! also satisfies the rule — that is where the *caller's* obligations
+//! belong. Unlike the concurrency rules this one runs in test code too:
+//! an unjustified `unsafe` is exactly as unsound under `#[test]`.
+
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::Diagnostic;
+
+/// How close (in lines) the justifying comment must end to its `unsafe`.
+const WINDOW: u32 = 4;
+
+pub(crate) fn check(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        for i in 0..m.tokens.len() {
+            if !matches!(&m.tokens[i].tok, Tok::Ident(w) if w == "unsafe") {
+                continue;
+            }
+            let line = m.tokens[i].line;
+            let kind = match m.tokens.get(i + 1).map(|t| &t.tok) {
+                Some(Tok::Ident(w)) if w == "impl" => "unsafe impl",
+                Some(Tok::Ident(w)) if w == "fn" => "unsafe fn",
+                Some(Tok::Ident(w)) if w == "extern" || w == "trait" => "unsafe item",
+                _ => "unsafe block",
+            };
+            let documented = m.comments.iter().any(|c| {
+                let near = (c.end_line <= line && line - c.end_line <= WINDOW)
+                    || (c.start_line <= line && c.end_line >= line);
+                near && (c.text.contains("SAFETY:")
+                    || (kind == "unsafe fn" && c.text.contains("# Safety")))
+            });
+            if !documented {
+                diags.push(Diagnostic {
+                    rule: "SL040",
+                    path: m.path.clone(),
+                    line,
+                    message: format!(
+                        "{kind} without a `// SAFETY:` comment — state the invariant that \
+                         makes this sound (and who upholds it)"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse("f.rs", "c", src);
+        check(&[m])
+    }
+
+    #[test]
+    fn documented_block_and_impl_are_clean() {
+        let d = run(r#"
+// SAFETY: slot is initialized before the flag is published.
+let v = unsafe { slot.assume_init() };
+// SAFETY: the buffer owns no interior references; Send is sound.
+unsafe impl Send for Buffer {}
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn undocumented_block_fires() {
+        let d = run("let v = unsafe { slot.assume_init() };\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "SL040");
+        assert!(d[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn non_safety_comment_does_not_count() {
+        let d = run(r#"
+// this is fine, trust me
+unsafe impl Sync for Buffer {}
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_doc_safety_section() {
+        let d = run(r#"
+/// Reads the slot.
+///
+/// # Safety
+/// Caller must ensure the slot was published.
+pub unsafe fn read_slot() {}
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let d = run(r#"
+// unsafe in a comment is words, not code
+let s = "unsafe { }";
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

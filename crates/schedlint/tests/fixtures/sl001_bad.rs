@@ -1,0 +1,21 @@
+// Fixture: SL001 — too-weak orderings on registered atomics.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct Shared {
+    // sched-atomic(handoff): publishes the drained queue to stealers.
+    drained: AtomicBool,
+    // sched-atomic(seqcst): Dekker handshake with the producer.
+    nsleepers: AtomicUsize,
+}
+
+fn publish(s: &Shared) {
+    s.drained.store(true, Ordering::Relaxed); // SL001: Relaxed publish
+}
+
+fn consume(s: &Shared) -> bool {
+    s.drained.load(Ordering::Relaxed) // SL001: Relaxed load of a hand-off
+}
+
+fn sleepy(s: &Shared) {
+    s.nsleepers.fetch_add(1, Ordering::AcqRel); // SL001: Dekker needs SeqCst
+}

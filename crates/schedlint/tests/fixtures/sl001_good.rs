@@ -1,0 +1,21 @@
+// Fixture: SL001 clean — orderings match the declared categories.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct Shared {
+    // sched-atomic(handoff): publishes the drained queue to stealers.
+    drained: AtomicBool,
+    // sched-atomic(seqcst): Dekker handshake with the producer.
+    nsleepers: AtomicUsize,
+}
+
+fn publish(s: &Shared) {
+    s.drained.store(true, Ordering::Release);
+}
+
+fn consume(s: &Shared) -> bool {
+    s.drained.load(Ordering::Acquire)
+}
+
+fn sleepy(s: &Shared) {
+    s.nsleepers.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,17 @@
+// Fixture: SL002 clean.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Shared {
+    // sched-atomic(handoff): pairwise publish; AcqRel suffices.
+    flag: AtomicBool,
+    // sched-atomic(relaxed): pure statistic.
+    hits: AtomicU64,
+}
+
+fn publish(s: &Shared) {
+    s.flag.store(true, Ordering::Release);
+}
+
+fn count(s: &Shared) {
+    s.hits.fetch_add(1, Ordering::Relaxed);
+}

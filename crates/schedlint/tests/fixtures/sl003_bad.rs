@@ -1,0 +1,6 @@
+// Fixture: SL003 — unannotated atomic in a registry crate.
+use std::sync::atomic::AtomicUsize;
+
+struct Pool {
+    outstanding: AtomicUsize, // SL003: no sched-atomic(...) annotation
+}

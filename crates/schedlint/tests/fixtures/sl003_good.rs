@@ -1,0 +1,7 @@
+// Fixture: SL003 clean — the declaration states its role.
+use std::sync::atomic::AtomicUsize;
+
+struct Pool {
+    // sched-atomic(handoff): final decrement publishes to wait_idle.
+    outstanding: AtomicUsize,
+}

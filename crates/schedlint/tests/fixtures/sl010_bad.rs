@@ -1,0 +1,12 @@
+// Fixture: SL010 — lock-order cycle across two functions.
+fn submit(s: &Shared) {
+    let q = s.queue.lock();
+    let sl = s.sleepers.lock(); // queue -> sleepers
+    wake(sl, q);
+}
+
+fn drain(s: &Shared) {
+    let sl = s.sleepers.lock();
+    let q = s.queue.lock(); // sleepers -> queue: cycle
+    pull(q, sl);
+}

@@ -1,0 +1,12 @@
+// Fixture: SL010 clean — both paths take queue before sleepers.
+fn submit(s: &Shared) {
+    let q = s.queue.lock();
+    let sl = s.sleepers.lock();
+    wake(sl, q);
+}
+
+fn drain(s: &Shared) {
+    let q = s.queue.lock();
+    let sl = s.sleepers.lock();
+    pull(q, sl);
+}

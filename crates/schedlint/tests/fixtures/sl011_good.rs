@@ -1,0 +1,20 @@
+// Fixture: SL011 clean — the guard is dropped before re-acquisition.
+fn sequential(s: &Shared) {
+    let a = s.state.lock();
+    drop(a);
+    let b = s.state.lock();
+    touch(b);
+}
+
+fn helper(s: &Shared) {
+    let g = s.state.lock();
+    touch(g);
+}
+
+fn calls_after_release(s: &Shared) {
+    {
+        let g = s.state.lock();
+        touch(g);
+    }
+    helper(s);
+}

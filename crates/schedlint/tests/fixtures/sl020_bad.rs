@@ -1,0 +1,17 @@
+// Fixture: SL020 — blocking while a guard is live.
+fn sleepy(s: &Shared) {
+    let g = s.state.lock();
+    std::thread::sleep(std::time::Duration::from_millis(1)); // SL020
+    touch(g);
+}
+
+fn io_under_lock(s: &Shared, stream: &mut Stream) {
+    let g = s.state.lock();
+    stream.write_all(b"REPORT\n"); // SL020: UDS I/O under the state lock
+    touch(g);
+}
+
+fn foreign_wait(s: &Shared) {
+    let g = s.state.lock();
+    s.other_cv.wait(&mut something_else); // SL020: parks with g held
+}

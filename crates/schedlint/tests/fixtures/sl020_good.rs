@@ -1,0 +1,28 @@
+// Fixture: SL020 clean — block only after the guard dies.
+fn sleepy(s: &Shared) {
+    {
+        let g = s.state.lock();
+        touch(g);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn io_after_drop(s: &Shared, stream: &mut Stream) {
+    let reply = {
+        let g = s.state.lock();
+        render(g)
+    };
+    stream.write_all(reply.as_bytes());
+}
+
+fn wait_releases_the_guard(s: &Shared) {
+    let mut g = s.state.lock();
+    while !g.ready {
+        s.cv.wait(&mut g); // legal: wait releases the held guard
+    }
+}
+
+fn temp_guard_is_gone(s: &Shared) {
+    s.state.lock().counter += 1;
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,16 @@
+// Fixture: SL030 clean — incremented, catalogued, annotated.
+fn build(registry: &Registry) -> Stats {
+    Stats {
+        jobs_run: registry.counter("jobs_run"),
+    }
+}
+
+fn dynamic(registry: &Registry) {
+    // sched-counters: steal_tier_smt steal_tier_llc
+    let tiers = make(|i| registry.counter(&format!("steal_tier_{}", NAMES[i])));
+    keep(tiers);
+}
+
+fn bump(s: &Stats) {
+    s.jobs_run.incr();
+}

@@ -1,0 +1,11 @@
+// Fixture: SL040 — undocumented unsafe.
+unsafe impl Send for Buffer {} // SL040: no SAFETY comment
+
+fn read(slot: &Slot) -> u64 {
+    // the value is probably fine here
+    unsafe { slot.value.assume_init() } // SL040: comment is not a SAFETY one
+}
+
+pub unsafe fn raw_get(p: *const u64) -> u64 {
+    *p
+}

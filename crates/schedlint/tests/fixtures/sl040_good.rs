@@ -1,0 +1,19 @@
+// Fixture: SL040 clean — every unsafe states its invariant.
+// SAFETY: Buffer owns its allocation and holds no interior references;
+// sending it transfers unique ownership.
+unsafe impl Send for Buffer {}
+
+fn read(slot: &Slot) -> u64 {
+    // SAFETY: the Release store of `ready` happens after init; our
+    // Acquire load of `ready` proves the slot is initialized.
+    unsafe { slot.value.assume_init() }
+}
+
+/// Reads through the pointer.
+///
+/// # Safety
+/// `p` must be valid for reads and properly aligned.
+pub unsafe fn raw_get(p: *const u64) -> u64 {
+    // SAFETY: contract delegated to the caller (see # Safety above).
+    unsafe { *p }
+}

@@ -13,6 +13,7 @@
 //! control on or off ([`ThreadsConfig::with_control`]).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod app;
 mod shared;
