@@ -7,7 +7,13 @@
 //! a seconds-long subset runs and the artifacts get a `_smoke` suffix.
 //! `--pin` pins the stealing engine's workers with `sched_setaffinity`
 //! (artifacts get a `_pin` suffix); `--no-pin` is the explicit default.
+//! `--no-trace` disables the stealing pool's flight recorder (artifacts
+//! get a `_notrace` suffix) — the recorder-off arm of the overhead A/B
+//! in EXPERIMENTS.md. `--trace-out <path>` additionally runs the
+//! two-application fleet drill and writes the merged multi-process
+//! Perfetto timeline (per-app tracks + decision instants) to `path`.
 
+use bench::fleettrace::fleet_drill;
 use bench::poolbench::{results_json, results_table, results_trace, run_config, speedups, suite};
 use bench::report::write_result;
 
@@ -15,12 +21,23 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
     let pin = args.iter().any(|a| a == "--pin") && !args.iter().any(|a| a == "--no-pin");
-    let cfgs = suite(smoke, pin);
+    let trace = !args.iter().any(|a| a == "--no-trace");
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("pool_bench: --trace-out needs a path");
+            std::process::exit(2);
+        })
+    });
+    let mut cfgs = suite(smoke, pin);
+    for cfg in &mut cfgs {
+        cfg.trace = trace;
+    }
     println!(
-        "pool_bench: {} configurations ({} mode{}) on {} host cpus",
+        "pool_bench: {} configurations ({} mode{}{}) on {} host cpus",
         cfgs.len(),
         if smoke { "smoke" } else { "full" },
         if pin { ", pinned" } else { "" },
+        if trace { "" } else { ", recorder off" },
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
@@ -46,9 +63,10 @@ fn main() {
     }
 
     let suffix = format!(
-        "{}{}",
+        "{}{}{}",
         if smoke { "_smoke" } else { "" },
-        if pin { "_pin" } else { "" }
+        if pin { "_pin" } else { "" },
+        if trace { "" } else { "_notrace" }
     );
     write_result(
         &format!("pool_bench{suffix}.json"),
@@ -58,4 +76,14 @@ fn main() {
         &format!("pool_bench{suffix}_trace.json"),
         &results_trace(&results).render(),
     );
+
+    if let Some(path) = trace_out {
+        let jobs = if smoke { 256 } else { 2_000 };
+        let doc = fleet_drill(jobs).finish().render();
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("pool_bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nfleet timeline (2-app drill): {path}");
+    }
 }

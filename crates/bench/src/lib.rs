@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod fleettrace;
 pub mod observe;
 pub mod poolbench;
 pub mod report;

@@ -102,6 +102,11 @@ pub struct Config {
     /// Pin workers with `sched_setaffinity(2)` (stealing engine only —
     /// the central pool has no affinity support and ignores it).
     pub pin: bool,
+    /// Flight recorder on (the default). `false` sets the stealing
+    /// pool's `trace_capacity` to 0 — the recorder-off arm of the
+    /// overhead A/B in EXPERIMENTS.md. The central pool has no recorder
+    /// either way.
+    pub trace: bool,
     /// Total jobs to run.
     pub jobs: usize,
 }
@@ -212,6 +217,9 @@ pub fn run_config(cfg: &Config) -> Outcome {
         Engine::Stealing => {
             let mut pc = PoolConfig::new(cfg.workers);
             pc.pin = cfg.pin;
+            if !cfg.trace {
+                pc.trace_capacity = 0;
+            }
             AnyPool::Stealing(Arc::new(Pool::with_config(&controller, pc)))
         }
     };
@@ -301,7 +309,9 @@ pub fn run_config(cfg: &Config) -> Outcome {
 
 /// The benchmark matrix. `smoke` shrinks it to a CI-friendly subset;
 /// `pin` turns on worker pinning for the stealing rows (the central pool
-/// has no affinity support, so its rows are always unpinned).
+/// has no affinity support, so its rows are always unpinned). The
+/// flight recorder is on everywhere — flip [`Config::trace`] off
+/// per-config for the overhead A/B.
 pub fn suite(smoke: bool, pin: bool) -> Vec<Config> {
     let (workers, grains, jobs_scale): (&[usize], &[Grain], usize) = if smoke {
         (&[1, 4], &[Grain::Tiny, Grain::Small], 1)
@@ -334,6 +344,7 @@ pub fn suite(smoke: bool, pin: bool) -> Vec<Config> {
                             workers: w,
                             controlled,
                             pin: pin && engine == Engine::Stealing,
+                            trace: true,
                             jobs: base * jobs_scale,
                         });
                     }
@@ -545,6 +556,7 @@ mod tests {
                 workers: 2,
                 controlled: false,
                 pin: false,
+                trace: true,
                 jobs: 127,
             };
             let o = run_config(&cfg);
@@ -572,6 +584,7 @@ mod tests {
                 workers: 2,
                 controlled: false,
                 pin: false,
+                trace: true,
                 jobs: 64,
             },
             Config {
@@ -581,6 +594,7 @@ mod tests {
                 workers: 2,
                 controlled: false,
                 pin: true,
+                trace: true,
                 jobs: 64,
             },
         ];

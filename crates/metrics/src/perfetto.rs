@@ -311,6 +311,218 @@ pub fn kernel_trace(trace: &Tracer<KTrace>, num_cpus: usize, end: SimTime) -> Tr
     b
 }
 
+/// Thread id of the per-application "server decisions" track in a
+/// [`sched_timeline`] document — far above any plausible worker index.
+pub const DECISION_TID: u64 = 9_999;
+
+/// A decoded scheduling event from a `native-rt` flight recorder (or a
+/// `uthreads` span mirror). This crate deliberately does not depend on
+/// the runtimes, so callers (e.g. `bench`) convert their event types
+/// into this one before merging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// Nanoseconds since the producing process's clock origin.
+    pub ts_ns: u64,
+    /// Worker index within the application (0 for server decisions).
+    pub worker: u16,
+    /// What happened.
+    pub kind: SchedEventKind,
+    /// Kind-specific argument (wait µs, steal tier, target, …).
+    pub arg: u32,
+}
+
+/// The event vocabulary of the flight recorder, mirrored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedEventKind {
+    /// A worker picked up a job (`arg` = queue wait µs).
+    JobStart,
+    /// A worker finished a running burst (`arg` = jobs in the burst).
+    JobEnd,
+    /// A successful steal (`arg` = topology tier).
+    Steal,
+    /// The worker committed to an idle park.
+    Park,
+    /// The worker woke from an idle park.
+    Unpark,
+    /// The worker suspended itself at a safe point (`arg` = target).
+    Suspend,
+    /// The worker resumed from suspension (`arg` = wake latency µs).
+    Resume,
+    /// The worker observed a CPU-set change (`arg` = generation).
+    CpuSet,
+    /// The worker observed a new decision epoch (`arg` = target).
+    Epoch,
+    /// The worker rebuilt its victim rings (`arg` = new home CPU).
+    Retier,
+    /// A control-server partition decision (`arg` = target).
+    Decision,
+}
+
+/// One application's slice of the fleet: its events (flight-recorder
+/// drains plus any server-journal entries for its pid, which carry the
+/// [`SchedEventKind::Decision`] kind) under one trace process.
+#[derive(Clone, Debug)]
+pub struct AppTimeline {
+    /// Trace-process id (the real pid, or a synthetic one per pool).
+    pub pid: u64,
+    /// Track-group label shown in the UI.
+    pub name: String,
+    /// Events in any order; the merge sorts per application.
+    pub events: Vec<SchedEvent>,
+}
+
+/// Merges per-application flight-recorder streams into one multi-process
+/// Perfetto timeline: one trace process per application, one thread per
+/// worker whose job/suspension slices are reconstructed from the event
+/// stream (a slice closes at the next event on its worker, the same
+/// next-event-boundary scheme as [`kernel_trace`]), instants for steals,
+/// parks, and control observations, and the server's partition decisions
+/// as instants on a dedicated [`DECISION_TID`] track per application.
+///
+/// Timestamps must share one clock origin per producing process (the
+/// flight recorder guarantees this); each track's events come out in
+/// nondecreasing timestamp order.
+pub fn sched_timeline(apps: &[AppTimeline]) -> TraceBuilder {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    enum Open {
+        Job { start_ns: u64, wait_us: u32 },
+        Suspended { start_ns: u64 },
+    }
+
+    let mut b = TraceBuilder::new();
+    for app in apps {
+        b.process_name(app.pid, &app.name);
+        let mut events: Vec<&SchedEvent> = app.events.iter().collect();
+        events.sort_by_key(|e| (e.ts_ns, e.worker));
+        let mut named: BTreeSet<u64> = BTreeSet::new();
+        let mut open: BTreeMap<u16, Open> = BTreeMap::new();
+        let end_ns = events.last().map_or(0, |e| e.ts_ns);
+        let close = |b: &mut TraceBuilder, w: u16, slot: Option<Open>, now_ns: u64| match slot {
+            Some(Open::Job { start_ns, wait_us }) => b.complete(
+                "job",
+                "job",
+                app.pid,
+                w as u64,
+                start_ns as f64 / 1_000.0,
+                now_ns.saturating_sub(start_ns) as f64 / 1_000.0,
+                JsonValue::obj([("wait_us", JsonValue::uint(wait_us as u64))]),
+            ),
+            Some(Open::Suspended { start_ns }) => b.complete(
+                "suspended",
+                "control",
+                app.pid,
+                w as u64,
+                start_ns as f64 / 1_000.0,
+                now_ns.saturating_sub(start_ns) as f64 / 1_000.0,
+                JsonValue::Null,
+            ),
+            None => {}
+        };
+        for e in &events {
+            let (tid, track_label) = if e.kind == SchedEventKind::Decision {
+                (DECISION_TID, "server decisions".to_string())
+            } else {
+                (e.worker as u64, format!("worker {}", e.worker))
+            };
+            if named.insert(tid) {
+                b.thread_name(app.pid, tid, &track_label);
+            }
+            let ts_us = e.ts_ns as f64 / 1_000.0;
+            let arg = JsonValue::uint(e.arg as u64);
+            match e.kind {
+                SchedEventKind::JobStart => {
+                    close(&mut b, e.worker, open.remove(&e.worker), e.ts_ns);
+                    open.insert(
+                        e.worker,
+                        Open::Job {
+                            start_ns: e.ts_ns,
+                            wait_us: e.arg,
+                        },
+                    );
+                }
+                SchedEventKind::JobEnd => {
+                    close(&mut b, e.worker, open.remove(&e.worker), e.ts_ns);
+                    b.instant(
+                        "burst end",
+                        "job",
+                        app.pid,
+                        tid,
+                        ts_us,
+                        JsonValue::obj([("jobs", arg)]),
+                    );
+                }
+                SchedEventKind::Steal => b.instant(
+                    "steal",
+                    "steal",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("tier", arg)]),
+                ),
+                SchedEventKind::Park => {
+                    close(&mut b, e.worker, open.remove(&e.worker), e.ts_ns);
+                    b.instant("park", "idle", app.pid, tid, ts_us, JsonValue::Null);
+                }
+                SchedEventKind::Unpark => {
+                    b.instant("unpark", "idle", app.pid, tid, ts_us, JsonValue::Null);
+                }
+                SchedEventKind::Suspend => {
+                    close(&mut b, e.worker, open.remove(&e.worker), e.ts_ns);
+                    open.insert(e.worker, Open::Suspended { start_ns: e.ts_ns });
+                }
+                SchedEventKind::Resume => {
+                    close(&mut b, e.worker, open.remove(&e.worker), e.ts_ns);
+                    b.instant(
+                        "resume",
+                        "control",
+                        app.pid,
+                        tid,
+                        ts_us,
+                        JsonValue::obj([("wake_us", arg)]),
+                    );
+                }
+                SchedEventKind::CpuSet => b.instant(
+                    "cpu-set change",
+                    "control",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("generation", arg)]),
+                ),
+                SchedEventKind::Epoch => b.instant(
+                    "new target",
+                    "control",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("target", arg)]),
+                ),
+                SchedEventKind::Retier => b.instant(
+                    "retier",
+                    "control",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("home_cpu", arg)]),
+                ),
+                SchedEventKind::Decision => b.instant(
+                    "decision",
+                    "control",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("target", arg)]),
+                ),
+            }
+        }
+        for (w, slot) in open {
+            close(&mut b, w, Some(slot), end_ns);
+        }
+    }
+    b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +548,144 @@ mod tests {
         let slice = &events[2];
         assert_eq!(slice.get("ph").and_then(|v| v.as_str()), Some("X"));
         assert_eq!(slice.get("dur").and_then(|v| v.as_num()), Some(50.0));
+    }
+
+    fn ev(ts_ns: u64, worker: u16, kind: SchedEventKind, arg: u32) -> SchedEvent {
+        SchedEvent {
+            ts_ns,
+            worker,
+            kind,
+            arg,
+        }
+    }
+
+    fn two_app_fleet() -> Vec<AppTimeline> {
+        vec![
+            AppTimeline {
+                pid: 101,
+                name: "app-a".into(),
+                // Deliberately out of order: the merge must sort.
+                events: vec![
+                    ev(5_000, 0, SchedEventKind::JobEnd, 2),
+                    ev(1_000, 0, SchedEventKind::JobStart, 7),
+                    ev(3_000, 0, SchedEventKind::JobStart, 0),
+                    ev(2_000, 1, SchedEventKind::Steal, 1),
+                    ev(2_500, 0, SchedEventKind::Decision, 4),
+                    ev(6_000, 1, SchedEventKind::Suspend, 2),
+                    ev(9_000, 1, SchedEventKind::Resume, 42),
+                ],
+            },
+            AppTimeline {
+                pid: 202,
+                name: "app-b".into(),
+                events: vec![
+                    ev(500, 3, SchedEventKind::JobStart, 1),
+                    ev(700, 3, SchedEventKind::Park, 0),
+                    ev(900, 3, SchedEventKind::Unpark, 0),
+                    ev(950, 0, SchedEventKind::Decision, 2),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn sched_timeline_builds_per_app_tracks_with_decision_instants() {
+        let doc = sched_timeline(&two_app_fleet()).finish().render();
+        let back = json::parse(&doc).unwrap();
+        let events = back.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // Both trace processes are named.
+        let proc_names: Vec<(f64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(|v| v.as_num()).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|v| v.as_str())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert!(proc_names.contains(&(101.0, "app-a")), "{proc_names:?}");
+        assert!(proc_names.contains(&(202.0, "app-b")), "{proc_names:?}");
+        // Job slices are reconstructed with next-event boundaries: app-a
+        // worker 0 ran jobs [1,3) and [3,5) ms-in-µs.
+        let slices: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                    && e.get("pid").and_then(|v| v.as_num()) == Some(101.0)
+                    && e.get("name").and_then(|v| v.as_str()) == Some("job")
+            })
+            .map(|e| {
+                (
+                    e.get("ts").and_then(|v| v.as_num()).unwrap(),
+                    e.get("dur").and_then(|v| v.as_num()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(slices, vec![(1.0, 2.0), (3.0, 2.0)]);
+        // The suspension interval became a slice too.
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(|v| v.as_str()) == Some("suspended")
+                && e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && e.get("dur").and_then(|v| v.as_num()) == Some(3.0)
+        }));
+        // Server decisions land as instants on the dedicated track of
+        // the right application.
+        let decisions: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("decision"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(|v| v.as_num()).unwrap(),
+                    e.get("tid").and_then(|v| v.as_num()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            decisions,
+            vec![(101.0, DECISION_TID as f64), (202.0, DECISION_TID as f64)]
+        );
+    }
+
+    #[test]
+    fn sched_timeline_is_monotonic_per_track() {
+        let doc = sched_timeline(&two_app_fleet()).finish().render();
+        let back = json::parse(&doc).unwrap();
+        let events = back.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // Every timestamp is finite and non-negative (a mixed-origin
+        // merge would produce wild values), and within each track the
+        // reconstructed slices are ordered and never overlap.
+        let mut slices: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> =
+            Default::default();
+        for e in events {
+            let ph = e.get("ph").and_then(|v| v.as_str()).unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let pid = e.get("pid").and_then(|v| v.as_num()).unwrap() as u64;
+            let tid = e.get("tid").and_then(|v| v.as_num()).unwrap() as u64;
+            let ts = e.get("ts").and_then(|v| v.as_num()).unwrap();
+            assert!(ts.is_finite() && ts >= 0.0, "bad ts {ts}");
+            if ph == "X" {
+                let dur = e.get("dur").and_then(|v| v.as_num()).unwrap();
+                assert!(dur.is_finite() && dur >= 0.0, "bad dur {dur}");
+                slices.entry((pid, tid)).or_default().push((ts, dur));
+            }
+        }
+        assert!(!slices.is_empty());
+        for ((pid, tid), mut track) in slices {
+            track.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in track.windows(2) {
+                let (ts0, dur0) = pair[0];
+                let (ts1, _) = pair[1];
+                assert!(
+                    ts0 + dur0 <= ts1 + 1e-9,
+                    "track ({pid},{tid}) slices overlap: [{ts0}+{dur0}] then {ts1}"
+                );
+            }
+        }
     }
 }

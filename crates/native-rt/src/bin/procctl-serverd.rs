@@ -15,6 +15,7 @@
 //! ```text
 //! USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N]
 //!                        [--account-system-load] [--weighted]
+//!                        [--journal-cap N]
 //! ```
 //!
 //! `--weighted` skews each application's processor share by its observed
@@ -22,7 +23,9 @@
 //! absent reports reduce to the paper's equal partition. CPU-set replies
 //! (`POLL <pid> cpus`) are cut from the detected machine topology when
 //! the partitioned processor count matches the machine, so adjacent
-//! shares stay cache-adjacent.
+//! shares stay cache-adjacent. `--journal-cap` bounds the per-application
+//! flight-recorder journal (EVENTS pushes plus the server's own decision
+//! instants, drained via TRACE); 0 disables journaling.
 
 /// Minimal async-signal-safe shutdown latch: the handler only stores an
 /// atomic flag; the main loop does the actual teardown. Raw `signal(2)`
@@ -69,9 +72,17 @@ fn main() {
     let mut account = false;
     let mut weighted = false;
     let mut lease_ttl = native_rt::DEFAULT_LEASE_TTL;
+    let mut journal_cap = native_rt::DEFAULT_JOURNAL_CAP;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--journal-cap" => {
+                i += 1;
+                journal_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--journal-cap needs a non-negative integer"));
+            }
             "--cpus" => {
                 i += 1;
                 cpus = args
@@ -107,6 +118,7 @@ fn main() {
     cfg.account_system_load = account;
     cfg.weighted = weighted;
     cfg.lease_ttl = lease_ttl;
+    cfg.journal_cap = journal_cap;
     // Hand out CPU sets in the machine's topological order when we are
     // partitioning the real machine; a simulated size keeps the identity
     // order (the synthetic topology is identity-ordered anyway).
@@ -120,13 +132,14 @@ fn main() {
     });
     sig::install();
     println!(
-        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {}, {} shares)",
+        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {}, {} shares, journal cap {})",
         cpus,
         server.path().display(),
         server.epoch(),
         lease_ttl.as_millis(),
         if account { "on" } else { "off" },
         if weighted { "throughput-weighted" } else { "equal" },
+        journal_cap,
     );
     // Serve until SIGTERM/SIGINT.
     while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
@@ -143,7 +156,7 @@ fn usage(err: &str) -> ! {
         eprintln!("procctl-serverd: {err}");
     }
     eprintln!(
-        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted]"
+        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted] [--journal-cap N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

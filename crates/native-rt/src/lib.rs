@@ -55,6 +55,7 @@ pub mod stats;
 #[cfg(unix)]
 mod supervise;
 pub mod topology;
+pub mod trace;
 #[cfg(unix)]
 mod uds;
 
@@ -69,8 +70,10 @@ pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
 pub use supervise::{SupervisedClient, SupervisorConfig};
 pub use topology::{CpuRecord, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
+pub use trace::{EventKind, FlightRecorder, SpscRing, TraceEvent};
 #[cfg(unix)]
 pub use uds::{
-    CpusPollReply, PollReply, PollerGuard, UdsClient, UdsServer, UdsServerConfig,
-    DEFAULT_IO_TIMEOUT, DEFAULT_LEASE_TTL,
+    AppStatsEntry, CpusPollReply, EventsReply, PollReply, PollerGuard, StatsAllReply, TraceReply,
+    UdsClient, UdsServer, UdsServerConfig, DEFAULT_IO_TIMEOUT, DEFAULT_JOURNAL_CAP,
+    DEFAULT_LEASE_TTL, DEFAULT_TRACE_MAX,
 };

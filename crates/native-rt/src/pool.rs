@@ -54,6 +54,7 @@ use crate::deque::{self, Steal, Stealer, Worker};
 use crate::injector::Injector;
 use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
 use crate::topology::{self, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
+use crate::trace::{self, EventKind, FlightRecorder};
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -113,9 +114,10 @@ struct ParkToken {
     cv: Condvar,
 }
 
-/// Why a suspension park ended.
+/// Why a suspension park ended; `Resumed` carries the instant the
+/// resume signal fired (None when claimed by shutdown teardown).
 enum SuspendOutcome {
-    Resumed,
+    Resumed(Option<Instant>),
     Shutdown,
 }
 
@@ -278,6 +280,17 @@ struct PoolShared {
     /// How long an out-of-work worker spun before parking (or finding
     /// work), nanoseconds.
     spin_before_park: Hist,
+    /// Wake signal (resume or idle unpark) to next job dequeue,
+    /// nanoseconds — "how long did a runnable worker wait to run".
+    wake_to_run: Hist,
+    /// Suspension safe point entered to first job after resume,
+    /// nanoseconds (the full decision→effect latency of one suspend).
+    suspend_to_resume: Hist,
+    /// Victim-ring rebuilds triggered by CPU-set changes (dynamic
+    /// re-tiering around the new home CPU).
+    retier_events: Counter,
+    /// The per-worker flight-recorder rings (may be disabled).
+    recorder: Arc<FlightRecorder>,
     /// Busy-wait (1989-style) instead of sleeping when the queues are
     /// empty but work is outstanding.
     idle_spin: bool,
@@ -304,16 +317,27 @@ pub struct PoolConfig {
     /// the process-wide detected topology
     /// ([`CpuTopology::shared`]).
     pub topology: Option<Arc<CpuTopology>>,
+    /// Per-worker flight-recorder ring capacity in events (rounded up
+    /// to a power of two). `0` disables the recorder entirely — the
+    /// EXPERIMENTS.md overhead A/B baseline.
+    pub trace_capacity: usize,
 }
 
+/// Default flight-recorder ring capacity per worker ("always-on": large
+/// enough to hold a poll interval's worth of scheduling transitions,
+/// small enough that 8 workers cost ~50 KiB).
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
 impl PoolConfig {
-    /// Defaults: spin-then-park idling, no pinning, detected topology.
+    /// Defaults: spin-then-park idling, no pinning, detected topology,
+    /// flight recorder on at [`DEFAULT_TRACE_CAPACITY`].
     pub fn new(nworkers: usize) -> Self {
         PoolConfig {
             nworkers,
             idle_spin: false,
             pin: false,
             topology: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -375,6 +399,7 @@ impl Pool {
         let steal_tier_hits = std::array::from_fn(|i| {
             registry.counter(&format!("steal_tier_{}", STEAL_TIER_NAMES[i]))
         });
+        let recorder = FlightRecorder::new(nworkers, cfg.trace_capacity, &registry);
         let shared = Arc::new(PoolShared {
             injector: Injector::new(nworkers),
             stealers: stealers.into_boxed_slice(),
@@ -406,6 +431,10 @@ impl Pool {
             park: registry.histogram("park_ns"),
             unpark: registry.histogram("unpark_ns"),
             spin_before_park: registry.histogram("spin_before_park_ns"),
+            wake_to_run: registry.histogram("wake_to_run_ns"),
+            suspend_to_resume: registry.histogram("suspend_to_resume_ns"),
+            retier_events: registry.counter("retier_events"),
+            recorder,
             registry,
             idle_spin: cfg.idle_spin,
             topology,
@@ -492,6 +521,15 @@ impl Pool {
     pub fn stats(&self) -> Snapshot {
         self.shared.registry.snapshot()
     }
+
+    /// The pool's flight recorder: per-worker rings of scheduling events
+    /// (job start/end, steals, park/unpark, suspend/resume, CPU-set and
+    /// epoch changes). Drain it directly, or hand it to
+    /// [`crate::SupervisedClient::with_recorder`] (Unix) so the poller
+    /// ships events to the control server for `TRACE` and `schedtop`.
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
+    }
 }
 
 impl Drop for Pool {
@@ -563,7 +601,7 @@ fn find_task(
         sh.injector_pops.incr();
         return Some(t);
     }
-    steal_task(sh, rings, rng)
+    steal_task(sh, index, rings, rng)
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -651,7 +689,7 @@ fn apply_affinity(sh: &PoolShared, rings: &VictimRings, was_narrow: bool) -> boo
 /// load — with exponential backoff between sweeps while CAS races
 /// persist. Suspended victims are skipped outright: their deques were
 /// drained before they parked.
-fn steal_task(sh: &PoolShared, rings: &VictimRings, rng: &mut u64) -> Option<Task> {
+fn steal_task(sh: &PoolShared, index: usize, rings: &VictimRings, rng: &mut u64) -> Option<Task> {
     if sh.stealers.len() <= 1 {
         return None;
     }
@@ -673,6 +711,7 @@ fn steal_task(sh: &PoolShared, rings: &VictimRings, rng: &mut u64) -> Option<Tas
                     Steal::Success(t) => {
                         sh.steals.incr();
                         sh.steal_tier_hits[tier].incr();
+                        sh.recorder.record(index, EventKind::Steal, tier as u32);
                         return Some(*t);
                     }
                     Steal::Retry => {
@@ -723,7 +762,7 @@ fn park_suspended(sh: &PoolShared) -> SuspendOutcome {
             if let Some(at) = signaled_at {
                 sh.unpark.record(at.elapsed().as_nanos() as u64);
             }
-            return SuspendOutcome::Resumed;
+            return SuspendOutcome::Resumed(signaled_at);
         }
         if sh.shutdown.load(Ordering::Acquire) {
             // To leave without being resumed we must first withdraw the
@@ -769,7 +808,12 @@ fn observe_wait(sh: &PoolShared, spin: &mut SpinState, waited_ns: u64) {
 /// (see [`SpinState`]), then parks on its private slot until a producer
 /// wakes it (idle protocol). Every exit path feeds the total wait back
 /// into the budget EWMA.
-fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>, spin: &mut SpinState) {
+fn idle_spin_then_park(
+    sh: &PoolShared,
+    index: usize,
+    slot: &Arc<IdleSlot>,
+    spin: &mut SpinState,
+) -> Option<Instant> {
     let started = Instant::now();
     let budget = Duration::from_nanos(spin.budget_ns);
     let mut poll: u32 = 0;
@@ -778,7 +822,7 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>, spin: &mut SpinSta
             let waited = started.elapsed().as_nanos() as u64;
             sh.spin_before_park.record(waited);
             observe_wait(sh, spin, waited);
-            return;
+            return None;
         }
         if started.elapsed() >= budget {
             break;
@@ -799,12 +843,16 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>, spin: &mut SpinSta
         sleepers.push(Arc::clone(slot));
         sh.nsleepers.fetch_add(1, Ordering::SeqCst);
     }
+    sh.recorder.record(index, EventKind::Park, 0);
     sh.spin_before_park
         .record(started.elapsed().as_nanos() as u64);
     if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
         unregister_sleeper(sh, slot);
         observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
-        return;
+        let woke = Instant::now();
+        sh.recorder
+            .record_at(index, trace::ns_since_origin(woke), EventKind::Unpark, 0);
+        return Some(woke);
     }
     {
         let mut woken = slot.woken.lock();
@@ -817,6 +865,10 @@ fn idle_spin_then_park(sh: &PoolShared, slot: &Arc<IdleSlot>, spin: &mut SpinSta
     }
     unregister_sleeper(sh, slot);
     observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
+    let woke = Instant::now();
+    sh.recorder
+        .record_at(index, trace::ns_since_origin(woke), EventKind::Unpark, 0);
+    Some(woke)
 }
 
 /// Removes `slot` from the sleeper list if a waker has not already
@@ -839,21 +891,41 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
     let mut spin = SpinState::new();
     let mut rings = VictimRings::build(sh, index);
     let mut narrow_pin = apply_affinity(sh, &rings, false);
+    // Flight-recorder bookkeeping: the last wake signal not yet matched
+    // to a job (wake-to-run), the pending suspension safe-point entry
+    // (suspend-to-resume), the last decision epoch this worker saw, and
+    // the length of the current uninterrupted running burst.
+    let mut pending_wake: Option<Instant> = None;
+    let mut pending_suspend: Option<Instant> = None;
+    let mut last_target = usize::MAX;
+    let mut burst_jobs: u32 = 0;
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
+            if burst_jobs > 0 {
+                sh.recorder.record(index, EventKind::JobEnd, burst_jobs);
+            }
             return;
         }
         // --- Safe suspension point: no job held, no lock held. ---
         if rings.generation != sh.target.cpus_generation() {
             // The control plane moved our CPU set: rebuild the victim
-            // rings and follow the assignment with the affinity mask.
+            // rings around the new home CPU (dynamic re-tiering) and
+            // follow the assignment with the affinity mask.
             rings = VictimRings::build(sh, index);
             narrow_pin = apply_affinity(sh, &rings, narrow_pin);
+            sh.retier_events.incr();
+            sh.recorder
+                .record(index, EventKind::CpuSet, rings.generation as u32);
+            sh.recorder.record(index, EventKind::Retier, rings.my_cpu);
         }
         let target = sh.target.target.load(Ordering::Acquire);
         let active = sh.active.load(Ordering::Acquire);
         sh.active_gauge.set(active as i64);
         sh.target_gauge.set(target as i64);
+        if target != last_target {
+            sh.recorder.record(index, EventKind::Epoch, target as u32);
+            last_target = target;
+        }
         if active > target && active > 1 {
             // Suspend self (compare-and-swap guards racing suspenders).
             if sh
@@ -862,16 +934,41 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 .is_ok()
             {
                 sh.suspends.incr();
+                if burst_jobs > 0 {
+                    sh.recorder.record(index, EventKind::JobEnd, burst_jobs);
+                    burst_jobs = 0;
+                }
                 // Publish queued jobs before parking: nothing may be
                 // stranded behind a suspended worker. Only then raise
                 // the suspended flag — stealers may skip a flagged
                 // victim only while its deque is provably empty.
                 drain_local(sh, &worker);
                 sh.suspended_flags[index].store(true, Ordering::Release);
+                let suspended_at = Instant::now();
+                sh.recorder.record_at(
+                    index,
+                    trace::ns_since_origin(suspended_at),
+                    EventKind::Suspend,
+                    target as u32,
+                );
                 let outcome = park_suspended(sh);
                 sh.suspended_flags[index].store(false, Ordering::Release);
                 match outcome {
-                    SuspendOutcome::Resumed => continue, // re-enter the safe point
+                    SuspendOutcome::Resumed(signaled_at) => {
+                        let woke = Instant::now();
+                        let lat_us = signaled_at.map_or(0, |at| {
+                            (woke.duration_since(at).as_micros()).min(u32::MAX as u128) as u32
+                        });
+                        sh.recorder.record_at(
+                            index,
+                            trace::ns_since_origin(woke),
+                            EventKind::Resume,
+                            lat_us,
+                        );
+                        pending_wake = signaled_at;
+                        pending_suspend = Some(suspended_at);
+                        continue; // re-enter the safe point
+                    }
                     SuspendOutcome::Shutdown => return,
                 }
             }
@@ -883,8 +980,34 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
             Some(task) => {
                 // Recorded with no lock held (the sample starts at
                 // submission time, before the producer touched a shard).
-                sh.queue_wait
-                    .record(task.submitted.elapsed().as_nanos() as u64);
+                // One clock read serves the queue-wait sample, the
+                // wake-to-run/suspend-to-resume latencies, and the
+                // flight-recorder timestamp.
+                let now = Instant::now();
+                let wait = now.duration_since(task.submitted);
+                sh.queue_wait.record(wait.as_nanos() as u64);
+                if let Some(at) = pending_wake.take() {
+                    sh.wake_to_run
+                        .record(now.duration_since(at).as_nanos() as u64);
+                }
+                if let Some(at) = pending_suspend.take() {
+                    sh.suspend_to_resume
+                        .record(now.duration_since(at).as_nanos() as u64);
+                }
+                // JobStart is burst-coalesced like JobEnd: only the
+                // first pickup after idle/park/resume opens a burst
+                // event (arg = that pickup's queue wait). Mid-burst
+                // pickups carry no scheduling signal and a per-job push
+                // would keep the full ring on its drop-oldest CAS path.
+                if burst_jobs == 0 {
+                    sh.recorder.record_at(
+                        index,
+                        trace::ns_since_origin(now),
+                        EventKind::JobStart,
+                        wait.as_micros().min(u32::MAX as u128) as u32,
+                    );
+                }
+                burst_jobs = burst_jobs.saturating_add(1);
                 (task.job)();
                 sh.jobs_run.incr();
                 if sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -893,6 +1016,10 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 }
             }
             None => {
+                if burst_jobs > 0 {
+                    sh.recorder.record(index, EventKind::JobEnd, burst_jobs);
+                    burst_jobs = 0;
+                }
                 if sh.idle_spin {
                     // Period-faithful busy wait: burn a short slice, then
                     // re-check (lets the OS preempt us naturally).
@@ -900,8 +1027,8 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                         std::hint::spin_loop();
                     }
                     std::thread::yield_now();
-                } else {
-                    idle_spin_then_park(sh, &idle_slot, &mut spin);
+                } else if let Some(woke) = idle_spin_then_park(sh, index, &idle_slot, &mut spin) {
+                    pending_wake = Some(woke);
                 }
             }
         }
@@ -911,6 +1038,7 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceEvent;
     use std::time::Duration;
 
     fn controller(cpus: usize) -> Controller {
@@ -1233,5 +1361,152 @@ mod tests {
         }
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn flight_recorder_captures_job_starts_with_ordered_timestamps() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false);
+        for _ in 0..100 {
+            pool.execute(|| std::hint::black_box(()));
+        }
+        pool.wait_idle();
+        let rec = pool.recorder();
+        let registry = pool.registry();
+        assert!(rec.is_enabled());
+        drop(pool); // join the workers: no more producers, no races below
+        let events = rec.drain(usize::MAX);
+        let starts = events
+            .iter()
+            .filter(|e| e.kind == EventKind::JobStart)
+            .count() as u64;
+        let ended: u64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::JobEnd)
+            .map(|e| u64::from(e.arg))
+            .sum();
+        let snap = registry.snapshot();
+        // Burst coalescing conserves jobs: with nothing dropped (a
+        // handful of events per 256-slot ring), the JobEnd burst lengths
+        // sum to exactly the jobs run, and every burst that ended was
+        // opened by a JobStart.
+        assert_eq!(snap.counters["trace_dropped"], 0);
+        assert_eq!(ended, 100, "JobEnd burst lengths must sum to jobs run");
+        assert!(
+            (1..=ended).contains(&starts),
+            "burst starts out of range: {starts} starts for {ended} jobs"
+        );
+        // The drain is merged by timestamp and each worker's own events
+        // are monotonic (single origin, single producer per ring).
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns, "merged drain out of order");
+        }
+        // Every event the pool emits round-trips through the wire codec.
+        for e in &events {
+            assert_eq!(TraceEvent::parse(&e.to_wire()), Some(*e));
+        }
+        // Counter conservation: everything recorded was drained or
+        // dropped (the drain above emptied the rings).
+        assert_eq!(
+            snap.counters["trace_events"],
+            events.len() as u64 + snap.counters["trace_dropped"]
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_pool_still_runs() {
+        let c = controller(2);
+        let mut cfg = PoolConfig::new(2);
+        cfg.trace_capacity = 0;
+        let pool = Pool::with_config(&c, cfg);
+        for _ in 0..50 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        let rec = pool.recorder();
+        assert!(!rec.is_enabled());
+        assert!(rec.drain(usize::MAX).is_empty());
+        assert_eq!(pool.stats().counters["trace_events"], 0);
+    }
+
+    #[test]
+    fn suspension_records_wake_to_run_and_trace_events() {
+        let slot = Arc::new(TargetSlot::new(4));
+        let pool = Pool::with_slot(Arc::clone(&slot), 4, false);
+        // Force suspensions, then let everyone run again.
+        slot.target.store(1, Ordering::Release);
+        for _ in 0..200 {
+            pool.execute(|| std::thread::sleep(Duration::from_micros(50)));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.metrics().suspends == 0 {
+            assert!(std::time::Instant::now() < deadline, "no worker suspended");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        slot.target.store(4, Ordering::Release);
+        for _ in 0..200 {
+            pool.execute(|| std::thread::sleep(Duration::from_micros(50)));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.metrics().resumes == 0 {
+            assert!(std::time::Instant::now() < deadline, "no worker resumed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pool.wait_idle();
+        let snap = pool.stats();
+        assert!(
+            snap.histograms["wake_to_run_ns"].count >= 1,
+            "resume did not feed wake-to-run"
+        );
+        assert!(
+            snap.histograms["suspend_to_resume_ns"].count >= 1,
+            "suspension cycle did not feed suspend-to-resume"
+        );
+        let events = pool.recorder().drain(usize::MAX);
+        let kinds: std::collections::BTreeSet<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Suspend), "no Suspend event");
+        assert!(kinds.contains(&EventKind::Resume), "no Resume event");
+        assert!(kinds.contains(&EventKind::Epoch), "no Epoch event");
+    }
+
+    #[test]
+    fn cpu_set_change_retiers_victim_rings() {
+        let slot = Arc::new(TargetSlot::new(4));
+        let mut cfg = PoolConfig::new(4);
+        cfg.topology = Some(Arc::new(CpuTopology::synthetic(8)));
+        let pool = Pool::with_slot_config(Arc::clone(&slot), cfg);
+        for _ in 0..20 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        assert_eq!(pool.stats().counters["retier_events"], 0);
+        // Publish a concrete CPU set: every worker must rebuild its
+        // victim rings around its new home CPU at the next safe point.
+        slot.set_cpus(Some(vec![4, 5, 6, 7]));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().counters["retier_events"] < 4 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never re-tiered: {}",
+                pool.stats().counters["retier_events"]
+            );
+            for _ in 0..10 {
+                pool.execute(|| {});
+            }
+            pool.wait_idle();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The re-tier is visible in the event stream with the new home.
+        let events = pool.recorder().drain(usize::MAX);
+        let retiers: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Retier)
+            .collect();
+        assert!(!retiers.is_empty(), "no Retier events");
+        assert!(
+            retiers.iter().all(|e| (4..=7).contains(&e.arg)),
+            "re-tier did not move homes into the assigned set: {retiers:?}"
+        );
+        assert!(events.iter().any(|e| e.kind == EventKind::CpuSet));
     }
 }

@@ -299,8 +299,9 @@ impl Snapshot {
     }
 
     /// Renders scalar statistics as sorted `name=value` pairs on one line
-    /// (histograms contribute `name.count`, `name.mean`, `name.p99`) — the
-    /// payload of the UDS `STATS` reply.
+    /// (histograms contribute `name.count`, `name.mean`, `name.p50`, and
+    /// `name.p99`) — the payload of the UDS `STATS` reply and the rows of
+    /// `schedtop`.
     pub fn render_line(&self) -> String {
         let mut parts: Vec<String> = Vec::new();
         for (k, v) in &self.counters {
@@ -312,6 +313,7 @@ impl Snapshot {
         for (k, h) in &self.histograms {
             parts.push(format!("{k}.count={}", h.count));
             parts.push(format!("{k}.mean={:.0}", h.mean()));
+            parts.push(format!("{k}.p50={}", h.quantile(0.5).unwrap_or(0)));
             parts.push(format!("{k}.p99={}", h.quantile(0.99).unwrap_or(0)));
         }
         parts.join(" ")

@@ -18,9 +18,10 @@
 //!   re-registering on the same connection.
 //!
 //! Recovery behavior is observable: the supervisor records `reconnects`,
-//! `degraded_enters`, `epoch_changes`, and `poll_errors` counters, a
-//! `degraded` gauge, and a `degraded_ns` histogram (time spent in each
-//! degraded episode) into the registry it is given — typically the
+//! `degraded_enters`, `epoch_changes`, `poll_errors`, and
+//! `events_shipped` counters, a `degraded` gauge, and a `degraded_ns`
+//! histogram (time spent in each degraded episode) into the registry it
+//! is given — typically the
 //! [`crate::Pool`]'s own registry, so the fault counters travel through
 //! the existing REPORT/STATS/Perfetto pipeline alongside the
 //! work-stealing counters.
@@ -32,7 +33,11 @@ use std::time::{Duration, Instant};
 
 use crate::controller::TargetSlot;
 use crate::stats::{Counter, Gauge, Hist, Registry};
-use crate::uds::{CpusPollReply, PollReply, PollerGuard, UdsClient, DEFAULT_IO_TIMEOUT};
+use crate::trace::FlightRecorder;
+use crate::uds::{
+    CpusPollReply, EventsReply, PollReply, PollerGuard, UdsClient, DEFAULT_IO_TIMEOUT,
+    DEFAULT_TRACE_MAX,
+};
 
 /// Supervision tuning.
 #[derive(Clone, Debug)]
@@ -89,6 +94,13 @@ pub struct SupervisedClient {
     /// `ERR malformed` downgrade, so one old server costs exactly one
     /// wasted request per connection, not one per poll.
     cpus_supported: bool,
+    /// Whether the connected server speaks the `EVENTS` flight-recorder
+    /// push. Same optimistic-probe lifecycle as `cpus_supported`.
+    events_supported: bool,
+    /// Flight recorder whose rings [`SupervisedClient::ship_events`]
+    /// drains to the server (none by default — see
+    /// [`SupervisedClient::with_recorder`]).
+    recorder: Option<Arc<FlightRecorder>>,
     backoff: Duration,
     next_attempt: Option<Instant>,
     rng: u64,
@@ -97,6 +109,7 @@ pub struct SupervisedClient {
     degraded_enters: Counter,
     epoch_changes: Counter,
     poll_errors: Counter,
+    events_shipped: Counter,
     degraded_gauge: Gauge,
     degraded_ns: Hist,
 }
@@ -113,6 +126,7 @@ impl SupervisedClient {
             degraded_enters: registry.counter("degraded_enters"),
             epoch_changes: registry.counter("epoch_changes"),
             poll_errors: registry.counter("poll_errors"),
+            events_shipped: registry.counter("events_shipped"),
             degraded_gauge: registry.gauge("degraded"),
             degraded_ns: registry.histogram("degraded_ns"),
             registry,
@@ -121,11 +135,24 @@ impl SupervisedClient {
             last_epoch: None,
             ever_connected: false,
             cpus_supported: true,
+            events_supported: true,
+            recorder: None,
             next_attempt: None,
             degraded_since: None,
         };
         s.ensure_connected();
         s
+    }
+
+    /// Attaches a flight recorder whose rings the supervisor drains to
+    /// the server — [`SupervisedClient::ship_events`] directly, or once
+    /// per healthy round from [`SupervisedClient::spawn_poller`]. Pass
+    /// [`crate::Pool::recorder`] to stream a pool's scheduling events
+    /// into the server's journal.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Whether a connection is currently established.
@@ -196,8 +223,9 @@ impl SupervisedClient {
                 self.backoff = self.cfg.backoff_initial;
                 self.next_attempt = None;
                 // A fresh connection may be to an upgraded server: probe
-                // the CPU-set extension again.
+                // the extensions again.
                 self.cpus_supported = true;
+                self.events_supported = true;
                 true
             }
             Err(_) => {
@@ -329,6 +357,43 @@ impl SupervisedClient {
         None
     }
 
+    /// Drains one batch (up to [`DEFAULT_TRACE_MAX`] events) from the
+    /// attached flight recorder and pushes it to the server's journal,
+    /// best effort: with no recorder, no connection, or against a
+    /// pre-extension server (remembered until the next reconnect, like
+    /// the CPU-set downgrade) this is a no-op, and a batch the server
+    /// never acknowledged is dropped rather than retried — observability
+    /// must not buffer unboundedly against a dead server.
+    pub fn ship_events(&mut self) {
+        if !self.events_supported || self.conn.is_none() {
+            return;
+        }
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        let events = recorder.drain(DEFAULT_TRACE_MAX);
+        if events.is_empty() {
+            return;
+        }
+        let reply = match self.conn.as_mut() {
+            Some(conn) => conn.push_events(&events),
+            None => return,
+        };
+        match reply {
+            Ok(EventsReply::Accepted { epoch }) => {
+                self.note_epoch(epoch);
+                self.events_shipped.add(events.len() as u64);
+            }
+            // The next poll re-registers; this batch is gone.
+            Ok(EventsReply::Unregistered) => {}
+            Ok(EventsReply::Unsupported) => self.events_supported = false,
+            Err(_) => {
+                self.poll_errors.incr();
+                self.disconnect();
+            }
+        }
+    }
+
     /// Pushes a statistics line to the server, best effort: a failure
     /// tears down the connection (the next poll reconnects) but is not
     /// fatal.
@@ -352,7 +417,10 @@ impl SupervisedClient {
     /// server, the assigned CPU set — into `slot`, and — when `report`
     /// is true — REPORTing a snapshot of the supervisor's registry (and
     /// everything else in it, e.g. a pool's counters) to the server on
-    /// every healthy poll. The thread exits when the guard drops.
+    /// every healthy poll. With a recorder attached
+    /// ([`SupervisedClient::with_recorder`]), each round also ships one
+    /// batch of flight-recorder events into the server's journal. The
+    /// thread exits when the guard drops.
     /// Entering degraded mode clears the slot's CPU set (workers unpin
     /// back to the whole machine); recovery re-publishes it.
     ///
@@ -394,6 +462,7 @@ impl SupervisedClient {
                         let line = self.registry.snapshot().render_line();
                         self.report(&line);
                     }
+                    self.ship_events();
                     std::thread::sleep(interval);
                 }
                 self.bye();
@@ -510,6 +579,97 @@ mod tests {
         // Subsequent polls skip the probe entirely and stay healthy.
         assert_eq!(sup.poll_target_cpus(), Some((3, None)));
         assert_eq!(registry.snapshot().counters["degraded_enters"], 0);
+        sup.bye();
+        handle.join().expect("old server thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ship_events_drains_recorder_into_server_journal() {
+        use crate::trace::{EventKind, FlightRecorder};
+        use crate::uds::{TraceReply, UdsClient};
+
+        let path = sock_path("ship-events");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(2, 16, &registry));
+        recorder.record(0, EventKind::JobStart, 1);
+        recorder.record(1, EventKind::Steal, 2);
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 4), Arc::clone(&registry))
+            .with_recorder(Arc::clone(&recorder));
+        assert_eq!(sup.poll_target(), Some(4));
+        sup.ship_events();
+        assert_eq!(registry.snapshot().counters["events_shipped"], 2);
+        assert_eq!(recorder.resident(), 0, "rings drained");
+        // A reader sees the shipped events (after the poll's decision
+        // instant) in the server journal.
+        let mut reader = UdsClient::register(&path, 1).expect("reader");
+        match reader.trace(std::process::id(), None).expect("trace") {
+            TraceReply::Events { events, .. } => {
+                let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+                assert!(kinds.contains(&EventKind::JobStart), "{kinds:?}");
+                assert!(kinds.contains(&EventKind::Steal), "{kinds:?}");
+                assert!(kinds.contains(&EventKind::Decision), "{kinds:?}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Nothing resident → shipping again is a no-op.
+        sup.ship_events();
+        assert_eq!(registry.snapshot().counters["events_shipped"], 2);
+    }
+
+    #[test]
+    fn old_server_downgrades_event_shipping_without_errors() {
+        use crate::trace::{EventKind, FlightRecorder};
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixListener;
+        use std::sync::atomic::AtomicUsize;
+
+        // A pre-extension server: REGISTER/POLL only. EVENTS gets ERR
+        // malformed; the supervisor must remember the downgrade and stop
+        // sending EVENTS lines on this connection.
+        let path = sock_path("ship-old");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let events_lines = Arc::new(AtomicUsize::new(0));
+        let events_lines2 = Arc::clone(&events_lines);
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                if line.starts_with("EVENTS") {
+                    events_lines2.fetch_add(1, Ordering::Relaxed);
+                }
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                let reply = match fields.as_slice() {
+                    ["REGISTER", ..] => "OK 1\n".to_string(),
+                    ["POLL", _pid] => "TARGET 2 1\n".to_string(),
+                    ["BYE", ..] => return,
+                    _ => "ERR malformed\n".to_string(),
+                };
+                writer.write_all(reply.as_bytes()).expect("write");
+            }
+        });
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(1, 16, &registry));
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 4), Arc::clone(&registry))
+            .with_recorder(Arc::clone(&recorder));
+        assert_eq!(sup.poll_target(), Some(2));
+        recorder.record(0, EventKind::JobStart, 0);
+        sup.ship_events();
+        assert!(!sup.events_supported, "must remember the downgrade");
+        assert_eq!(registry.snapshot().counters["events_shipped"], 0);
+        // Further batches are not even sent on this connection.
+        recorder.record(0, EventKind::JobStart, 1);
+        sup.ship_events();
+        assert_eq!(events_lines.load(Ordering::Relaxed), 1);
+        assert_eq!(sup.poll_target(), Some(2), "connection still healthy");
         sup.bye();
         handle.join().expect("old server thread");
         let _ = std::fs::remove_file(&path);

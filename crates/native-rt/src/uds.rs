@@ -84,6 +84,27 @@
 //! client → server:  STATS <pid>
 //! server → client:  STATS jobs_run=100 steals=7 ...
 //! ```
+//!
+//! **Flight-recorder extension** (observability, same compatibility
+//! story as `cpus`). Applications push batches of scheduling events
+//! drained from their [`crate::FlightRecorder`] rings; the server keeps
+//! a bounded per-pid journal — interleaving its own partition-decision
+//! instants — that anyone (e.g. `schedtop`, the Perfetto merge) can
+//! drain back out, correlated across restarts by the boot epoch:
+//!
+//! ```text
+//! client → server:  EVENTS <pid> <ts:kind:worker:arg,...>
+//! server → client:  OK <epoch>
+//! client → server:  TRACE <pid> [max]
+//! server → client:  TRACE <epoch> <n> <ts:kind:worker:arg,...>
+//! ```
+//!
+//! A monitor refreshes the whole fleet in one round-trip with
+//! `STATS ALL`, answered as `STATS ALL pid=<pid> target=<t>
+//! nworkers=<n> <latest report>|…`. All three verbs degrade against
+//! pre-extension servers: the old parser answers `ERR malformed`, which
+//! the client surfaces as `Unsupported` ([`EventsReply`],
+//! [`TraceReply`], [`StatsAllReply`]) instead of an error.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -99,6 +120,7 @@ use procctl::{partition, validate_cpus, validate_processes, AppDemand};
 use crate::controller::TargetSlot;
 use crate::proc_scan;
 use crate::stats::{Registry, Snapshot};
+use crate::trace::{self, EventKind, TraceEvent};
 
 /// Default read/write timeout armed on every client stream: the longest a
 /// client call can block on a wedged (alive but unresponsive) server.
@@ -107,6 +129,15 @@ pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// Default registration lease: a client that neither POLLs nor REPORTs
 /// for this long is deregistered and its processor share reclaimed.
 pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(30);
+
+/// Default per-application journal capacity: how many flight-recorder
+/// events (app-pushed via `EVENTS`, plus the server's own decision
+/// instants) the server retains per pid before dropping the oldest.
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
+/// Default number of journal events a `TRACE <pid>` without an explicit
+/// `max` drains in one reply.
+pub const DEFAULT_TRACE_MAX: usize = 256;
 
 /// Server tuning.
 #[derive(Clone, Debug)]
@@ -138,11 +169,17 @@ pub struct UdsServerConfig {
     /// instead of splitting equally. Applications that have not reported
     /// — or report equal counters — reduce to the equal partition.
     pub weighted: bool,
+    /// Per-application event-journal capacity: `EVENTS` pushes and the
+    /// server's own decision instants beyond this bound drop the oldest
+    /// entry (counted as `journal_drops`). `0` disables journaling —
+    /// `TRACE` then always drains empty.
+    pub journal_cap: usize,
 }
 
 impl UdsServerConfig {
     /// Defaults: no system-load accounting, 1 s sample TTL, 30 s lease,
-    /// dead-process pruning on, identity CPU order, unweighted shares.
+    /// dead-process pruning on, identity CPU order, unweighted shares,
+    /// [`DEFAULT_JOURNAL_CAP`] events of journal per application.
     pub fn new(path: impl Into<PathBuf>, cpus: usize) -> Self {
         UdsServerConfig {
             path: path.into(),
@@ -153,6 +190,7 @@ impl UdsServerConfig {
             prune_dead: true,
             cpu_order: None,
             weighted: false,
+            journal_cap: DEFAULT_JOURNAL_CAP,
         }
     }
 
@@ -172,11 +210,23 @@ struct AppReg {
     last_seen: Instant,
 }
 
+/// One application's bounded event journal: flight-recorder events the
+/// app pushed via `EVENTS`, interleaved with the server's own decision
+/// instants, oldest first. `last_target` dedups decision entries so the
+/// journal records target *changes*, not every poll.
+#[derive(Default)]
+struct Journal {
+    events: std::collections::VecDeque<TraceEvent>,
+    last_target: Option<u32>,
+}
+
 struct ServerState {
     apps: Vec<AppReg>,
     last_sample: Option<(Instant, u32)>,
     /// Latest `REPORT` line per pid (cleared on BYE and lease expiry).
     reports: std::collections::BTreeMap<u32, String>,
+    /// Bounded per-pid event journal (cleared on BYE and lease expiry).
+    journals: std::collections::BTreeMap<u32, Journal>,
 }
 
 impl ServerState {
@@ -198,9 +248,64 @@ impl ServerState {
             self.apps.retain(|a| !expired.contains(&a.pid));
             for pid in expired {
                 self.reports.remove(&pid);
+                self.journals.remove(&pid);
             }
         }
         registry.gauge("apps").set(self.apps.len() as i64);
+    }
+
+    /// Appends events to `pid`'s journal, dropping the oldest beyond
+    /// `cfg.journal_cap` (counted, never silent).
+    fn append_events(
+        &mut self,
+        pid: u32,
+        events: Vec<TraceEvent>,
+        cfg: &UdsServerConfig,
+        registry: &Registry,
+    ) {
+        if cfg.journal_cap == 0 {
+            return;
+        }
+        let journal = self.journals.entry(pid).or_default();
+        for ev in events {
+            if journal.events.len() >= cfg.journal_cap {
+                journal.events.pop_front();
+                registry.counter("journal_drops").incr();
+            }
+            journal.events.push_back(ev);
+        }
+    }
+
+    /// Records a decision instant in `pid`'s journal when the computed
+    /// target differs from the last one journaled — the server-side half
+    /// of the merged timeline (decision → effect).
+    fn note_decision(&mut self, pid: u32, target: u32, cfg: &UdsServerConfig, registry: &Registry) {
+        let changed = self
+            .journals
+            .get(&pid)
+            .map_or(true, |j| j.last_target != Some(target));
+        if !changed {
+            return;
+        }
+        let ev = TraceEvent {
+            ts_ns: trace::now_ns(),
+            worker: 0,
+            kind: EventKind::Decision,
+            arg: target,
+        };
+        self.append_events(pid, vec![ev], cfg, registry);
+        self.journals.entry(pid).or_default().last_target = Some(target);
+    }
+
+    /// Drains up to `max` of the oldest journaled events for `pid`.
+    fn drain_journal(&mut self, pid: u32, max: usize) -> Vec<TraceEvent> {
+        match self.journals.get_mut(&pid) {
+            Some(j) => {
+                let n = j.events.len().min(max);
+                j.events.drain(..n).collect()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// The system-wide uncontrollable load to subtract (0 when
@@ -351,8 +456,11 @@ impl UdsServer {
             "reports",
             "malformed",
             "lease_expiries",
+            "events_pushes",
+            "traces",
+            "journal_drops",
         ] {
-            // sched-counters: registers polls byes reports malformed lease_expiries
+            // sched-counters: registers polls byes reports malformed lease_expiries events_pushes traces journal_drops
             registry.counter(name);
         }
         registry.gauge("apps");
@@ -360,6 +468,7 @@ impl UdsServer {
             apps: Vec::new(),
             last_sample: None,
             reports: std::collections::BTreeMap::new(),
+            journals: std::collections::BTreeMap::new(),
         }));
         let accept_thread = {
             let stop = Arc::clone(&stop);
@@ -491,7 +600,10 @@ fn handle_line(
                     return "ERR unregistered\n".to_string();
                 }
                 match st.target_of(pid, cfg) {
-                    Some(t) => format!("TARGET {t} {epoch}\n"),
+                    Some(t) => {
+                        st.note_decision(pid, t, cfg, registry);
+                        format!("TARGET {t} {epoch}\n")
+                    }
                     None => "ERR unregistered\n".to_string(),
                 }
             }
@@ -516,6 +628,7 @@ fn handle_line(
                 }
                 match st.target_and_cpus_of(pid, cfg) {
                     Some((t, cpus)) => {
+                        st.note_decision(pid, t, cfg, registry);
                         let list = crate::topology::format_cpulist(&cpus);
                         format!("TARGET {t} {epoch} cpus={list}\n")
                     }
@@ -533,6 +646,7 @@ fn handle_line(
                 let mut st = state.lock();
                 st.apps.retain(|a| a.pid != pid);
                 st.reports.remove(&pid);
+                st.journals.remove(&pid);
                 registry.gauge("apps").set(st.apps.len() as i64);
                 format!("OK {epoch}\n")
             }
@@ -556,7 +670,92 @@ fn handle_line(
                 "ERR malformed\n".to_string()
             }
         },
+        // Flight-recorder push: an application drains its per-worker
+        // rings and forwards the batch (comma-joined `ts:kind:worker:arg`
+        // frames, no spaces — so this is always exactly three fields).
+        // Accepting the batch refreshes the lease like POLL/REPORT do;
+        // old servers answer `ERR malformed`, the client's cue to stop
+        // pushing (see [`EventsReply::Unsupported`]).
+        ["EVENTS", pid, payload] => match (pid.parse::<u32>(), trace::parse_events(payload)) {
+            (Ok(pid), Some(events)) => {
+                registry.counter("events_pushes").incr();
+                let mut st = state.lock();
+                st.prune(cfg, registry);
+                if let Some(a) = st.apps.iter_mut().find(|a| a.pid == pid) {
+                    a.last_seen = Instant::now();
+                } else {
+                    return "ERR unregistered\n".to_string();
+                }
+                st.append_events(pid, events, cfg, registry);
+                format!("OK {epoch}\n")
+            }
+            _ => {
+                registry.counter("malformed").incr();
+                "ERR malformed\n".to_string()
+            }
+        },
+        // Journal drain: anyone (schedtop, the merge tooling) can read
+        // back up to `max` of the oldest journaled events for a pid.
+        // Reading does not refresh the lease — it is an observer verb —
+        // and an unknown pid simply drains empty rather than erroring,
+        // so a monitor can poll pids that have not pushed yet.
+        ["TRACE", pid] | ["TRACE", pid, _] => {
+            let max = match fields.as_slice() {
+                ["TRACE", _, m] => match m.parse::<usize>() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        registry.counter("malformed").incr();
+                        return "ERR malformed\n".to_string();
+                    }
+                },
+                _ => DEFAULT_TRACE_MAX,
+            };
+            match pid.parse::<u32>() {
+                Ok(pid) => {
+                    registry.counter("traces").incr();
+                    let mut st = state.lock();
+                    let events = st.drain_journal(pid, max);
+                    let n = events.len();
+                    if events.is_empty() {
+                        format!("TRACE {epoch} 0\n")
+                    } else {
+                        format!("TRACE {epoch} {n} {}\n", trace::render_events(&events))
+                    }
+                }
+                Err(_) => {
+                    registry.counter("malformed").incr();
+                    "ERR malformed\n".to_string()
+                }
+            }
+        }
         ["STATS"] => format!("STATS {}\n", registry.snapshot().render_line()),
+        // Fleet snapshot: every registered pid's target and latest report
+        // in one round-trip (`|`-separated), so a monitor scales O(1) in
+        // requests instead of O(apps). Old servers answer `ERR malformed`
+        // ("ALL" fails their pid parse), the downgrade cue.
+        ["STATS", "ALL"] => {
+            let mut st = state.lock();
+            st.prune(cfg, registry);
+            let targets = st.effective_targets(cfg);
+            let parts: Vec<String> = st
+                .apps
+                .iter()
+                .zip(&targets)
+                .map(|(a, &t)| {
+                    let mut part = format!("pid={} target={} nworkers={}", a.pid, t, a.nworkers);
+                    if let Some(report) = st.reports.get(&a.pid).filter(|r| !r.is_empty()) {
+                        part.push(' ');
+                        part.push_str(report);
+                    }
+                    part
+                })
+                .collect();
+            if parts.is_empty() {
+                "STATS ALL\n".to_string()
+            } else {
+                format!("STATS ALL {}\n", parts.join("|"))
+            }
+        }
         ["STATS", pid] => match pid.parse::<u32>() {
             Ok(pid) => {
                 let st = state.lock();
@@ -655,6 +854,76 @@ pub enum CpusPollReply {
     Unsupported,
 }
 
+/// A decoded reply to `EVENTS <pid> <batch>` (the flight-recorder push).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventsReply {
+    /// The server journaled the batch (and refreshed the lease).
+    Accepted {
+        /// The replying server's boot epoch.
+        epoch: u64,
+    },
+    /// No live registration for this pid — re-register before pushing.
+    Unregistered,
+    /// The server predates the flight-recorder extension (it answered
+    /// `ERR malformed`). Stop pushing until the next reconnect.
+    Unsupported,
+}
+
+/// A decoded reply to `TRACE <pid> [max]` (the journal drain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceReply {
+    /// The oldest journaled events for the pid (possibly none), removed
+    /// from the server's journal by this read.
+    Events {
+        /// The replying server's boot epoch — merge tooling uses it to
+        /// correlate drains across server restarts.
+        epoch: u64,
+        /// Drained events, oldest first.
+        events: Vec<TraceEvent>,
+    },
+    /// The server predates the extension (it answered `ERR`).
+    Unsupported,
+}
+
+/// One application's row in a `STATS ALL` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppStatsEntry {
+    /// The application's registered pid.
+    pub pid: u32,
+    /// Its current partition target.
+    pub target: u32,
+    /// The worker count it registered with.
+    pub nworkers: u32,
+    /// Its latest `REPORT` line verbatim (empty when it never reported).
+    pub report: String,
+}
+
+impl AppStatsEntry {
+    fn parse(part: &str) -> Option<AppStatsEntry> {
+        let mut fields = part.split_whitespace();
+        let pid = fields.next()?.strip_prefix("pid=")?.parse().ok()?;
+        let target = fields.next()?.strip_prefix("target=")?.parse().ok()?;
+        let nworkers = fields.next()?.strip_prefix("nworkers=")?.parse().ok()?;
+        Some(AppStatsEntry {
+            pid,
+            target,
+            nworkers,
+            report: fields.collect::<Vec<_>>().join(" "),
+        })
+    }
+}
+
+/// A decoded reply to `STATS ALL` (the one-round-trip fleet snapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatsAllReply {
+    /// Every registered application's target and latest report.
+    Apps(Vec<AppStatsEntry>),
+    /// The server predates the verb ("ALL" fails its pid parse and it
+    /// answered `ERR malformed`). Fall back to per-pid
+    /// [`UdsClient::app_stats`] calls.
+    Unsupported,
+}
+
 /// Client-side connection to a [`UdsServer`].
 #[derive(Debug)]
 pub struct UdsClient {
@@ -680,19 +949,29 @@ impl UdsClient {
         nworkers: u32,
         io_timeout: Duration,
     ) -> io::Result<Self> {
+        let mut client = Self::connect(path, io_timeout)?;
+        client.nworkers = nworkers;
+        client.re_register()?;
+        Ok(client)
+    }
+
+    /// Connects **without registering** — an observer connection for
+    /// monitors (`schedtop`, trace-merge tooling) that read `STATS`,
+    /// `STATS ALL`, `STATS <pid>`, and `TRACE <pid>` but must not take a
+    /// share of the partition. Calling [`UdsClient::poll`] on an
+    /// unregistered connection answers `Unregistered`, as it should.
+    pub fn connect(path: impl AsRef<Path>, io_timeout: Duration) -> io::Result<Self> {
         let stream = UnixStream::connect(path)?;
         stream.set_read_timeout(Some(io_timeout))?;
         stream.set_write_timeout(Some(io_timeout))?;
         let writer = stream.try_clone()?;
-        let mut client = UdsClient {
+        Ok(UdsClient {
             reader: BufReader::new(stream),
             writer,
             pid: std::process::id(),
-            nworkers,
+            nworkers: 0,
             epoch: 0,
-        };
-        client.re_register()?;
-        Ok(client)
+        })
     }
 
     /// Re-sends REGISTER on the existing connection (after `ERR
@@ -798,6 +1077,91 @@ impl UdsClient {
             ["ERR", ..] => Ok(CpusPollReply::Unsupported),
             _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
         }
+    }
+
+    /// Pushes a batch of flight-recorder events for this process into
+    /// the server's bounded journal (refreshing the lease, like POLL).
+    /// An empty batch sends nothing and reports the last-known epoch.
+    ///
+    /// Wire compatibility mirrors the CPU-set extension: a pre-extension
+    /// server answers `ERR malformed`, surfaced as
+    /// [`EventsReply::Unsupported`] — the cue to stop pushing.
+    pub fn push_events(&mut self, events: &[TraceEvent]) -> io::Result<EventsReply> {
+        if events.is_empty() {
+            return Ok(EventsReply::Accepted { epoch: self.epoch });
+        }
+        let pid = self.pid;
+        let payload = trace::render_events(events);
+        self.send(&format!("EVENTS {pid} {payload}\n"))?;
+        let line = self.read_line()?;
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["OK", e] => match e.parse() {
+                Ok(epoch) => Ok(EventsReply::Accepted { epoch }),
+                Err(_) => Err(io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+            },
+            ["ERR", "unregistered"] => Ok(EventsReply::Unregistered),
+            ["ERR", ..] => Ok(EventsReply::Unsupported),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
+    /// Drains up to `max` (server default when `None`) of the oldest
+    /// journaled events for `pid` — both the events that application
+    /// pushed and the server's own decision instants. Any client may
+    /// read any pid's journal; the drain is destructive.
+    pub fn trace(&mut self, pid: u32, max: Option<usize>) -> io::Result<TraceReply> {
+        match max {
+            Some(m) => self.send(&format!("TRACE {pid} {m}\n"))?,
+            None => self.send(&format!("TRACE {pid}\n"))?,
+        }
+        let line = self.read_line()?;
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["TRACE", e, n, rest @ ..] => {
+                let parsed = (e.parse::<u64>(), n.parse::<usize>());
+                let (Ok(epoch), Ok(n)) = parsed else {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, line.clone()));
+                };
+                let events = match rest {
+                    [] => Vec::new(),
+                    [payload] => trace::parse_events(payload)
+                        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, line.clone()))?,
+                    _ => return Err(io::Error::new(io::ErrorKind::InvalidData, line.clone())),
+                };
+                if events.len() != n {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, line.clone()));
+                }
+                Ok(TraceReply::Events { epoch, events })
+            }
+            ["ERR", ..] => Ok(TraceReply::Unsupported),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, line)),
+        }
+    }
+
+    /// Fetches every registered application's target and latest report
+    /// in one round-trip — what `schedtop` refreshes on. A pre-verb
+    /// server answers `ERR malformed`, surfaced as
+    /// [`StatsAllReply::Unsupported`].
+    pub fn stats_all(&mut self) -> io::Result<StatsAllReply> {
+        self.send("STATS ALL\n")?;
+        let line = self.read_line()?;
+        if line.starts_with("ERR") {
+            return Ok(StatsAllReply::Unsupported);
+        }
+        let rest = line
+            .strip_prefix("STATS ALL")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, line.clone()))?
+            .trim_start();
+        if rest.is_empty() {
+            return Ok(StatsAllReply::Apps(Vec::new()));
+        }
+        let apps = rest
+            .split('|')
+            .map(|part| {
+                AppStatsEntry::parse(part)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, part.to_string()))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(StatsAllReply::Apps(apps))
     }
 
     /// Polls the server for this process's current target. An
@@ -1239,6 +1603,7 @@ mod tests {
             }],
             last_sample: None,
             reports: std::collections::BTreeMap::new(),
+            journals: std::collections::BTreeMap::new(),
         });
         handle_line(line, &state, &cfg, &registry, 7)
     }
@@ -1262,6 +1627,7 @@ mod tests {
             ],
             last_sample: None,
             reports: std::collections::BTreeMap::new(),
+            journals: std::collections::BTreeMap::new(),
         })
     }
 
@@ -1339,6 +1705,199 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    fn ev(ts_ns: u64, kind: EventKind, arg: u32) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            worker: 0,
+            kind,
+            arg,
+        }
+    }
+
+    #[test]
+    fn events_push_and_trace_drain_roundtrip() {
+        let path = sock_path("events");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 16).expect("client");
+        // The first poll journals a decision instant (target 8).
+        assert_eq!(c.poll().expect("poll"), 8);
+        let batch = vec![
+            ev(10, EventKind::JobStart, 3),
+            ev(20, EventKind::Steal, 1),
+            ev(30, EventKind::Park, 0),
+        ];
+        match c.push_events(&batch).expect("push") {
+            EventsReply::Accepted { epoch } => assert_eq!(epoch, c.epoch()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let me = std::process::id();
+        match c.trace(me, None).expect("trace") {
+            TraceReply::Events { epoch, events } => {
+                assert_eq!(epoch, c.epoch());
+                assert_eq!(events.len(), 4, "decision + 3 pushed: {events:?}");
+                assert_eq!(events[0].kind, EventKind::Decision);
+                assert_eq!(events[0].arg, 8);
+                assert_eq!(&events[1..], &batch[..]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The drain is destructive: a second read is empty.
+        match c.trace(me, None).expect("trace again") {
+            TraceReply::Events { events, .. } => assert!(events.is_empty()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // After BYE the pid is unregistered for pushes.
+        c.bye().expect("bye");
+        assert_eq!(
+            c.push_events(&batch).expect("push after bye"),
+            EventsReply::Unregistered
+        );
+        assert!(server.stats().counters["events_pushes"] >= 1);
+        assert!(server.stats().counters["traces"] >= 2);
+    }
+
+    #[test]
+    fn trace_max_caps_the_drain_oldest_first() {
+        let path = sock_path("tracemax");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        let batch: Vec<TraceEvent> = (0..5)
+            .map(|i| ev(i * 100, EventKind::JobStart, i as u32))
+            .collect();
+        assert!(matches!(
+            c.push_events(&batch).expect("push"),
+            EventsReply::Accepted { .. }
+        ));
+        let me = std::process::id();
+        match c.trace(me, Some(2)).expect("trace max 2") {
+            TraceReply::Events { events, .. } => {
+                assert_eq!(events, batch[..2], "oldest two first");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match c.trace(me, None).expect("trace rest") {
+            TraceReply::Events { events, .. } => assert_eq!(events, batch[2..]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_bounded_drops_oldest_and_counts() {
+        let path = sock_path("journalcap");
+        let mut cfg = UdsServerConfig::new(&path, 8);
+        cfg.journal_cap = 4;
+        let server = UdsServer::start(cfg).expect("server");
+        let mut c = UdsClient::register(&path, 4).expect("client");
+        let batch: Vec<TraceEvent> = (0..10)
+            .map(|i| ev(i, EventKind::JobStart, i as u32))
+            .collect();
+        assert!(matches!(
+            c.push_events(&batch).expect("push"),
+            EventsReply::Accepted { .. }
+        ));
+        match c.trace(std::process::id(), None).expect("trace") {
+            TraceReply::Events { events, .. } => {
+                assert_eq!(events, batch[6..], "survivors are the newest 4");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(server.stats().counters["journal_drops"], 6);
+    }
+
+    #[test]
+    fn decision_journal_records_target_changes_not_every_poll() {
+        let path = sock_path("decisions");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 16).expect("client");
+        // Several polls at a stable partition: one decision instant.
+        for _ in 0..3 {
+            assert_eq!(c.poll().expect("poll"), 8);
+        }
+        // A second application (pid 1 — init, alive under /proc pruning)
+        // halves the partition; the next poll journals the change.
+        c.send("REGISTER 1 16\n").expect("send");
+        assert!(c.read_line().expect("reply").starts_with("OK"));
+        assert_eq!(c.poll().expect("poll"), 4);
+        match c.trace(std::process::id(), None).expect("trace") {
+            TraceReply::Events { events, .. } => {
+                let decisions: Vec<u32> = events
+                    .iter()
+                    .filter(|e| e.kind == EventKind::Decision)
+                    .map(|e| e.arg)
+                    .collect();
+                assert_eq!(decisions, vec![8, 4], "one instant per change");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_all_snapshots_every_app_in_one_roundtrip() {
+        let path = sock_path("statsall");
+        let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
+        let mut c = UdsClient::register(&path, 16).expect("client");
+        c.send("REGISTER 1 16\n").expect("send");
+        assert!(c.read_line().expect("reply").starts_with("OK"));
+        c.report("jobs_run=42 steals=3").expect("report");
+        match c.stats_all().expect("stats all") {
+            StatsAllReply::Apps(apps) => {
+                assert_eq!(apps.len(), 2, "{apps:?}");
+                let me = apps
+                    .iter()
+                    .find(|a| a.pid == std::process::id())
+                    .expect("own entry");
+                assert_eq!(me.target, 4);
+                assert_eq!(me.nworkers, 16);
+                assert_eq!(me.report, "jobs_run=42 steals=3");
+                let init = apps.iter().find(|a| a.pid == 1).expect("init entry");
+                assert_eq!(init.target, 4);
+                assert_eq!(init.report, "");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observability_verbs_against_pre_extension_server_are_unsupported() {
+        // An old server answers REGISTER and nothing else (its parser
+        // falls through to ERR malformed) — every new verb must degrade,
+        // not error.
+        let path = sock_path("oldserver-obs");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind");
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            for _ in 0..4 {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let reply = if line.starts_with("REGISTER") {
+                    "OK 1\n"
+                } else {
+                    "ERR malformed\n"
+                };
+                writer.write_all(reply.as_bytes()).expect("write");
+            }
+        });
+        let mut c = UdsClient::register(&path, 4).expect("register on old server");
+        assert_eq!(
+            c.push_events(&[ev(1, EventKind::JobStart, 0)])
+                .expect("push"),
+            EventsReply::Unsupported
+        );
+        assert_eq!(c.trace(1, None).expect("trace"), TraceReply::Unsupported);
+        assert_eq!(
+            c.stats_all().expect("stats all"),
+            StatsAllReply::Unsupported
+        );
+        handle.join().expect("old server thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn weighted_equal_reports_reduce_to_equal_partition() {
         let mut cfg = UdsServerConfig::new("/nonexistent", 8);
@@ -1395,6 +1954,7 @@ mod tests {
             let valid = reply.starts_with("ERR ")
                 || reply.starts_with("OK ")
                 || reply.starts_with("TARGET ")
+                || reply.starts_with("TRACE ")
                 || reply.starts_with("STATS");
             prop_assert!(valid, "unclassifiable reply: {:?}", reply);
         }
@@ -1403,7 +1963,7 @@ mod tests {
         /// either (overflow pids, absurd worker counts, huge stats pids).
         #[test]
         fn wire_parser_total_on_numeric_edge_cases(
-            verb in 0usize..5,
+            verb in 0usize..7,
             a in any::<u64>(),
             b in any::<u64>(),
         ) {
@@ -1412,10 +1972,35 @@ mod tests {
                 1 => format!("POLL {a}"),
                 2 => format!("BYE {a}"),
                 3 => format!("REPORT {a} x={b}"),
+                4 => format!("TRACE {a} {b}"),
+                5 => format!("EVENTS {a} {b}:js:0:0"),
                 _ => format!("STATS {a}"),
             };
             let reply = fuzz_reply(&line);
             prop_assert!(reply.ends_with('\n'));
+        }
+
+        /// The TRACE verb is total over arbitrary pid/max strings (not
+        /// just numeric ones): every reply is a single line, either a
+        /// well-formed `TRACE <epoch> <n> …` or an `ERR`.
+        #[test]
+        fn trace_verb_total_on_arbitrary_arguments(
+            pid in "[ -~]{0,12}",
+            max in "[ -~]{0,12}",
+        ) {
+            let reply = fuzz_reply(&format!("TRACE {pid} {max}"));
+            prop_assert!(reply.ends_with('\n'));
+            prop_assert_eq!(reply.matches('\n').count(), 1);
+            prop_assert!(
+                reply.starts_with("TRACE ") || reply.starts_with("ERR "),
+                "unclassifiable reply: {:?}", reply
+            );
+            if let Some(rest) = reply.strip_prefix("TRACE ") {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                prop_assert!(fields.len() >= 2, "short TRACE reply: {:?}", reply);
+                prop_assert!(fields[0].parse::<u64>().is_ok());
+                prop_assert!(fields[1].parse::<usize>().is_ok());
+            }
         }
     }
 }

@@ -80,7 +80,7 @@ impl ThreadsApp {
     /// A copy of the span records emitted so far (task pickup/finish,
     /// suspension enter/exit, queue-lock waits, control polls).
     pub fn spans(&self) -> Vec<crate::span::SpanRecord> {
-        self.shared.borrow().spans().records().to_vec()
+        self.shared.borrow().spans().records()
     }
 
     /// Poll-to-convergence latencies observed so far: how long after each
@@ -88,7 +88,8 @@ impl ThreadsApp {
     /// [`crate::poll_to_convergence`].
     pub fn convergence(&self) -> Vec<(desim::SimTime, desim::SimDur)> {
         let sh = self.shared.borrow();
-        crate::span::poll_to_convergence(sh.spans().records(), sh.nprocs())
+        let records = sh.spans().records();
+        crate::span::poll_to_convergence(&records, sh.nprocs())
     }
 }
 

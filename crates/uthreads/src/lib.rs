@@ -23,6 +23,6 @@ mod worker;
 
 pub use app::{launch, AppSpec, ThreadsApp};
 pub use shared::{AppMetrics, AppShared, ControlParams, ThreadsConfig};
-pub use span::{poll_to_convergence, SpanKind, SpanLog, SpanRecord};
+pub use span::{poll_to_convergence, wake_to_run, SpanKind, SpanLog, SpanRecord};
 pub use task::{BarrierId, ChanId, FnTask, OpsBody, Task, TaskBody, TaskEvent, TaskOp};
 pub use worker::Worker;

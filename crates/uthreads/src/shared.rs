@@ -64,6 +64,10 @@ pub struct ThreadsConfig {
     /// Process-control parameters; `None` reproduces the unmodified
     /// package (the paper's dashed curves).
     pub control: Option<ControlParams>,
+    /// Span-log capacity (records retained); 0 = unbounded. The figure
+    /// harnesses replay full histories, so unbounded is the default;
+    /// bounded logs mirror the native flight recorder's drop-oldest ring.
+    pub span_capacity: usize,
 }
 
 /// How an application learns its target number of runnable processes.
@@ -108,6 +112,7 @@ impl ThreadsConfig {
             queue_op: SimDur::from_micros(800),
             idle_spin: SimDur::from_micros(500),
             control: None,
+            span_capacity: 0,
         }
     }
 
@@ -181,6 +186,7 @@ pub struct AppShared {
 impl AppShared {
     pub(crate) fn new(cfg: ThreadsConfig, qlock: LockId) -> Self {
         let active = cfg.nprocs;
+        let spans = SpanLog::bounded(cfg.span_capacity);
         AppShared {
             cfg,
             queue: VecDeque::new(),
@@ -194,7 +200,7 @@ impl AppShared {
             poll_in_flight: false,
             control: None,
             metrics: AppMetrics::default(),
-            spans: SpanLog::default(),
+            spans,
         }
     }
 

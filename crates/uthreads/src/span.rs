@@ -53,31 +53,56 @@ pub struct SpanRecord {
     pub kind: SpanKind,
 }
 
-/// An append-only log of span records for one application.
+/// A log of span records for one application — the simulation's mirror
+/// of `native-rt`'s flight-recorder ring. Unbounded by default (the
+/// figure harnesses replay full histories); [`SpanLog::bounded`] gives
+/// it flight-recorder semantics: a fixed capacity where the oldest
+/// record is dropped (and counted) to admit the newest.
 #[derive(Clone, Debug, Default)]
 pub struct SpanLog {
-    records: Vec<SpanRecord>,
+    records: std::collections::VecDeque<SpanRecord>,
+    /// Maximum records retained; 0 = unbounded.
+    capacity: usize,
+    dropped: u64,
 }
 
 impl SpanLog {
-    /// Appends a record.
+    /// A bounded log holding at most `capacity` records (0 = unbounded).
+    pub fn bounded(capacity: usize) -> Self {
+        SpanLog {
+            records: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest at capacity.
     pub(crate) fn push(&mut self, time: SimTime, pid: Pid, kind: SpanKind) {
-        self.records.push(SpanRecord { time, pid, kind });
+        if self.capacity != 0 && self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(SpanRecord { time, pid, kind });
     }
 
-    /// All records in emission order.
-    pub fn records(&self) -> &[SpanRecord] {
-        &self.records
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.iter().copied().collect()
     }
 
-    /// Number of records.
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// How many records were evicted to make room (0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -111,6 +136,32 @@ pub fn poll_to_convergence(records: &[SpanRecord], initial_active: u32) -> Vec<(
                 out.push((since, r.time.since(since)));
                 pending = None;
             }
+        }
+    }
+    out
+}
+
+/// Wake-to-run latencies: for each resumed worker, the time from its
+/// [`SpanKind::SuspendExit`] to its next [`SpanKind::TaskStart`] — the
+/// simulated twin of the native runtime's `wake_to_run_ns` histogram
+/// (how long a worker sat runnable after a resume decision before doing
+/// useful work). A worker resumed again before ever starting a task
+/// restarts its clock; a worker that never runs again contributes
+/// nothing.
+pub fn wake_to_run(records: &[SpanRecord]) -> Vec<(Pid, SimTime, SimDur)> {
+    let mut pending: std::collections::BTreeMap<u32, SimTime> = Default::default();
+    let mut out = Vec::new();
+    for r in records {
+        match r.kind {
+            SpanKind::SuspendExit => {
+                pending.insert(r.pid.0, r.time);
+            }
+            SpanKind::TaskStart => {
+                if let Some(woke) = pending.remove(&r.pid.0) {
+                    out.push((r.pid, woke, r.time.since(woke)));
+                }
+            }
+            _ => {}
         }
     }
     out
@@ -163,5 +214,68 @@ mod tests {
     fn already_met_targets_produce_no_entry() {
         let records = vec![rec(100, SpanKind::TargetApplied { target: 4 })];
         assert!(poll_to_convergence(&records, 4).is_empty());
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest_and_counts() {
+        let mut log = SpanLog::bounded(3);
+        for ms in 0..5 {
+            log.push(
+                SimTime::ZERO + SimDur::from_millis(ms),
+                Pid(0),
+                SpanKind::TaskStart,
+            );
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let times: Vec<SimTime> = log.records().iter().map(|r| r.time).collect();
+        // Survivors are the newest three, oldest first.
+        assert_eq!(
+            times,
+            (2..5)
+                .map(|ms| SimTime::ZERO + SimDur::from_millis(ms))
+                .collect::<Vec<_>>()
+        );
+        // Unbounded (the default) never drops.
+        let mut unbounded = SpanLog::default();
+        for ms in 0..100 {
+            unbounded.push(
+                SimTime::ZERO + SimDur::from_millis(ms),
+                Pid(0),
+                SpanKind::TaskStart,
+            );
+        }
+        assert_eq!(unbounded.len(), 100);
+        assert_eq!(unbounded.dropped(), 0);
+    }
+
+    fn prec(ms: u64, pid: u32, kind: SpanKind) -> SpanRecord {
+        SpanRecord {
+            time: SimTime::ZERO + SimDur::from_millis(ms),
+            pid: Pid(pid),
+            kind,
+        }
+    }
+
+    #[test]
+    fn wake_to_run_pairs_resume_with_next_task_start_per_pid() {
+        let records = vec![
+            prec(100, 1, SpanKind::SuspendExit),
+            // Another pid's task start must not consume pid 1's pending
+            // wake.
+            prec(120, 2, SpanKind::TaskStart),
+            prec(150, 1, SpanKind::TaskStart),
+            // A wake that never runs again contributes nothing.
+            prec(200, 3, SpanKind::SuspendExit),
+            // A second resume of pid 1 restarts its clock.
+            prec(300, 1, SpanKind::SuspendExit),
+            prec(310, 1, SpanKind::SuspendExit),
+            prec(340, 1, SpanKind::TaskStart),
+        ];
+        let w = wake_to_run(&records);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].0, Pid(1));
+        assert_eq!(w[0].2, SimDur::from_millis(50));
+        assert_eq!(w[1].2, SimDur::from_millis(30));
     }
 }

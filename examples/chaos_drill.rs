@@ -30,7 +30,9 @@ fn main() {
     cfg.io_timeout = Duration::from_millis(250);
     cfg.backoff_initial = Duration::from_millis(20);
     cfg.backoff_max = Duration::from_millis(200);
-    let sup = SupervisedClient::new(cfg, pool.registry());
+    // The poller ships the pool's flight-recorder rings over EVENTS each
+    // round; the server journals them next to its own decision instants.
+    let sup = SupervisedClient::new(cfg, pool.registry()).with_recorder(pool.recorder());
     let first_epoch = sup.epoch().expect("registered");
     let _poller = sup.spawn_poller(Arc::clone(&slot), Duration::from_millis(25), true);
 
@@ -94,8 +96,10 @@ fn main() {
 
     // The poller REPORTs the pool registry, so the recovery is visible
     // over the wire to any client — this is what an operator would see.
+    // An observer `connect`s without registering, so watching the fleet
+    // never takes a processor share away from it.
     std::thread::sleep(Duration::from_millis(60)); // one more REPORT cycle
-    let mut observer = UdsClient::register(&path, 1).expect("observer");
+    let mut observer = UdsClient::connect(&path, native_rt::DEFAULT_IO_TIMEOUT).expect("observer");
     let line = observer
         .app_stats(std::process::id())
         .expect("app stats over the wire");
@@ -124,6 +128,34 @@ fn main() {
         t(start),
         server.stats().render_line()
     );
+
+    // Drain the server's journal for this app (shipped ring events plus
+    // the post-restart decision instants) and merge it into a Perfetto
+    // fleet timeline — the wire-path twin of `pool_bench --trace-out`.
+    match observer
+        .trace(std::process::id(), None)
+        .expect("TRACE over the wire")
+    {
+        native_rt::TraceReply::Events { epoch, events } => {
+            let app = bench::fleettrace::app_timeline(
+                u64::from(std::process::id()),
+                "drill pool",
+                &events,
+            );
+            let doc = metrics::perfetto::sched_timeline(&[app]).finish().render();
+            let out = std::env::temp_dir().join("chaos_drill_fleet_trace.json");
+            std::fs::write(&out, &doc).expect("write fleet timeline");
+            println!(
+                "[t={}ms] fleet timeline: {} journaled events (epoch {epoch}) -> {}",
+                t(start),
+                events.len(),
+                out.display()
+            );
+        }
+        native_rt::TraceReply::Unsupported => {
+            println!("[t={}ms] server predates TRACE — no timeline", t(start));
+        }
+    }
 }
 
 #[cfg(not(target_os = "linux"))]

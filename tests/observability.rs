@@ -1,7 +1,8 @@
 //! Observability-pipeline tests: cycle-ledger conservation on the
 //! Figure-4 scenario, the control-on vs control-off waste deltas, the
-//! server's decision log, convergence measurement, and the validity of
-//! the Perfetto/JSON exports.
+//! server's decision log, convergence measurement, the flight-recorder
+//! latency derivations (native and simulated wake-to-run), the merged
+//! fleet timeline, and the validity of the Perfetto/JSON exports.
 
 use bench::{
     fig4_launches, report_json, run_scenario_instrumented, scenario_trace, ScenarioRun, SimEnv,
@@ -151,6 +152,124 @@ fn perfetto_export_is_valid_json_with_consistent_timestamps() {
                 ts1 >= ts0 + dur0 - 1e-6,
                 "overlapping slices on pid {pid} tid {tid} cat {cat}: \
                  [{ts0}, {}) then {ts1}",
+                ts0 + dur0
+            );
+        }
+    }
+}
+
+/// The native flight recorder's derived wake-to-run latency is sane on a
+/// real suspend/resume cycle: present once a squeezed pool is released,
+/// strictly positive, and bounded by the test's own wall-clock.
+#[test]
+fn native_wake_to_run_latency_is_plausible() {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let slot = Arc::new(native_rt::TargetSlot::new(4));
+    let pool = native_rt::Pool::with_slot(Arc::clone(&slot), 4, false);
+    let start = std::time::Instant::now();
+    slot.target.store(1, Ordering::Release);
+    for _ in 0..200 {
+        pool.execute(|| std::thread::sleep(Duration::from_micros(50)));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while pool.metrics().suspends == 0 {
+        assert!(std::time::Instant::now() < deadline, "no worker suspended");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    slot.target.store(4, Ordering::Release);
+    for _ in 0..200 {
+        pool.execute(|| std::thread::sleep(Duration::from_micros(50)));
+    }
+    pool.wait_idle();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    let snap = pool.stats();
+    let h = &snap.histograms["wake_to_run_ns"];
+    assert!(h.count >= 1, "no wake-to-run samples after resume");
+    assert!(h.mean() > 0.0, "wake-to-run mean must be positive");
+    let p99 = h.quantile(0.99).expect("p99 with samples");
+    assert!(
+        p99 <= elapsed_ns,
+        "wake-to-run p99 ({p99} ns) exceeds the whole run ({elapsed_ns} ns)"
+    );
+}
+
+/// The simulation's mirror of the same metric: on a controlled Figure-4
+/// run, `uthreads::wake_to_run` pairs each resume with that worker's
+/// next task pickup, and every latency is positive and within the run.
+#[test]
+fn sim_wake_to_run_mirrors_native_histogram() {
+    let ctl = run(Some(SimDur::from_millis(250)));
+    let mut total = 0usize;
+    for a in &ctl.apps {
+        for (pid, woke, lat) in uthreads::wake_to_run(&a.spans) {
+            assert!(lat.nanos() > 0, "zero wake-to-run for {pid:?}");
+            assert!(woke >= a.start, "wake before app launch");
+            total += 1;
+        }
+    }
+    assert!(
+        total >= 1,
+        "controlled run produced no wake-to-run samples (no resumes?)"
+    );
+}
+
+/// The merged fleet timeline (two pools, one controller, decision
+/// instants) is valid JSON, shows both applications, and every track's
+/// slices are time-ordered and non-overlapping — the "merged traces
+/// never go backwards" guarantee of the single clock origin.
+#[test]
+fn fleet_timeline_is_valid_and_monotonic_per_track() {
+    let doc = bench::fleettrace::fleet_drill(64).finish().render();
+    let back = json::parse(&doc).expect("fleet timeline is valid JSON");
+    let events = back
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents");
+
+    let mut pids = std::collections::BTreeSet::new();
+    let mut slices: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    let mut decisions = std::collections::BTreeSet::new();
+    for e in events {
+        let ts = e.get("ts").and_then(|v| v.as_num()).unwrap_or(0.0);
+        assert!(ts.is_finite() && ts >= 0.0, "bad timestamp {ts}");
+        let pid = e.get("pid").and_then(|v| v.as_num()).expect("pid") as u64;
+        let tid = e.get("tid").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
+        pids.insert(pid);
+        match e.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                let dur = e.get("dur").and_then(|v| v.as_num()).expect("dur");
+                assert!(dur >= 0.0, "negative duration {dur}");
+                slices.entry((pid, tid)).or_default().push((ts, dur));
+            }
+            Some("i") if e.get("name").and_then(|v| v.as_str()) == Some("decision") => {
+                decisions.insert(pid);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        pids.into_iter().collect::<Vec<_>>(),
+        vec![1, 2],
+        "expected exactly the two drill applications"
+    );
+    assert_eq!(
+        decisions.into_iter().collect::<Vec<_>>(),
+        vec![1, 2],
+        "both applications need decision instants"
+    );
+    for ((pid, tid), mut sl) in slices {
+        sl.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ts"));
+        for w in sl.windows(2) {
+            let (ts0, dur0) = w[0];
+            let (ts1, _) = w[1];
+            assert!(
+                ts1 >= ts0 + dur0 - 1e-6,
+                "track pid {pid} tid {tid} goes backwards: [{ts0}, {}) then {ts1}",
                 ts0 + dur0
             );
         }
