@@ -1,23 +1,33 @@
 //! `perf_guard` — CI throughput-regression guard for the work-stealing
-//! pool.
+//! pool and the control-plane server.
 //!
-//! Compares a fresh `pool_bench --smoke` report against the checked-in
-//! baseline (`results/pool_bench_smoke_baseline.json`), matching the
-//! *stealing*-engine rows by config label and comparing `jobs_per_sec`.
-//! The run fails (exit 1) when the geometric-mean throughput ratio drops
-//! below 0.75 (a >25% fleet-wide regression) or any single matched
-//! config drops below 0.50 — the single-config gate is looser because
-//! one smoke-sized row on a noisy shared runner can easily halve without
-//! meaning anything, while a uniform 25% drop across the matrix cannot.
+//! Judges two smoke reports against their checked-in baselines:
+//!
+//! * `pool_bench --smoke` (`results/pool_bench_smoke.json` vs
+//!   `results/pool_bench_smoke_baseline.json`) — the *stealing*-engine
+//!   rows, compared on `jobs_per_sec`.
+//! * `serverd_bench --smoke` (`results/serverd_bench_smoke.json` vs
+//!   `results/serverd_bench_smoke_baseline.json`) — the *reactor*-engine
+//!   rows, compared on `frames_per_sec`. The thread-per-connection rows
+//!   are the experiment's baseline, not the protected engine, so they
+//!   are ignored here just as the central-queue pool rows are.
+//!
+//! A section fails (exit 1) when its geometric-mean throughput ratio
+//! drops below 0.75 (a >25% fleet-wide regression) or any single
+//! matched config drops below 0.50 — the single-config gate is looser
+//! because one smoke-sized row on a noisy shared runner can easily
+//! halve without meaning anything, while a uniform 25% drop across the
+//! matrix cannot.
 //!
 //! ```text
-//! USAGE: perf_guard [--fresh PATH] [--baseline PATH] [--write-baseline]
+//! USAGE: perf_guard [--fresh PATH] [--baseline PATH]
+//!                   [--serverd-fresh PATH] [--serverd-baseline PATH]
+//!                   [--write-baseline]
 //! ```
 //!
-//! `--write-baseline` promotes the fresh report to the new baseline
-//! instead of judging it (used when a deliberate change moves the
-//! floor). Central-engine rows are ignored: the guard protects the
-//! work-stealing engine, which is where the scheduling changes land.
+//! `--write-baseline` promotes both fresh reports to new baselines
+//! instead of judging them (used when a deliberate change moves the
+//! floor).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -28,19 +38,30 @@ use metrics::JsonValue;
 const GEOMEAN_FLOOR: f64 = 0.75;
 const SINGLE_FLOOR: f64 = 0.50;
 
-/// `config label -> jobs_per_sec` for the stealing-engine rows.
-fn stealing_rates(doc: &JsonValue) -> BTreeMap<String, f64> {
+/// One guarded report pair: which engine's rows are protected and on
+/// which throughput field.
+struct Section {
+    name: &'static str,
+    fresh_path: String,
+    baseline_path: String,
+    engine: &'static str,
+    rate_field: &'static str,
+    regen_hint: &'static str,
+}
+
+/// `config label -> rate` for the section's protected-engine rows.
+fn rates(doc: &JsonValue, engine: &str, rate_field: &str) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     let Some(runs) = doc.get("runs").and_then(JsonValue::as_arr) else {
         return out;
     };
     for run in runs {
-        if run.get("engine").and_then(JsonValue::as_str) != Some("stealing") {
+        if run.get("engine").and_then(JsonValue::as_str) != Some(engine) {
             continue;
         }
         let (Some(label), Some(rate)) = (
             run.get("config").and_then(JsonValue::as_str),
-            run.get("jobs_per_sec").and_then(JsonValue::as_num),
+            run.get(rate_field).and_then(JsonValue::as_num),
         ) else {
             continue;
         };
@@ -51,67 +72,33 @@ fn stealing_rates(doc: &JsonValue) -> BTreeMap<String, f64> {
     out
 }
 
-fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+fn load(path: &str, engine: &str, rate_field: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
-    let rates = stealing_rates(&doc);
-    if rates.is_empty() {
-        return Err(format!("{path} contains no stealing-engine runs"));
+    let out = rates(&doc, engine, rate_field);
+    if out.is_empty() {
+        return Err(format!("{path} contains no {engine}-engine runs"));
     }
-    Ok(rates)
+    Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let mut fresh_path = "results/pool_bench_smoke.json".to_string();
-    let mut baseline_path = "results/pool_bench_smoke_baseline.json".to_string();
-    let mut write_baseline = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--fresh" => {
-                i += 1;
-                fresh_path = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--baseline" => {
-                i += 1;
-                baseline_path = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--write-baseline" => write_baseline = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-        i += 1;
-    }
-
-    if write_baseline {
-        // Validate before promoting: a garbled report must not become
-        // the floor every future run is judged against.
-        if let Err(e) = load(&fresh_path) {
-            eprintln!("perf_guard: refusing to promote baseline: {e}");
-            return ExitCode::FAILURE;
-        }
-        let text = std::fs::read_to_string(&fresh_path).expect("just read it");
-        if let Err(e) = std::fs::write(&baseline_path, text) {
-            eprintln!("perf_guard: cannot write {baseline_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("perf_guard: promoted {fresh_path} -> {baseline_path}");
-        return ExitCode::SUCCESS;
-    }
-
-    let fresh = match load(&fresh_path) {
+/// Judges one section; returns whether it passed.
+fn judge(s: &Section) -> bool {
+    let fresh = match load(&s.fresh_path, s.engine, s.rate_field) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("perf_guard: {e} (run `pool_bench --smoke` first)");
-            return ExitCode::FAILURE;
+            eprintln!("perf_guard[{}]: {e} (run `{}` first)", s.name, s.regen_hint);
+            return false;
         }
     };
-    let baseline = match load(&baseline_path) {
+    let baseline = match load(&s.baseline_path, s.engine, s.rate_field) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("perf_guard: {e} (regenerate with --write-baseline)");
-            return ExitCode::FAILURE;
+            eprintln!(
+                "perf_guard[{}]: {e} (regenerate with --write-baseline)",
+                s.name
+            );
+            return false;
         }
     };
 
@@ -123,39 +110,114 @@ fn main() -> ExitCode {
     }
     if ratios.is_empty() {
         eprintln!(
-            "perf_guard: no config labels shared between {fresh_path} and {baseline_path} — \
-             the suite shape changed; regenerate the baseline with --write-baseline"
+            "perf_guard[{}]: no config labels shared between {} and {} — the suite shape \
+             changed; regenerate the baseline with --write-baseline",
+            s.name, s.fresh_path, s.baseline_path
         );
-        return ExitCode::FAILURE;
+        return false;
     }
 
     let geomean =
         (ratios.iter().map(|(_, _, _, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     println!(
-        "perf_guard: {} matched stealing configs, geomean ratio {:.3} (floor {GEOMEAN_FLOOR})",
+        "perf_guard[{}]: {} matched {} configs, geomean {} ratio {:.3} (floor {GEOMEAN_FLOOR})",
+        s.name,
         ratios.len(),
+        s.engine,
+        s.rate_field,
         geomean
     );
     let mut failed = false;
     for (label, base, now, ratio) in &ratios {
         let flag = if *ratio < SINGLE_FLOOR {
+            failed = true;
             "  << REGRESSION"
         } else {
             ""
         };
-        if *ratio < SINGLE_FLOOR {
-            failed = true;
-        }
         println!("  {label:<36} base {base:>12.0}  now {now:>12.0}  ratio {ratio:>5.2}{flag}");
     }
     if geomean < GEOMEAN_FLOOR {
         eprintln!(
-            "perf_guard: FAIL — geomean jobs/sec ratio {geomean:.3} below {GEOMEAN_FLOOR} \
-             (>25% fleet-wide throughput regression on the work-stealing engine)"
+            "perf_guard[{}]: FAIL — geomean {} ratio {geomean:.3} below {GEOMEAN_FLOOR} \
+             (>25% fleet-wide regression on the {} engine)",
+            s.name, s.rate_field, s.engine
         );
         failed = true;
     }
-    if failed {
+    !failed
+}
+
+/// Validates and promotes one fresh report to its baseline.
+fn promote(s: &Section) -> bool {
+    // Validate before promoting: a garbled report must not become the
+    // floor every future run is judged against.
+    if let Err(e) = load(&s.fresh_path, s.engine, s.rate_field) {
+        eprintln!("perf_guard[{}]: refusing to promote baseline: {e}", s.name);
+        return false;
+    }
+    let text = std::fs::read_to_string(&s.fresh_path).expect("just read it");
+    if let Err(e) = std::fs::write(&s.baseline_path, text) {
+        eprintln!(
+            "perf_guard[{}]: cannot write {}: {e}",
+            s.name, s.baseline_path
+        );
+        return false;
+    }
+    println!(
+        "perf_guard[{}]: promoted {} -> {}",
+        s.name, s.fresh_path, s.baseline_path
+    );
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut pool = Section {
+        name: "pool",
+        fresh_path: "results/pool_bench_smoke.json".into(),
+        baseline_path: "results/pool_bench_smoke_baseline.json".into(),
+        engine: "stealing",
+        rate_field: "jobs_per_sec",
+        regen_hint: "pool_bench --smoke",
+    };
+    let mut serverd = Section {
+        name: "serverd",
+        fresh_path: "results/serverd_bench_smoke.json".into(),
+        baseline_path: "results/serverd_bench_smoke_baseline.json".into(),
+        engine: "reactor",
+        rate_field: "frames_per_sec",
+        regen_hint: "serverd_bench --smoke",
+    };
+    let mut write_baseline = false;
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--fresh" => pool.fresh_path = take(&mut i),
+            "--baseline" => pool.baseline_path = take(&mut i),
+            "--serverd-fresh" => serverd.fresh_path = take(&mut i),
+            "--serverd-baseline" => serverd.baseline_path = take(&mut i),
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let sections = [pool, serverd];
+    let ok = if write_baseline {
+        sections.iter().all(promote)
+    } else {
+        // Judge every section even once one has failed: CI output with
+        // both verdicts beats stopping at the first.
+        let verdicts: Vec<bool> = sections.iter().map(judge).collect();
+        verdicts.into_iter().all(|v| v)
+    };
+    if !ok {
         return ExitCode::FAILURE;
     }
     println!("perf_guard: OK — no throughput regression beyond thresholds");
@@ -163,6 +225,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ! {
-    eprintln!("USAGE: perf_guard [--fresh PATH] [--baseline PATH] [--write-baseline]");
+    eprintln!(
+        "USAGE: perf_guard [--fresh PATH] [--baseline PATH] \
+         [--serverd-fresh PATH] [--serverd-baseline PATH] [--write-baseline]"
+    );
     std::process::exit(2);
 }

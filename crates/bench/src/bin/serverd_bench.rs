@@ -1,0 +1,54 @@
+//! `serverd_bench` — control-plane frame throughput, reactor vs threads.
+//!
+//! Sweeps the live UDS server across engines, connection counts, and
+//! frame mixes with a bounded open-loop pipelined generator (see
+//! [`bench::serverdbench`]); prints an aligned table plus the
+//! reactor-over-threads speedup on matched configurations, then writes
+//! `results/serverd_bench.json`. With `--smoke` (or `--quick`) a
+//! seconds-long subset runs — still including the 64-connection point
+//! the ≥5x acceptance criterion reads — and the artifact gets a
+//! `_smoke` suffix. `perf_guard` gates the reactor rows of the smoke
+//! artifact against `results/serverd_bench_smoke_baseline.json`.
+
+use bench::report::write_result;
+use bench::serverdbench::{results_json, results_table, run_config, speedups, suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let cfgs = suite(smoke);
+    println!(
+        "serverd_bench: {} configurations ({} mode) on {} host cpus",
+        cfgs.len(),
+        if smoke { "smoke" } else { "full" },
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut results = Vec::with_capacity(cfgs.len());
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let outcome = run_config(cfg);
+        println!(
+            "[{}/{}] {:<24} {:>10.0} frames/sec  p99 {:>7.1}µs",
+            i + 1,
+            cfgs.len(),
+            cfg.label(),
+            outcome.frames_per_sec,
+            outcome.p99_reply_ns as f64 / 1_000.0,
+        );
+        results.push((*cfg, outcome));
+    }
+
+    println!("\n== serverd_bench results ==\n");
+    print!("{}", results_table(&results));
+
+    println!("\n== reactor over threads (matched configs) ==\n");
+    for (label, s) in speedups(&results) {
+        println!("  {label:<20} {s:>6.2}x");
+    }
+
+    let suffix = if smoke { "_smoke" } else { "" };
+    write_result(
+        &format!("serverd_bench{suffix}.json"),
+        &results_json(&results).render_pretty(),
+    );
+}

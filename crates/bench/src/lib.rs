@@ -9,7 +9,9 @@
 //! trace, and a JSON report (see [`observe`]). The figure binaries accept
 //! `--json <path>` to also write their plotted series as JSON. The
 //! `pool_bench` binary (see [`poolbench`]) measures the native runtime's
-//! work-stealing pool against its central-queue baseline.
+//! work-stealing pool against its central-queue baseline, and the
+//! `serverd_bench` binary (see [`serverdbench`]) measures the control
+//! server's reactor core against the thread-per-connection baseline.
 
 #![warn(missing_docs)]
 
@@ -19,6 +21,8 @@ pub mod observe;
 pub mod poolbench;
 pub mod report;
 pub mod scenario;
+#[cfg(unix)]
+pub mod serverdbench;
 
 pub use figures::{
     ablation_cache, ablation_policies, ablation_poll, baselines, fig1, fig3, fig4, fig4_launches,

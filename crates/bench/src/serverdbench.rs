@@ -1,0 +1,478 @@
+//! The `serverd_bench` harness: control-plane throughput, measured.
+//!
+//! Drives a live [`native_rt::UdsServer`] with a fleet of concurrent
+//! connections, each a registered fake application firing pipelined
+//! windows of wire frames (`POLL`, or a POLL/REPORT mix) as fast as the
+//! server absorbs them — a bounded open-loop generator: every
+//! connection keeps `window` frames in flight, writes each window with
+//! one syscall, and clocks every reply against its window's send
+//! instant, so reply latency includes the server-side queueing the
+//! window creates. Sweeps engine × connection count × frame mix and
+//! reports frames/sec plus p50/p99 reply latency per configuration,
+//! then the reactor-over-threads speedup on matched configurations —
+//! the number the ISSUE's ≥5x acceptance criterion and the
+//! `perf_guard` control-plane gate read. The binary writes
+//! `results/serverd_bench.json` (`_smoke` suffix with `--smoke`).
+//!
+//! The server config under test disables `/proc` liveness pruning and
+//! stretches the lease TTL: the fleet's pids are fabricated, and the
+//! point is to measure the frame path, not the reaper.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use metrics::{table, JsonValue};
+use native_rt::{ServerEngine, Snapshot, UdsServer, UdsServerConfig};
+
+/// First fabricated application pid; connection `i` registers as
+/// `FAKE_PID_BASE + i` so every connection is a distinct application.
+const FAKE_PID_BASE: u32 = 900_000;
+
+/// Frames kept in flight per connection (written one window per
+/// syscall). Deep enough that the server, not the generator, is the
+/// bottleneck: each connection keeps a full window queued, so the
+/// engines face identical offered load and the measurement exposes
+/// how each absorbs a backlog — the reactor batches replies per
+/// wakeup, the thread engine pays a syscall per reply.
+pub const WINDOW: usize = 512;
+
+/// What the fleet sends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// 100% `POLL` — the steady-state heartbeat traffic.
+    Poll,
+    /// 3 `POLL` : 1 `REPORT` — heartbeats plus throughput feedback, the
+    /// worst case for partition recomputation (every REPORT under a
+    /// weighted policy dirties it).
+    Mixed,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Poll => "poll",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// The `k`-th frame a connection with fabricated pid `pid` sends.
+    fn frame(self, pid: u32, k: usize) -> String {
+        match self {
+            Mix::Poll => format!("POLL {pid}\n"),
+            Mix::Mixed if k % 4 == 3 => format!("REPORT {pid} jobs_run={k}\n"),
+            Mix::Mixed => format!("POLL {pid}\n"),
+        }
+    }
+}
+
+/// One benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Which server core answers the fleet.
+    pub engine: ServerEngine,
+    /// Concurrent connections (one fake application each).
+    pub connections: usize,
+    /// Frame mix each connection sends.
+    pub mix: Mix,
+    /// Frames each connection sends over the run.
+    pub frames_per_conn: usize,
+}
+
+impl Config {
+    /// A short unique label, e.g. `reactor/poll/c64`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/c{}",
+            self.engine.name(),
+            self.mix.name(),
+            self.connections
+        )
+    }
+}
+
+/// Measured outcome of one configuration.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Frames served (connections × frames_per_conn; every reply read).
+    pub frames: usize,
+    /// Wall-clock from the post-registration barrier to the last reply.
+    pub elapsed: Duration,
+    /// Frames per second over that window.
+    pub frames_per_sec: f64,
+    /// Median reply latency, nanoseconds.
+    pub p50_reply_ns: u64,
+    /// 99th-percentile reply latency, nanoseconds.
+    pub p99_reply_ns: u64,
+    /// Server stats snapshot at the end of the run.
+    pub stats: Snapshot,
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "procctl-serverd-bench-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One connection's run: register, wait on the barrier, then fire
+/// `frames` frames in pipelined windows, clocking every reply. Returns
+/// the reply latencies.
+///
+/// The generator is deliberately thin so the measurement stays a
+/// property of the *server*: each window's bytes are built once up
+/// front (one `write(2)` per window), and replies are counted by
+/// scanning raw reads for newlines — no per-line String parsing on the
+/// hot path. The first reply of the run is validated; frame/reply
+/// conservation is asserted by the window accounting itself.
+fn run_conn(
+    path: &PathBuf,
+    pid: u32,
+    mix: Mix,
+    frames: usize,
+    barrier: &Barrier,
+) -> std::io::Result<Vec<u64>> {
+    let mut stream = UnixStream::connect(path)?;
+    let mut rbuf = vec![0u8; 64 * 1024];
+    stream.write_all(format!("REGISTER {pid} 4\n").as_bytes())?;
+    let n = stream.read(&mut rbuf)?;
+    assert!(
+        rbuf[..n].starts_with(b"OK"),
+        "register failed: {:?}",
+        String::from_utf8_lossy(&rbuf[..n])
+    );
+    let window_batch: Vec<u8> = (0..WINDOW)
+        .flat_map(|k| mix.frame(pid, k).into_bytes())
+        .collect();
+
+    barrier.wait();
+    let mut latencies = Vec::with_capacity(frames);
+    let mut checked = false;
+    let mut sent = 0usize;
+    while sent < frames {
+        let window = WINDOW.min(frames - sent);
+        let fired = Instant::now();
+        if window == WINDOW {
+            stream.write_all(&window_batch)?;
+        } else {
+            let tail: Vec<u8> = (0..window)
+                .flat_map(|k| mix.frame(pid, k).into_bytes())
+                .collect();
+            stream.write_all(&tail)?;
+        }
+        let mut got = 0usize;
+        while got < window {
+            let n = stream.read(&mut rbuf)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            if !checked {
+                assert!(
+                    rbuf.starts_with(b"TARGET") || rbuf.starts_with(b"OK"),
+                    "unexpected reply: {:?}",
+                    String::from_utf8_lossy(&rbuf[..n])
+                );
+                checked = true;
+            }
+            let replies = rbuf[..n].iter().filter(|&&b| b == b'\n').count();
+            let at = fired.elapsed().as_nanos() as u64;
+            latencies.extend(std::iter::repeat(at).take(replies));
+            got += replies;
+        }
+        assert_eq!(got, window, "reply overrun: window {window}, got {got}");
+        sent += window;
+    }
+    Ok(latencies)
+}
+
+/// Repetitions per configuration; [`run_config`] reports the median
+/// run by frames/sec. On small hosts a single run is at the mercy of
+/// scheduler placement — the thread-per-connection engine in
+/// particular swings several-fold between convoyed and lucky-burst
+/// runs — and the median (applied identically to both engines) is
+/// what the `perf_guard` gate can hold steady against.
+pub const REPS: usize = 3;
+
+/// Runs one configuration [`REPS`] times against fresh servers and
+/// returns the median outcome by frames/sec.
+pub fn run_config(cfg: &Config) -> Outcome {
+    let mut runs: Vec<Outcome> = (0..REPS).map(|_| run_config_once(cfg)).collect();
+    runs.sort_by(|a, b| a.frames_per_sec.total_cmp(&b.frames_per_sec));
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn run_config_once(cfg: &Config) -> Outcome {
+    let path = sock_path(&cfg.label().replace('/', "-"));
+    let _ = std::fs::remove_file(&path);
+    let mut server_cfg = UdsServerConfig::new(&path, 8);
+    server_cfg.engine = cfg.engine;
+    server_cfg.prune_dead = false; // the fleet's pids are fabricated
+    server_cfg.lease_ttl = Duration::from_secs(600);
+    let server = UdsServer::start(server_cfg).expect("serverd under test");
+
+    // All connections register first, then start firing together.
+    let barrier = Arc::new(Barrier::new(cfg.connections + 1));
+    let mut clients = Vec::with_capacity(cfg.connections);
+    for i in 0..cfg.connections {
+        let path = path.clone();
+        let barrier = Arc::clone(&barrier);
+        let (mix, frames) = (cfg.mix, cfg.frames_per_conn);
+        let pid = FAKE_PID_BASE + i as u32;
+        clients.push(
+            std::thread::Builder::new()
+                .name(format!("serverd-bench-{i}"))
+                .spawn(move || run_conn(&path, pid, mix, frames, &barrier))
+                .expect("spawn bench client"),
+        );
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.connections * cfg.frames_per_conn);
+    for c in clients {
+        latencies.extend(c.join().expect("bench client").expect("bench connection"));
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(latencies.len(), cfg.connections * cfg.frames_per_conn);
+    latencies.sort_unstable();
+    Outcome {
+        frames: latencies.len(),
+        elapsed,
+        frames_per_sec: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_reply_ns: quantile(&latencies, 0.50),
+        p99_reply_ns: quantile(&latencies, 0.99),
+        stats,
+    }
+}
+
+/// The benchmark matrix. `smoke` is the CI subset — it still includes
+/// the 64-connection point, where the ≥5x reactor-over-threads
+/// acceptance criterion is read.
+pub fn suite(smoke: bool) -> Vec<Config> {
+    let (conns, mixes, frames_per_conn): (&[usize], &[Mix], usize) = if smoke {
+        (&[8, 64], &[Mix::Poll], 6_000)
+    } else {
+        (&[1, 8, 64, 128], &[Mix::Poll, Mix::Mixed], 4_000)
+    };
+    let mut cfgs = Vec::new();
+    for &engine in &[ServerEngine::Threads, ServerEngine::Reactor] {
+        for &mix in mixes {
+            for &connections in conns {
+                cfgs.push(Config {
+                    engine,
+                    connections,
+                    mix,
+                    frames_per_conn,
+                });
+            }
+        }
+    }
+    cfgs
+}
+
+/// Reactor-over-threads frames/sec speedup for every matched
+/// (mix, connections) pair, as `(label, speedup)`.
+pub fn speedups(results: &[(Config, Outcome)]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (cfg, outcome) in results {
+        if cfg.engine != ServerEngine::Reactor {
+            continue;
+        }
+        let twin = results.iter().find(|(c, _)| {
+            c.engine == ServerEngine::Threads
+                && c.mix == cfg.mix
+                && c.connections == cfg.connections
+                && c.frames_per_conn == cfg.frames_per_conn
+        });
+        if let Some((_, threads)) = twin {
+            let label = format!("{}/c{}", cfg.mix.name(), cfg.connections);
+            out.push((
+                label,
+                outcome.frames_per_sec / threads.frames_per_sec.max(1e-9),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the results as an aligned stdout table.
+pub fn results_table(results: &[(Config, Outcome)]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(cfg, o)| {
+            vec![
+                cfg.label(),
+                o.frames.to_string(),
+                format!("{:.0}", o.frames_per_sec),
+                format!("{:.1}", o.p50_reply_ns as f64 / 1_000.0),
+                format!("{:.1}", o.p99_reply_ns as f64 / 1_000.0),
+                o.stats
+                    .counters
+                    .get("reactor_wakeups")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                o.stats
+                    .counters
+                    .get("frames_batched")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                o.stats
+                    .counters
+                    .get("recompute_coalesced")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "config",
+            "frames",
+            "frames/sec",
+            "p50 µs",
+            "p99 µs",
+            "wakeups",
+            "batched",
+            "coalesced",
+        ],
+        &rows,
+    )
+}
+
+/// The machine-readable report (`results/serverd_bench.json`).
+pub fn results_json(results: &[(Config, Outcome)]) -> JsonValue {
+    let runs: Vec<JsonValue> = results
+        .iter()
+        .map(|(cfg, o)| {
+            JsonValue::obj([
+                ("config", JsonValue::str(cfg.label())),
+                ("engine", JsonValue::str(cfg.engine.name())),
+                ("mix", JsonValue::str(cfg.mix.name())),
+                ("connections", JsonValue::uint(cfg.connections as u64)),
+                ("window", JsonValue::uint(WINDOW as u64)),
+                ("frames", JsonValue::uint(o.frames as u64)),
+                ("elapsed_us", JsonValue::uint(o.elapsed.as_micros() as u64)),
+                ("frames_per_sec", JsonValue::num(o.frames_per_sec)),
+                ("p50_reply_ns", JsonValue::uint(o.p50_reply_ns)),
+                ("p99_reply_ns", JsonValue::uint(o.p99_reply_ns)),
+                (
+                    "reactor_wakeups",
+                    JsonValue::uint(
+                        o.stats
+                            .counters
+                            .get("reactor_wakeups")
+                            .copied()
+                            .unwrap_or(0),
+                    ),
+                ),
+                (
+                    "frames_batched",
+                    JsonValue::uint(o.stats.counters.get("frames_batched").copied().unwrap_or(0)),
+                ),
+                (
+                    "recompute_coalesced",
+                    JsonValue::uint(
+                        o.stats
+                            .counters
+                            .get("recompute_coalesced")
+                            .copied()
+                            .unwrap_or(0),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let speedup_objs: Vec<JsonValue> = speedups(results)
+        .into_iter()
+        .map(|(label, s)| {
+            JsonValue::obj([
+                ("config", JsonValue::str(label)),
+                ("reactor_over_threads", JsonValue::num(s)),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("benchmark", JsonValue::str("serverd_bench")),
+        ("runs", JsonValue::Arr(runs)),
+        ("speedups", JsonValue::Arr(speedup_objs)),
+    ])
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_serve_a_tiny_fleet_exactly() {
+        for engine in [ServerEngine::Threads, ServerEngine::Reactor] {
+            for mix in [Mix::Poll, Mix::Mixed] {
+                let cfg = Config {
+                    engine,
+                    connections: 3,
+                    mix,
+                    frames_per_conn: 90,
+                };
+                let o = run_config(&cfg);
+                assert_eq!(o.frames, 270);
+                assert!(o.frames_per_sec > 0.0);
+                assert!(o.p99_reply_ns >= o.p50_reply_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_suite_covers_both_engines_at_64_connections() {
+        let smoke = suite(true);
+        for engine in [ServerEngine::Threads, ServerEngine::Reactor] {
+            assert!(
+                smoke
+                    .iter()
+                    .any(|c| c.engine == engine && c.connections == 64),
+                "the ≥5x criterion is read at 64 connections"
+            );
+        }
+        assert!(smoke.len() < suite(false).len());
+    }
+
+    #[test]
+    fn json_report_round_trips_and_pairs_speedups() {
+        let cfgs = [
+            Config {
+                engine: ServerEngine::Threads,
+                connections: 2,
+                mix: Mix::Poll,
+                frames_per_conn: 40,
+            },
+            Config {
+                engine: ServerEngine::Reactor,
+                connections: 2,
+                mix: Mix::Poll,
+                frames_per_conn: 40,
+            },
+        ];
+        let results: Vec<_> = cfgs.iter().map(|c| (*c, run_config(c))).collect();
+        let j = results_json(&results);
+        assert_eq!(j.get("runs").and_then(JsonValue::as_arr).unwrap().len(), 2);
+        assert_eq!(
+            j.get("speedups").and_then(JsonValue::as_arr).unwrap().len(),
+            1
+        );
+        metrics::json::parse(&j.render_pretty()).expect("valid json");
+    }
+}

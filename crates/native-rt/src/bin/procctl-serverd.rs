@@ -15,7 +15,7 @@
 //! ```text
 //! USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N]
 //!                        [--account-system-load] [--weighted]
-//!                        [--journal-cap N]
+//!                        [--journal-cap N] [--engine threads|reactor]
 //! ```
 //!
 //! `--weighted` skews each application's processor share by its observed
@@ -25,7 +25,11 @@
 //! the partitioned processor count matches the machine, so adjacent
 //! shares stay cache-adjacent. `--journal-cap` bounds the per-application
 //! flight-recorder journal (EVENTS pushes plus the server's own decision
-//! instants, drained via TRACE); 0 disables journaling.
+//! instants, drained via TRACE); 0 disables journaling. `--engine`
+//! selects the server core (DESIGN.md §13): the single-threaded epoll
+//! `reactor` (the default) or the thread-per-connection `threads`
+//! baseline; the flag wins over the `PROCCTL_ENGINE` environment
+//! override. Both speak the identical wire protocol.
 
 /// Minimal async-signal-safe shutdown latch: the handler only stores an
 /// atomic flag; the main loop does the actual teardown. Raw `signal(2)`
@@ -73,9 +77,18 @@ fn main() {
     let mut weighted = false;
     let mut lease_ttl = native_rt::DEFAULT_LEASE_TTL;
     let mut journal_cap = native_rt::DEFAULT_JOURNAL_CAP;
+    let mut engine: Option<native_rt::ServerEngine> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--engine" => {
+                i += 1;
+                engine = Some(
+                    args.get(i)
+                        .and_then(|s| native_rt::ServerEngine::parse(s))
+                        .unwrap_or_else(|| usage("--engine needs `threads` or `reactor`")),
+                );
+            }
             "--journal-cap" => {
                 i += 1;
                 journal_cap = args
@@ -119,6 +132,12 @@ fn main() {
     cfg.weighted = weighted;
     cfg.lease_ttl = lease_ttl;
     cfg.journal_cap = journal_cap;
+    // Explicit flag > PROCCTL_ENGINE env (already folded into the
+    // config default) > built-in reactor default.
+    if let Some(engine) = engine {
+        cfg.engine = engine;
+    }
+    let engine = cfg.engine;
     // Hand out CPU sets in the machine's topological order when we are
     // partitioning the real machine; a simulated size keeps the identity
     // order (the synthetic topology is identity-ordered anyway).
@@ -132,9 +151,10 @@ fn main() {
     });
     sig::install();
     println!(
-        "procctl-serverd: serving {} processors on {} (epoch {}, lease {} ms, system-load accounting {}, {} shares, journal cap {})",
+        "procctl-serverd: serving {} processors on {} (engine {}, epoch {}, lease {} ms, system-load accounting {}, {} shares, journal cap {})",
         cpus,
         server.path().display(),
+        engine.name(),
         server.epoch(),
         lease_ttl.as_millis(),
         if account { "on" } else { "off" },
@@ -156,7 +176,7 @@ fn usage(err: &str) -> ! {
         eprintln!("procctl-serverd: {err}");
     }
     eprintln!(
-        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted] [--journal-cap N]"
+        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted] [--journal-cap N] [--engine threads|reactor]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

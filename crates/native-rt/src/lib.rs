@@ -51,6 +51,8 @@ pub mod deque;
 pub mod injector;
 mod pool;
 pub mod proc_scan;
+#[cfg(unix)]
+pub mod reactor;
 pub mod stats;
 #[cfg(unix)]
 mod supervise;
@@ -66,6 +68,8 @@ pub use controller::{Controller, TargetSlot};
 pub use deque::{Steal, Stealer, Worker};
 pub use injector::Injector;
 pub use pool::{Job, Pool, PoolConfig, PoolMetrics};
+#[cfg(unix)]
+pub use reactor::FrameBuffer;
 pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
 pub use supervise::{SupervisedClient, SupervisorConfig};
@@ -73,7 +77,7 @@ pub use topology::{CpuRecord, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
 pub use trace::{EventKind, FlightRecorder, SpscRing, TraceEvent};
 #[cfg(unix)]
 pub use uds::{
-    AppStatsEntry, CpusPollReply, EventsReply, PollReply, PollerGuard, StatsAllReply, TraceReply,
-    UdsClient, UdsServer, UdsServerConfig, DEFAULT_IO_TIMEOUT, DEFAULT_JOURNAL_CAP,
+    AppStatsEntry, CpusPollReply, EventsReply, PollReply, PollerGuard, ServerEngine, StatsAllReply,
+    TraceReply, UdsClient, UdsServer, UdsServerConfig, DEFAULT_IO_TIMEOUT, DEFAULT_JOURNAL_CAP,
     DEFAULT_LEASE_TTL, DEFAULT_TRACE_MAX,
 };

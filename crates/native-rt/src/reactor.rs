@@ -1,0 +1,764 @@
+//! The single-threaded reactor core of the control server.
+//!
+//! Tucker & Gupta's centralized server must be cheaper than the
+//! resource it manages; a thread-per-connection control plane inverts
+//! that at fleet scale — thousands of registered applications mean
+//! thousands of mostly-idle server threads contending on one state
+//! mutex, the exact saturated-centralized-resource collapse the server
+//! exists to prevent. The reactor removes both costs: **one** thread
+//! owns every connection's state machine *and* the
+//! [`ServerState`](crate::uds) outright (no `Mutex`, no handoff), and a
+//! readiness loop (epoll on Linux, `poll(2)` elsewhere — hand-rolled
+//! FFI, matching the repo's zero-extra-dependency style) multiplexes
+//! thousands of sockets through it.
+//!
+//! Per wakeup, the loop:
+//!
+//! 1. drains every ready socket into its connection's [`FrameBuffer`]
+//!    (frames split across read boundaries reassemble; pipelined frames
+//!    all surface at once),
+//! 2. answers each complete frame through the same
+//!    [`handle_line`](crate::uds) the thread engine uses — the wire
+//!    protocol is byte-identical across engines *by construction* —
+//!    appending replies to the connection's write buffer,
+//! 3. flushes each touched connection **once** (replies batched per
+//!    wakeup: N pipelined polls cost one `write(2)`, not N), and
+//! 4. fires due lease timers from the server state's deadline-ordered
+//!    queue (the wait timeout is the earliest deadline, so expiry needs
+//!    no per-poll scans and no idle spinning).
+//!
+//! Observability: `reactor_wakeups` counts readiness-loop returns,
+//! `frames_batched` counts frames served beyond the first of each
+//! wakeup (the pipelining/batching win), and the server state's
+//! `timer_fires` / `recompute_coalesced` count timer pops and partition
+//! recomputations saved by the dirty-flag gate. See DESIGN.md §13.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::stats::Registry;
+use crate::uds::{handle_line_into, ServerState, UdsServerConfig};
+
+/// The longest line the reactor will buffer for one frame before
+/// answering `ERR malformed` and dropping the connection. Generous —
+/// a full EVENTS batch is a few KiB — but bounded, so one misbehaving
+/// client cannot grow the reactor's memory without limit.
+pub const MAX_FRAME: usize = 256 * 1024;
+
+/// Upper bound on one readiness wait, so the shutdown flag is honored
+/// promptly even with no traffic and no pending lease deadline.
+const MAX_WAIT_MS: i32 = 100;
+
+/// Reassembles newline-delimited frames from arbitrarily-split reads.
+///
+/// The reactor's read path hands this buffer whatever `read(2)` returned
+/// — half a frame, seventeen pipelined frames and a torn tail, one byte
+/// — and pulls complete frames (without their terminator) back out.
+/// Bytes are consumed front-to-back with an offset cursor, compacted
+/// only when the buffer runs dry or a partial frame must slide down, so
+/// draining k frames from one read costs O(bytes), not O(k·bytes).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    pos: usize,
+    /// End of the newline-scanned prefix (≥ `pos`): re-extending after
+    /// an incomplete frame re-scans only the new bytes.
+    scanned: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes from one read.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame (the bytes before the next `\n`,
+    /// exclusive), or `None` when only a partial frame remains buffered.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let range = self.next_frame_range()?;
+        Some(self.buf[range].to_vec())
+    }
+
+    /// Pops the next complete frame as a range into the buffer — the
+    /// zero-copy variant of [`FrameBuffer::next_frame`]: read the bytes
+    /// back with [`FrameBuffer::frame_bytes`] before the next mutating
+    /// call. The buffer compacts itself on the `None` that ends every
+    /// drain loop, so consumed bytes never accumulate across a
+    /// long-lived connection.
+    pub fn next_frame_range(&mut self) -> Option<std::ops::Range<usize>> {
+        let start = self.scanned.max(self.pos);
+        match self.buf[start..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let nl = start + off;
+                let range = self.pos..nl;
+                self.pos = nl + 1;
+                self.scanned = self.pos;
+                Some(range)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                // Slide the partial tail down so consumed bytes do not
+                // accumulate across long-lived connections.
+                if self.pos > 0 {
+                    self.buf.drain(..self.pos);
+                    self.scanned -= self.pos;
+                    self.pos = 0;
+                }
+                None
+            }
+        }
+    }
+
+    /// The bytes of a frame returned by
+    /// [`FrameBuffer::next_frame_range`], valid until the next mutating
+    /// call.
+    pub fn frame_bytes(&self, range: &std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range.clone()]
+    }
+
+    /// Bytes buffered for the (incomplete) current frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes whatever partial frame remains — the final unterminated
+    /// line of a connection that hit EOF mid-frame.
+    pub fn take_residue(&mut self) -> Vec<u8> {
+        let residue = self.buf.split_off(self.pos);
+        self.buf.clear();
+        self.pos = 0;
+        self.scanned = 0;
+        residue
+    }
+}
+
+/// One connection's state machine: its stream, the partial-frame read
+/// buffer, and the batched-reply write buffer.
+struct Conn {
+    stream: UnixStream,
+    frames: FrameBuffer,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    /// Whether the poller currently watches this fd for writability.
+    want_write: bool,
+    /// Close once `wbuf` drains (EOF seen or a fatal protocol error —
+    /// the reply is still delivered first: no silent drops).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: UnixStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            want_write: false,
+            closing: false,
+        }
+    }
+
+    /// Writes as much of the pending reply bytes as the socket accepts.
+    /// `Ok(true)` means fully flushed.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+}
+
+/// Readiness-notification backend: epoll. Registered fds carry a `u64`
+/// token; `wait` reports `(token, readable, writable)` triples.
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    /// The kernel's `struct epoll_event`. x86-64 is the one 64-bit ABI
+    /// where the kernel packs it (no padding between `events` and
+    /// `data`); every other architecture uses natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// A thin safe wrapper over one epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+        events: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall with no pointer arguments; the
+            // returned fd is owned by the Poller and closed on drop.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                events: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN | if write { EPOLLOUT } else { 0 },
+                data: token,
+            };
+            // SAFETY: `ev` is a live stack value for the duration of the
+            // call; the kernel copies it before returning. `fd` is a
+            // valid open descriptor owned by the caller.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, write)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, write)
+        }
+
+        pub fn remove(&mut self, fd: RawFd) {
+            // Best-effort: the fd is about to be closed anyway (closing
+            // an fd removes it from every epoll set it belongs to).
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, false);
+        }
+
+        /// Waits up to `timeout_ms` and appends `(token, readable,
+        /// writable)` for each ready fd. Error/hangup conditions report
+        /// as readable so the read path observes the EOF/error.
+        pub fn wait(
+            &mut self,
+            timeout_ms: i32,
+            out: &mut Vec<(u64, bool, bool)>,
+        ) -> io::Result<()> {
+            // SAFETY: `events` is a live, properly-sized buffer; the
+            // kernel writes at most `maxevents` entries into it.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.events.as_mut_ptr(),
+                    self.events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for i in 0..n as usize {
+                // Copy out of the (possibly packed) event by value —
+                // references into packed fields would be unaligned.
+                let ev = self.events[i];
+                let bits = { ev.events };
+                let token = { ev.data };
+                let readable = bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0;
+                let writable = bits & EPOLLOUT != 0;
+                out.push((token, readable, writable));
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is a descriptor this Poller opened and
+            // uniquely owns; double-close is impossible here.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+/// Readiness-notification backend: portable `poll(2)` fallback for
+/// non-Linux Unixes. Same interface as the epoll backend; the fd set is
+/// rebuilt into a `pollfd` array per wait, which is O(fds) — acceptable
+/// for portability, and Linux (the perf target) uses epoll.
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        // `nfds_t` is `unsigned long` on the supported Unixes, which
+        // matches `usize` on both LP64 and ILP32.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    /// A thin `poll(2)`-backed poller with the epoll backend's API.
+    pub struct Poller {
+        interest: Vec<(RawFd, u64, bool)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                interest: Vec::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+            self.interest.push((fd, token, write));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+            if let Some(e) = self.interest.iter_mut().find(|(f, _, _)| *f == fd) {
+                *e = (fd, token, write);
+            }
+            Ok(())
+        }
+
+        pub fn remove(&mut self, fd: RawFd) {
+            self.interest.retain(|(f, _, _)| *f != fd);
+        }
+
+        pub fn wait(
+            &mut self,
+            timeout_ms: i32,
+            out: &mut Vec<(u64, bool, bool)>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .interest
+                .iter()
+                .map(|&(fd, _, write)| PollFd {
+                    fd,
+                    events: POLLIN | if write { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            // SAFETY: `fds` is a live, contiguous array of `nfds`
+            // properly-initialized pollfd records for the call duration.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(&self.interest) {
+                let readable = pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0;
+                let writable = pfd.revents & POLLOUT != 0;
+                if readable || writable {
+                    out.push((token, readable, writable));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The listener's poller token; connections get ids counting up from 0.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Runs the reactor until `stop` is raised. Owns the listener, every
+/// connection, and the server state; on a poller setup failure the
+/// error is reported and the server goes dark (the same contract as the
+/// accept thread's `Err(_) => break`).
+pub(crate) fn serve(
+    listener: UnixListener,
+    mut state: ServerState,
+    cfg: &UdsServerConfig,
+    stop: &AtomicBool,
+    registry: &Registry,
+    epoch: u64,
+) {
+    let mut poller = match sys::Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("procctl reactor: cannot create poller: {e}");
+            return;
+        }
+    };
+    if let Err(e) = poller.add(listener.as_raw_fd(), LISTENER_TOKEN, false) {
+        eprintln!("procctl reactor: cannot watch listener: {e}");
+        return;
+    }
+    let wakeups = registry.counter("reactor_wakeups");
+    let batched = registry.counter("frames_batched");
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut ready: Vec<(u64, bool, bool)> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut reply = String::new();
+
+    while !stop.load(Ordering::Acquire) {
+        // Sleep until traffic or the next lease deadline, capped so the
+        // stop flag stays responsive.
+        let timeout_ms = match state.next_lease_deadline() {
+            Some(at) => {
+                let left = at.saturating_duration_since(Instant::now()).as_millis();
+                (left.min(MAX_WAIT_MS as u128) as i32).max(0)
+            }
+            None => MAX_WAIT_MS,
+        };
+        ready.clear();
+        if let Err(e) = poller.wait(timeout_ms, &mut ready) {
+            eprintln!("procctl reactor: wait failed: {e}");
+            return;
+        }
+        wakeups.incr();
+        // One clock read serves the whole wakeup: the lease math is
+        // 30-second-granular, and a wakeup is microseconds long.
+        let now = Instant::now();
+        let env = FrameEnv {
+            cfg,
+            registry,
+            epoch,
+            now,
+        };
+        // Fire due lease timers (cheap heap peek when nothing is due;
+        // the /proc liveness sweep throttles itself inside).
+        state.prune(cfg, now);
+
+        // Phase 1: accept and drain every ready socket, staging batched
+        // replies. Nothing is written back yet, so the wakeup's frame
+        // accounting below is complete before any client can observe
+        // (and race) it.
+        let mut frames_this_wakeup: u64 = 0;
+        for &(token, readable, _) in &ready {
+            if token == LISTENER_TOKEN {
+                accept_ready(&listener, &mut poller, &mut conns, &mut next_token);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if readable && !conn.closing {
+                frames_this_wakeup +=
+                    drain_and_handle(conn, &mut scratch, &mut reply, &mut state, &env);
+            }
+        }
+        if frames_this_wakeup > 1 {
+            batched.add(frames_this_wakeup - 1);
+        }
+
+        // Phase 2: flush each touched connection once — N pipelined
+        // frames cost one write(2) — managing EPOLLOUT interest for the
+        // rare short write.
+        let mut dead: Vec<u64> = Vec::new();
+        for &(token, readable, writable) in &ready {
+            if token == LISTENER_TOKEN {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // closed earlier this wakeup
+            };
+            if readable || writable {
+                match conn.flush() {
+                    Ok(true) => {
+                        if conn.closing {
+                            dead.push(token);
+                        } else if conn.want_write {
+                            conn.want_write = false;
+                            let _ = poller.modify(conn.stream.as_raw_fd(), token, false);
+                        }
+                    }
+                    Ok(false) => {
+                        if !conn.want_write {
+                            conn.want_write = true;
+                            let _ = poller.modify(conn.stream.as_raw_fd(), token, true);
+                        }
+                    }
+                    Err(_) => dead.push(token),
+                }
+            }
+        }
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                poller.remove(conn.stream.as_raw_fd());
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection (the listener is non-blocking).
+fn accept_ready(
+    listener: &UnixListener,
+    poller: &mut sys::Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller.add(stream.as_raw_fd(), token, false).is_ok() {
+                    conns.insert(token, Conn::new(stream));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Loop-invariant context shared by every frame served in one wakeup.
+struct FrameEnv<'a> {
+    cfg: &'a UdsServerConfig,
+    registry: &'a Registry,
+    epoch: u64,
+    now: Instant,
+}
+
+/// Drains the socket, answers every complete frame, and stages the
+/// batched replies in the connection's write buffer. Returns the number
+/// of frames served.
+fn drain_and_handle(
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    reply: &mut String,
+    state: &mut ServerState,
+    env: &FrameEnv<'_>,
+) -> u64 {
+    let mut eof = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => conn.frames.extend(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                eof = true;
+                break;
+            }
+        }
+    }
+    let mut frames: u64 = 0;
+    while let Some(range) = conn.frames.next_frame_range() {
+        frames += 1;
+        // Field-disjoint borrows: the frame bytes stay in `conn.frames`
+        // (no per-frame copy) while the reply lands in `conn.wbuf`.
+        if !answer_frame(
+            conn.frames.frame_bytes(&range),
+            &mut conn.wbuf,
+            reply,
+            state,
+            env,
+        ) {
+            conn.closing = true;
+            break;
+        }
+    }
+    if !conn.closing && conn.frames.pending() > MAX_FRAME {
+        // An unbounded line: answer (no silent drops) and drop the
+        // connection — the stream offset is unrecoverable, exactly like
+        // the thread engine's non-UTF-8 path.
+        env.registry.counter("malformed").incr();
+        conn.wbuf.extend_from_slice(b"ERR malformed\n");
+        conn.closing = true;
+    }
+    if eof && !conn.closing {
+        // Mirror `BufReader::read_line` semantics: a final unterminated
+        // line still gets served before the connection closes.
+        let residue = conn.frames.take_residue();
+        if !residue.is_empty() {
+            frames += 1;
+            answer_frame(&residue, &mut conn.wbuf, reply, state, env);
+        }
+        conn.closing = true;
+    }
+    frames
+}
+
+/// Answers one frame, appending the reply to `wbuf` (via the reusable
+/// `reply` scratch). Returns false when the connection must close
+/// (non-UTF-8 on the wire).
+fn answer_frame(
+    frame: &[u8],
+    wbuf: &mut Vec<u8>,
+    reply: &mut String,
+    state: &mut ServerState,
+    env: &FrameEnv<'_>,
+) -> bool {
+    match std::str::from_utf8(frame) {
+        Ok(line) => {
+            reply.clear();
+            handle_line_into(
+                line,
+                state,
+                env.cfg,
+                env.registry,
+                env.epoch,
+                env.now,
+                reply,
+            );
+            wbuf.extend_from_slice(reply.as_bytes());
+            true
+        }
+        Err(_) => {
+            env.registry.counter("malformed").incr();
+            wbuf.extend_from_slice(b"ERR malformed\n");
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"POLL 1");
+        assert_eq!(fb.next_frame(), None, "no newline yet");
+        fb.extend(b"234\nREG");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"POLL 1234"[..]));
+        assert_eq!(fb.next_frame(), None);
+        fb.extend(b"ISTER 1 2\n\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"REGISTER 1 2"[..]));
+        assert_eq!(fb.next_frame().as_deref(), Some(&b""[..]));
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_residue_is_the_unterminated_tail() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"BYE 7\nPOLL 9");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"BYE 7"[..]));
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.take_residue(), b"POLL 9");
+        assert_eq!(fb.pending(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Feeding a pipelined multi-frame stream in arbitrary chunks
+        /// reproduces exactly the original frames, regardless of where
+        /// the read boundaries fall — the reactor's read path can never
+        /// stall on or misparse a torn frame.
+        #[test]
+        fn frames_survive_arbitrary_split_boundaries(
+            frames in prop::collection::vec("[ -~]{0,40}", 0..12),
+            cuts in prop::collection::vec(any::<usize>(), 0..8),
+        ) {
+            let stream: Vec<u8> = frames
+                .iter()
+                .flat_map(|f| f.bytes().chain(std::iter::once(b'\n')))
+                .collect();
+            // Cut the stream at arbitrary (sorted, deduplicated) byte
+            // positions and feed the chunks one by one.
+            let mut positions: Vec<usize> =
+                cuts.iter().map(|i| i % (stream.len() + 1)).collect();
+            positions.push(stream.len());
+            positions.sort_unstable();
+            positions.dedup();
+            let mut fb = FrameBuffer::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let mut prev = 0;
+            for &at in &positions {
+                fb.extend(&stream[prev..at]);
+                prev = at;
+                while let Some(frame) = fb.next_frame() {
+                    got.push(frame);
+                }
+            }
+            let want: Vec<Vec<u8>> = frames.iter().map(|f| f.as_bytes().to_vec()).collect();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(fb.pending(), 0, "fully-terminated stream leaves no residue");
+        }
+
+        /// Interleaving reads and pops (pop-as-you-go rather than after
+        /// the full stream) never duplicates or reorders frames, and the
+        /// residue is exactly the unterminated tail.
+        #[test]
+        fn partial_tail_is_preserved_as_residue(
+            head in prop::collection::vec("[ -~]{0,20}", 0..6),
+            tail in "[ -~]{1,20}",
+            chunk in 1usize..7,
+        ) {
+            let mut stream: Vec<u8> = head
+                .iter()
+                .flat_map(|f| f.bytes().chain(std::iter::once(b'\n')))
+                .collect();
+            stream.extend(tail.bytes()); // no trailing newline
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(frame) = fb.next_frame() {
+                    got.push(frame);
+                }
+            }
+            let want: Vec<Vec<u8>> = head.iter().map(|f| f.as_bytes().to_vec()).collect();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(fb.take_residue(), tail.as_bytes().to_vec());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Coalesced recomputation: a dirty-flag gate for expensive derived
+//! state.
+//!
+//! The control server derives one expensive artifact from its
+//! registration table — the partition (`effective targets` for every
+//! application, via [`crate::partition`]) — but the events that
+//! *invalidate* it (REGISTER, BYE, lease expiry, a weighted REPORT)
+//! arrive in bursts: a fleet of N applications re-registering after a
+//! server restart, or N reporting pollers firing back-to-back, would
+//! naively trigger N recomputations when one (after the last
+//! invalidation) produces the identical result.
+//!
+//! [`RecomputeGate`] separates *invalidation* (cheap, counted) from
+//! *recomputation* (expensive, deferred to the next read): callers mark
+//! the derived state dirty as events arrive, and the consumer asks
+//! [`RecomputeGate::take_dirty`] exactly when it is about to read —
+//! recomputing once per burst, not once per event. The gate keeps its
+//! own tallies so the coalescing win is observable (the server exports
+//! them as the `recompute_coalesced` counter).
+//!
+//! The gate is deliberately not a cache itself — it gates one; the
+//! cached value lives with the owner, which knows its type and how to
+//! rebuild it. This keeps the gate trivially reusable (the native UDS
+//! server uses it for targets; a policy module could use it for
+//! efficiency curves) and trivially testable.
+
+/// A dirty-flag gate that coalesces bursts of invalidations into one
+/// deferred recomputation. Starts dirty: the first read always
+/// recomputes.
+#[derive(Clone, Copy, Debug)]
+pub struct RecomputeGate {
+    dirty: bool,
+    coalesced: u64,
+    recomputes: u64,
+}
+
+impl Default for RecomputeGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecomputeGate {
+    /// A fresh gate, born dirty (nothing has been computed yet).
+    pub fn new() -> Self {
+        RecomputeGate {
+            dirty: true,
+            coalesced: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// Marks the derived state stale. Returns `true` when this
+    /// invalidation was *coalesced* — absorbed into an already-pending
+    /// recomputation — so a burst of N invalidations reports N−1
+    /// coalesced events.
+    pub fn invalidate(&mut self) -> bool {
+        let coalesced = self.dirty;
+        if coalesced {
+            self.coalesced += 1;
+        }
+        self.dirty = true;
+        coalesced
+    }
+
+    /// Consumes the dirty flag: `true` means the caller must recompute
+    /// now (and the gate counts one recomputation); `false` means the
+    /// cached artifact is still valid.
+    pub fn take_dirty(&mut self) -> bool {
+        if self.dirty {
+            self.dirty = false;
+            self.recomputes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the derived state is currently stale (without consuming
+    /// the flag).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Invalidations absorbed by an already-dirty gate since creation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Recomputations the gate has admitted since creation.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn born_dirty_first_read_recomputes_once() {
+        let mut g = RecomputeGate::new();
+        assert!(g.is_dirty());
+        assert!(g.take_dirty());
+        assert!(!g.take_dirty(), "second read must reuse the cache");
+        assert_eq!(g.recomputes(), 1);
+        assert_eq!(g.coalesced(), 0);
+    }
+
+    #[test]
+    fn burst_of_invalidations_coalesces_to_one_recompute() {
+        let mut g = RecomputeGate::new();
+        assert!(g.take_dirty());
+        // A burst of 5 back-to-back invalidations…
+        let absorbed: u64 = (0..5).map(|_| u64::from(g.invalidate())).sum();
+        assert_eq!(absorbed, 4, "N invalidations coalesce to N-1");
+        assert_eq!(g.coalesced(), 4);
+        // …admits exactly one recomputation.
+        assert!(g.take_dirty());
+        assert!(!g.take_dirty());
+        assert_eq!(g.recomputes(), 2);
+    }
+
+    #[test]
+    fn interleaved_reads_and_writes_never_miss_an_invalidation() {
+        let mut g = RecomputeGate::new();
+        assert!(g.take_dirty());
+        assert!(!g.invalidate());
+        assert!(g.take_dirty(), "write after read must re-dirty");
+        assert!(!g.invalidate());
+        assert!(g.invalidate(), "second write before a read coalesces");
+        assert!(g.take_dirty());
+        assert!(!g.take_dirty());
+    }
+}

@@ -28,11 +28,13 @@
 #![warn(missing_debug_implementations)]
 
 mod client;
+mod coalesce;
 mod partition;
 mod proto;
 mod server;
 
 pub use client::{decentralized_target, ClientControl, Decision};
+pub use coalesce::RecomputeGate;
 pub use partition::{
     assign_cpu_sets, partition, validate_cpus, validate_processes, AppDemand, SizeError, MAX_CPUS,
     MAX_PROCESSES,
