@@ -9,9 +9,17 @@
 //! the ≥5x acceptance criterion reads — and the artifact gets a
 //! `_smoke` suffix. `perf_guard` gates the reactor rows of the smoke
 //! artifact against `results/serverd_bench_smoke_baseline.json`.
+//!
+//! A second, smaller sweep re-runs the poll mix with periodic state
+//! snapshots enabled (the crash-recovery tax from DESIGN.md §14) and
+//! writes it to the separate `results/serverd_bench_snapshot*.json`
+//! artifact, so the main gate's baseline keeps comparing like with
+//! like.
 
 use bench::report::write_result;
-use bench::serverdbench::{results_json, results_table, run_config, speedups, suite};
+use bench::serverdbench::{
+    results_json, results_table, run_config, snapshot_suite, speedups, suite,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -50,5 +58,30 @@ fn main() {
     write_result(
         &format!("serverd_bench{suffix}.json"),
         &results_json(&results).render_pretty(),
+    );
+
+    let snap_cfgs = snapshot_suite(smoke);
+    println!(
+        "\nsnapshot overhead sweep: {} configurations",
+        snap_cfgs.len()
+    );
+    let mut snap_results = Vec::with_capacity(snap_cfgs.len());
+    for (i, cfg) in snap_cfgs.iter().enumerate() {
+        let outcome = run_config(cfg);
+        println!(
+            "[{}/{}] {:<24} {:>10.0} frames/sec  p99 {:>7.1}µs",
+            i + 1,
+            snap_cfgs.len(),
+            cfg.label(),
+            outcome.frames_per_sec,
+            outcome.p99_reply_ns as f64 / 1_000.0,
+        );
+        snap_results.push((*cfg, outcome));
+    }
+    println!("\n== snapshot overhead results ==\n");
+    print!("{}", results_table(&snap_results));
+    write_result(
+        &format!("serverd_bench_snapshot{suffix}.json"),
+        &results_json(&snap_results).render_pretty(),
     );
 }

@@ -32,6 +32,8 @@ pub fn convert_kind(kind: EventKind) -> SchedEventKind {
         EventKind::Epoch => SchedEventKind::Epoch,
         EventKind::Retier => SchedEventKind::Retier,
         EventKind::Decision => SchedEventKind::Decision,
+        EventKind::Stall => SchedEventKind::Stall,
+        EventKind::Recovered => SchedEventKind::Recovered,
     }
 }
 

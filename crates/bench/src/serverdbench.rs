@@ -79,16 +79,21 @@ pub struct Config {
     pub mix: Mix,
     /// Frames each connection sends over the run.
     pub frames_per_conn: usize,
+    /// Run the server with periodic state snapshots enabled (the
+    /// crash-recovery tax; measured in its own sweep, gated separately).
+    pub snapshot: bool,
 }
 
 impl Config {
-    /// A short unique label, e.g. `reactor/poll/c64`.
+    /// A short unique label, e.g. `reactor/poll/c64` (`+snap` when
+    /// snapshotting is on).
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/c{}",
+            "{}/{}/c{}{}",
             self.engine.name(),
             self.mix.name(),
-            self.connections
+            self.connections,
+            if self.snapshot { "+snap" } else { "" }
         )
     }
 }
@@ -218,6 +223,12 @@ fn run_config_once(cfg: &Config) -> Outcome {
     server_cfg.engine = cfg.engine;
     server_cfg.prune_dead = false; // the fleet's pids are fabricated
     server_cfg.lease_ttl = Duration::from_secs(600);
+    let snap_path = path.with_extension("snap");
+    if cfg.snapshot {
+        let _ = std::fs::remove_file(&snap_path);
+        server_cfg.snapshot_path = Some(snap_path.clone());
+        server_cfg.snapshot_interval = Duration::from_millis(100);
+    }
     let server = UdsServer::start(server_cfg).expect("serverd under test");
 
     // All connections register first, then start firing together.
@@ -245,6 +256,9 @@ fn run_config_once(cfg: &Config) -> Outcome {
     let stats = server.stats();
     drop(server);
     let _ = std::fs::remove_file(&path);
+    if cfg.snapshot {
+        let _ = std::fs::remove_file(&snap_path);
+    }
 
     assert_eq!(latencies.len(), cfg.connections * cfg.frames_per_conn);
     latencies.sort_unstable();
@@ -276,8 +290,31 @@ pub fn suite(smoke: bool) -> Vec<Config> {
                     connections,
                     mix,
                     frames_per_conn,
+                    snapshot: false,
                 });
             }
+        }
+    }
+    cfgs
+}
+
+/// The snapshot-overhead matrix: the same pipelined fleet, but the
+/// server persists its state every 100 ms. Written to a *separate*
+/// artifact (`serverd_bench_snapshot*.json`) so the main `perf_guard`
+/// gate keeps comparing like with like.
+pub fn snapshot_suite(smoke: bool) -> Vec<Config> {
+    let conns: &[usize] = if smoke { &[8] } else { &[8, 64] };
+    let frames_per_conn = if smoke { 6_000 } else { 4_000 };
+    let mut cfgs = Vec::new();
+    for &engine in &[ServerEngine::Threads, ServerEngine::Reactor] {
+        for &connections in conns {
+            cfgs.push(Config {
+                engine,
+                connections,
+                mix: Mix::Poll,
+                frames_per_conn,
+                snapshot: true,
+            });
         }
     }
     cfgs
@@ -296,6 +333,7 @@ pub fn speedups(results: &[(Config, Outcome)]) -> Vec<(String, f64)> {
                 && c.mix == cfg.mix
                 && c.connections == cfg.connections
                 && c.frames_per_conn == cfg.frames_per_conn
+                && c.snapshot == cfg.snapshot
         });
         if let Some((_, threads)) = twin {
             let label = format!("{}/c{}", cfg.mix.name(), cfg.connections);
@@ -427,6 +465,7 @@ mod tests {
                     connections: 3,
                     mix,
                     frames_per_conn: 90,
+                    snapshot: false,
                 };
                 let o = run_config(&cfg);
                 assert_eq!(o.frames, 270);
@@ -434,6 +473,23 @@ mod tests {
                 assert!(o.p99_reply_ns >= o.p50_reply_ns);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_runs_serve_exactly_and_label_with_snap_suffix() {
+        for c in snapshot_suite(true) {
+            assert!(c.snapshot && c.label().ends_with("+snap"), "{}", c.label());
+        }
+        let cfg = Config {
+            engine: ServerEngine::Reactor,
+            connections: 3,
+            mix: Mix::Poll,
+            frames_per_conn: 90,
+            snapshot: true,
+        };
+        let o = run_config(&cfg);
+        assert_eq!(o.frames, 270);
+        assert!(o.frames_per_sec > 0.0);
     }
 
     #[test]
@@ -458,12 +514,14 @@ mod tests {
                 connections: 2,
                 mix: Mix::Poll,
                 frames_per_conn: 40,
+                snapshot: false,
             },
             Config {
                 engine: ServerEngine::Reactor,
                 connections: 2,
                 mix: Mix::Poll,
                 frames_per_conn: 40,
+                snapshot: false,
             },
         ];
         let results: Vec<_> = cfgs.iter().map(|c| (*c, run_config(c))).collect();

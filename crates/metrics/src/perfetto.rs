@@ -356,6 +356,11 @@ pub enum SchedEventKind {
     Retier,
     /// A control-server partition decision (`arg` = target).
     Decision,
+    /// The watchdog flagged a worker as stalled (`arg` = observed
+    /// staleness in ms).
+    Stall,
+    /// A stalled worker made progress again (`arg` = episode ms).
+    Recovered,
 }
 
 /// One application's slice of the fleet: its events (flight-recorder
@@ -513,6 +518,22 @@ pub fn sched_timeline(apps: &[AppTimeline]) -> TraceBuilder {
                     tid,
                     ts_us,
                     JsonValue::obj([("target", arg)]),
+                ),
+                SchedEventKind::Stall => b.instant(
+                    "stall",
+                    "watchdog",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("stale_ms", arg)]),
+                ),
+                SchedEventKind::Recovered => b.instant(
+                    "recovered",
+                    "watchdog",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("episode_ms", arg)]),
                 ),
             }
         }

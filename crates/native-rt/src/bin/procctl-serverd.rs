@@ -16,6 +16,7 @@
 //! USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N]
 //!                        [--account-system-load] [--weighted]
 //!                        [--journal-cap N] [--engine threads|reactor]
+//!                        [--snapshot PATH] [--snapshot-interval-ms N]
 //! ```
 //!
 //! `--weighted` skews each application's processor share by its observed
@@ -30,6 +31,13 @@
 //! `reactor` (the default) or the thread-per-connection `threads`
 //! baseline; the flag wins over the `PROCCTL_ENGINE` environment
 //! override. Both speak the identical wire protocol.
+//!
+//! `--snapshot PATH` makes the server crash-recoverable (DESIGN.md §14):
+//! registrations, leases, and the boot epoch are persisted to PATH
+//! (atomic tmp+rename, every `--snapshot-interval-ms` and at clean
+//! shutdown), and a restarted server restores them before accepting
+//! traffic, so clients resume polling without a re-registration storm.
+//! A corrupt or torn snapshot is rejected wholesale (cold start).
 
 /// Minimal async-signal-safe shutdown latch: the handler only stores an
 /// atomic flag; the main loop does the actual teardown. Raw `signal(2)`
@@ -78,6 +86,8 @@ fn main() {
     let mut lease_ttl = native_rt::DEFAULT_LEASE_TTL;
     let mut journal_cap = native_rt::DEFAULT_JOURNAL_CAP;
     let mut engine: Option<native_rt::ServerEngine> = None;
+    let mut snapshot: Option<std::path::PathBuf> = None;
+    let mut snapshot_interval: Option<std::time::Duration> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +122,23 @@ fn main() {
                     .unwrap_or_else(|| usage("--lease-ttl-ms needs a positive integer"));
                 lease_ttl = std::time::Duration::from_millis(ms);
             }
+            "--snapshot" => {
+                i += 1;
+                snapshot = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--snapshot needs a file path")),
+                );
+            }
+            "--snapshot-interval-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage("--snapshot-interval-ms needs a positive integer"));
+                snapshot_interval = Some(std::time::Duration::from_millis(ms));
+            }
             "--account-system-load" => account = true,
             "--weighted" => weighted = true,
             "--help" | "-h" => usage(""),
@@ -132,6 +159,10 @@ fn main() {
     cfg.weighted = weighted;
     cfg.lease_ttl = lease_ttl;
     cfg.journal_cap = journal_cap;
+    cfg.snapshot_path = snapshot.clone();
+    if let Some(interval) = snapshot_interval {
+        cfg.snapshot_interval = interval;
+    }
     // Explicit flag > PROCCTL_ENGINE env (already folded into the
     // config default) > built-in reactor default.
     if let Some(engine) = engine {
@@ -151,7 +182,7 @@ fn main() {
     });
     sig::install();
     println!(
-        "procctl-serverd: serving {} processors on {} (engine {}, epoch {}, lease {} ms, system-load accounting {}, {} shares, journal cap {})",
+        "procctl-serverd: serving {} processors on {} (engine {}, epoch {}, lease {} ms, system-load accounting {}, {} shares, journal cap {}, snapshot {})",
         cpus,
         server.path().display(),
         engine.name(),
@@ -160,6 +191,9 @@ fn main() {
         if account { "on" } else { "off" },
         if weighted { "throughput-weighted" } else { "equal" },
         journal_cap,
+        snapshot
+            .as_deref()
+            .map_or("off".to_string(), |p| p.display().to_string()),
     );
     // Serve until SIGTERM/SIGINT.
     while !sig::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
@@ -176,7 +210,7 @@ fn usage(err: &str) -> ! {
         eprintln!("procctl-serverd: {err}");
     }
     eprintln!(
-        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted] [--journal-cap N] [--engine threads|reactor]"
+        "USAGE: procctl-serverd <socket-path> [--cpus N] [--lease-ttl-ms N] [--account-system-load] [--weighted] [--journal-cap N] [--engine threads|reactor] [--snapshot PATH] [--snapshot-interval-ms N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -23,6 +23,13 @@
 //! faults are counted in a [`Registry`] readable via
 //! [`ChaosProxy::stats`].
 //!
+//! Wire faults exercise the *control* plane; [`JobChaos`] extends the
+//! same seeded-schedule idea to the *data* plane, wrapping pool jobs so
+//! a deterministic fraction panic or stall in place. That is what the
+//! pool's panic isolation (`jobs_panicked` conservation) and stall
+//! watchdog (`stalls_detected`, `Stall`/`Recovered` trace events) are
+//! tested against.
+//!
 //! This is a test-support module: the CI `chaos` lane drives it with a
 //! fixed seed (see `crates/native-rt/tests/chaos.rs`).
 
@@ -131,6 +138,92 @@ fn pick_fault(cfg: &ChaosConfig, rng: &mut u64) -> Fault {
         return Fault::Delay;
     }
     Fault::Forward
+}
+
+/// What [`JobChaos`] decided for one wrapped job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFault {
+    /// Run the wrapped work unchanged.
+    Run,
+    /// Panic instead of running the work — exercises the pool's
+    /// catch_unwind isolation and `jobs_panicked` conservation.
+    Panic,
+    /// Sleep past the watchdog's stall threshold, then run the work —
+    /// exercises stall detection and the `Stall`/`Recovered` events.
+    Stall,
+}
+
+/// Seeded generator of misbehaving pool jobs.
+///
+/// Wraps ordinary closures so a deterministic fraction panic or stall
+/// in place, with the same replay guarantee as the wire proxy: one
+/// xorshift stream per instance, schedule a pure function of the seed.
+/// The caller reads [`JobChaos::injected`] afterwards to know exactly
+/// how many faults of each kind went in, which is what conservation
+/// assertions (`submitted == jobs_run + jobs_panicked`) check against.
+#[derive(Debug)]
+pub struct JobChaos {
+    rng: u64,
+    panic_prob: f64,
+    stall_prob: f64,
+    stall_for: Duration,
+    panics: u64,
+    stalls: u64,
+}
+
+impl JobChaos {
+    /// A schedule injecting panics and stalls with the given per-job
+    /// probabilities (evaluated in that order; their sum should stay
+    /// ≤ 1.0). Stalled jobs sleep `stall_for` before doing their work.
+    pub fn new(seed: u64, panic_prob: f64, stall_prob: f64, stall_for: Duration) -> Self {
+        JobChaos {
+            rng: seed,
+            panic_prob,
+            stall_prob,
+            stall_for,
+            panics: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Draws the next fault from the schedule and tallies it.
+    pub fn next_fault(&mut self) -> JobFault {
+        let r = unit(&mut self.rng);
+        if r < self.panic_prob {
+            self.panics += 1;
+            JobFault::Panic
+        } else if r < self.panic_prob + self.stall_prob {
+            self.stalls += 1;
+            JobFault::Stall
+        } else {
+            JobFault::Run
+        }
+    }
+
+    /// Wraps `work` with the next fault in the schedule. The returned
+    /// closure is submitted to a pool like any other job; the returned
+    /// [`JobFault`] tells the caller what will happen when it runs.
+    pub fn wrap<F>(&mut self, work: F) -> (JobFault, Box<dyn FnOnce() + Send + 'static>)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let fault = self.next_fault();
+        let stall_for = self.stall_for;
+        let job: Box<dyn FnOnce() + Send + 'static> = match fault {
+            JobFault::Run => Box::new(work),
+            JobFault::Panic => Box::new(|| panic!("chaos: injected job panic")),
+            JobFault::Stall => Box::new(move || {
+                std::thread::sleep(stall_for);
+                work();
+            }),
+        };
+        (fault, job)
+    }
+
+    /// `(panics, stalls)` injected so far.
+    pub fn injected(&self) -> (u64, u64) {
+        (self.panics, self.stalls)
+    }
 }
 
 /// The running fault-injection proxy. Dropping it stops the listener,
@@ -453,6 +546,32 @@ mod tests {
             );
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn job_chaos_schedule_is_deterministic_and_tallied() {
+        let mut a = JobChaos::new(7, 0.25, 0.25, Duration::from_millis(1));
+        let mut b = JobChaos::new(7, 0.25, 0.25, Duration::from_millis(1));
+        let faults: Vec<JobFault> = (0..200).map(|_| a.next_fault()).collect();
+        assert_eq!(faults, (0..200).map(|_| b.next_fault()).collect::<Vec<_>>());
+        let (panics, stalls) = a.injected();
+        assert_eq!(
+            panics,
+            faults.iter().filter(|f| **f == JobFault::Panic).count() as u64
+        );
+        assert_eq!(
+            stalls,
+            faults.iter().filter(|f| **f == JobFault::Stall).count() as u64
+        );
+        assert!(panics > 0 && stalls > 0, "probabilities must bite");
+        // A clean wrap runs the work; an injected panic never reaches it.
+        let mut clean = JobChaos::new(1, 0.0, 0.0, Duration::from_millis(1));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let (fault, job) = clean.wrap(move || flag.store(true, Ordering::Release));
+        assert_eq!(fault, JobFault::Run);
+        job();
+        assert!(ran.load(Ordering::Acquire));
     }
 
     #[test]

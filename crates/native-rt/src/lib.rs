@@ -53,6 +53,7 @@ mod pool;
 pub mod proc_scan;
 #[cfg(unix)]
 pub mod reactor;
+pub mod snapshot;
 pub mod stats;
 #[cfg(unix)]
 mod supervise;
@@ -63,16 +64,17 @@ mod uds;
 
 pub use baseline::CentralPool;
 #[cfg(unix)]
-pub use chaos::{ChaosConfig, ChaosProxy};
+pub use chaos::{ChaosConfig, ChaosProxy, JobChaos, JobFault};
 pub use controller::{Controller, TargetSlot};
 pub use deque::{Steal, Stealer, Worker};
 pub use injector::Injector;
-pub use pool::{Job, Pool, PoolConfig, PoolMetrics};
+pub use pool::{Job, Pool, PoolConfig, PoolMetrics, WatchdogConfig};
 #[cfg(unix)]
 pub use reactor::FrameBuffer;
+pub use snapshot::{ServerSnapshot, SnapshotApp, SnapshotError};
 pub use stats::{Registry, Snapshot};
 #[cfg(unix)]
-pub use supervise::{SupervisedClient, SupervisorConfig};
+pub use supervise::{RestartKind, SupervisedClient, SupervisorConfig};
 pub use topology::{CpuRecord, CpuTopology, NUM_STEAL_TIERS, STEAL_TIER_NAMES};
 pub use trace::{EventKind, FlightRecorder, SpscRing, TraceEvent};
 #[cfg(unix)]

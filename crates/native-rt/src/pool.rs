@@ -42,7 +42,7 @@
 //! queue version had).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -96,6 +96,21 @@ pub struct PoolMetrics {
     /// Victims passed over because they were suspended (their deques
     /// are drained before parking, so probing them is pure waste).
     pub steal_skips_suspended: u64,
+    /// Jobs whose panic was caught and isolated by the worker
+    /// ([`PoolConfig::isolate_panics`]). Panicked jobs still count in
+    /// `jobs_run` — they were acquired and executed, so the conservation
+    /// invariant is unaffected; this counter is the failed subset.
+    pub jobs_panicked: u64,
+    /// Worker threads the watchdog replaced after they died (a panic
+    /// escaped with isolation off). Requires
+    /// [`WatchdogConfig::respawn`].
+    pub workers_respawned: u64,
+    /// Stall episodes the watchdog opened (a running worker's heartbeat
+    /// went stale past the threshold).
+    pub stalls_detected: u64,
+    /// Unpark nudges the watchdog issued to long-parked workers while
+    /// work was visibly available (missed-wakeup insurance).
+    pub stall_nudges: u64,
 }
 
 /// Suspension parking state (process control, not idleness).
@@ -141,6 +156,59 @@ const SPIN_BUDGET_START_NS: u64 = 20_000;
 const IDLE_PARK_POLL: Duration = Duration::from_millis(10);
 /// Same bound for suspension parks (shutdown races).
 const SUSPEND_PARK_POLL: Duration = Duration::from_millis(50);
+
+/// Heartbeat states, packed into the low two bits of the per-worker
+/// heartbeat word (the upper 62 bits are the timestamp in nanoseconds
+/// since [`trace::clock_origin`]).
+const HB_IDLE: u64 = 0;
+const HB_RUNNING: u64 = 1;
+const HB_PARKED: u64 = 2;
+const HB_SUSPENDED: u64 = 3;
+
+/// Packs a heartbeat word: `(ts_ns << 2) | state`.
+fn pack_heartbeat(ts_ns: u64, state: u64) -> u64 {
+    (ts_ns << 2) | state
+}
+
+/// Stall-watchdog tuning ([`PoolConfig::watchdog`]).
+///
+/// The watchdog is a monitor thread that classifies every worker from
+/// its heartbeat word — *running* (mid-job), *parked* (idle), or
+/// *suspended* (process control) — and escalates when a running worker
+/// makes no progress past `stall_threshold`: log line →
+/// `stalls_detected` counter + [`EventKind::Stall`] trace event →
+/// unpark nudge for long-parked workers with work visibly queued →
+/// (opt-in) respawn of a worker thread that died outright.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// How often the watchdog scans the heartbeats.
+    pub interval: Duration,
+    /// A running worker whose heartbeat is older than this is stalled.
+    pub stall_threshold: Duration,
+    /// Wake one idle-parked worker when a parked heartbeat goes stale
+    /// past the threshold while the queues are visibly nonempty.
+    pub nudge: bool,
+    /// Replace worker threads that died (a panic escaped with
+    /// [`PoolConfig::isolate_panics`] off). The replacement runs on a
+    /// fresh deque; the dead worker's queued tasks stay stealable
+    /// through its registered stealer.
+    pub respawn: bool,
+}
+
+impl WatchdogConfig {
+    /// A watchdog scanning at half the stall threshold (so a stall is
+    /// detected within 1.5× the threshold, comfortably inside the 2×
+    /// detection bound the chaos tests assert), nudging enabled,
+    /// respawn off.
+    pub fn new(stall_threshold: Duration) -> Self {
+        WatchdogConfig {
+            interval: (stall_threshold / 2).max(Duration::from_millis(1)),
+            stall_threshold,
+            nudge: true,
+            respawn: false,
+        }
+    }
+}
 
 /// Per-worker adaptive spin control: an EWMA (α = 1/4) of this worker's
 /// observed wait-for-work latencies drives how long it spins before
@@ -234,6 +302,19 @@ struct PoolShared {
     // sched-atomic(handoff): Release store after the drain publishes the
     // emptied deque; stealers' Acquire load pairs with it.
     suspended_flags: Box<[AtomicBool]>,
+    /// Per-worker heartbeat words, `(ns_since_origin << 2) | state`
+    /// (see `HB_*`), stamped by each worker at job pickup and at every
+    /// park/unpark/suspend/resume transition. The watchdog reads them to
+    /// classify workers; a torn or slightly stale read costs at most one
+    /// scan interval of detection latency, never correctness.
+    // sched-atomic(relaxed): monitoring statistic — no data is published
+    // under it, and the watchdog tolerates staleness by design.
+    heartbeats: Box<[AtomicU64]>,
+    /// The worker threads, indexed like `stealers`, shared so the
+    /// watchdog can detect a dead thread (`is_finished`) and install a
+    /// replacement. `None` only transiently while a respawn is in
+    /// flight.
+    worker_handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     /// Workers parked for lack of work.
     sleepers: Mutex<Vec<Arc<IdleSlot>>>,
     /// `sleepers.len()`, readable without the lock (producer fast path).
@@ -289,6 +370,17 @@ struct PoolShared {
     /// Victim-ring rebuilds triggered by CPU-set changes (dynamic
     /// re-tiering around the new home CPU).
     retier_events: Counter,
+    /// Job panics caught and isolated (the worker survived).
+    jobs_panicked: Counter,
+    /// Dead worker threads the watchdog replaced.
+    workers_respawned: Counter,
+    /// Stall episodes the watchdog opened.
+    stalls_detected: Counter,
+    /// Unpark nudges issued to stale parked workers.
+    stall_nudges: Counter,
+    /// Duration of each completed stall episode (detection to first
+    /// observed progress), nanoseconds.
+    stall_ns: Hist,
     /// The per-worker flight-recorder rings (may be disabled).
     recorder: Arc<FlightRecorder>,
     /// Busy-wait (1989-style) instead of sleeping when the queues are
@@ -298,6 +390,8 @@ struct PoolShared {
     topology: Arc<CpuTopology>,
     /// Pin workers to their assigned CPUs via `sched_setaffinity`.
     pin: bool,
+    /// Catch job panics in the worker instead of letting them kill it.
+    isolate_panics: bool,
 }
 
 /// Construction options for a [`Pool`] beyond the worker count.
@@ -321,6 +415,18 @@ pub struct PoolConfig {
     /// to a power of two). `0` disables the recorder entirely — the
     /// EXPERIMENTS.md overhead A/B baseline.
     pub trace_capacity: usize,
+    /// Run every job under `catch_unwind` so a panicking job is counted
+    /// (`jobs_panicked`) and the worker keeps running (default).
+    /// Jobs are asserted unwind-safe: a job that panics mid-update of
+    /// state it shares with other jobs may leave that state
+    /// inconsistent — the pool's own invariants are maintained either
+    /// way. With this off, a panic unwinds the worker thread; pair with
+    /// [`WatchdogConfig::respawn`] to have the fleet heal itself.
+    pub isolate_panics: bool,
+    /// Run a stall watchdog over the per-worker heartbeats; `None`
+    /// (default) disables monitoring entirely — zero threads, zero
+    /// hot-path cost beyond one relaxed heartbeat store per job.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 /// Default flight-recorder ring capacity per worker ("always-on": large
@@ -330,7 +436,8 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
 impl PoolConfig {
     /// Defaults: spin-then-park idling, no pinning, detected topology,
-    /// flight recorder on at [`DEFAULT_TRACE_CAPACITY`].
+    /// flight recorder on at [`DEFAULT_TRACE_CAPACITY`], panic
+    /// isolation on, no watchdog.
     pub fn new(nworkers: usize) -> Self {
         PoolConfig {
             nworkers,
@@ -338,6 +445,8 @@ impl PoolConfig {
             pin: false,
             topology: None,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            isolate_panics: true,
+            watchdog: None,
         }
     }
 }
@@ -345,7 +454,15 @@ impl PoolConfig {
 /// A controlled work-stealing worker pool.
 pub struct Pool {
     shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<WatchdogHandle>,
+}
+
+/// The running stall watchdog (see [`WatchdogConfig`]). The stop flag
+/// doubles as the scan-interval timer: the thread waits on the condvar
+/// so shutdown interrupts a sleep instead of waiting it out.
+struct WatchdogHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<()>,
 }
 
 impl Pool {
@@ -399,7 +516,10 @@ impl Pool {
         let steal_tier_hits = std::array::from_fn(|i| {
             registry.counter(&format!("steal_tier_{}", STEAL_TIER_NAMES[i]))
         });
-        let recorder = FlightRecorder::new(nworkers, cfg.trace_capacity, &registry);
+        // One ring per worker plus one for the watchdog: rings are
+        // single-producer, so the monitor needs its own to emit
+        // Stall/Recovered events about (not from) a wedged worker.
+        let recorder = FlightRecorder::new(nworkers + 1, cfg.trace_capacity, &registry);
         let shared = Arc::new(PoolShared {
             injector: Injector::new(nworkers),
             stealers: stealers.into_boxed_slice(),
@@ -409,6 +529,10 @@ impl Pool {
             active: AtomicUsize::new(nworkers),
             suspended: Mutex::new(Vec::new()),
             suspended_flags: (0..nworkers).map(|_| AtomicBool::new(false)).collect(),
+            heartbeats: (0..nworkers)
+                .map(|_| AtomicU64::new(pack_heartbeat(trace::now_ns(), HB_IDLE)))
+                .collect(),
+            worker_handles: Mutex::new(Vec::new()),
             sleepers: Mutex::new(Vec::new()),
             nsleepers: AtomicUsize::new(0),
             target,
@@ -434,24 +558,43 @@ impl Pool {
             wake_to_run: registry.histogram("wake_to_run_ns"),
             suspend_to_resume: registry.histogram("suspend_to_resume_ns"),
             retier_events: registry.counter("retier_events"),
+            jobs_panicked: registry.counter("jobs_panicked"),
+            workers_respawned: registry.counter("workers_respawned"),
+            stalls_detected: registry.counter("stalls_detected"),
+            stall_nudges: registry.counter("stall_nudges"),
+            stall_ns: registry.histogram("stall_ns"),
             recorder,
             registry,
             idle_spin: cfg.idle_spin,
             topology,
             pin: cfg.pin,
+            isolate_panics: cfg.isolate_panics,
         });
-        let workers = locals
+        let workers: Vec<Option<JoinHandle<()>>> = locals
             .into_iter()
             .enumerate()
             .map(|(i, w)| {
                 let sh = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pool-worker-{i}"))
-                    .spawn(move || worker_loop(&sh, i, w))
-                    .expect("spawn worker")
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("pool-worker-{i}"))
+                        .spawn(move || worker_loop(&sh, i, w))
+                        .expect("spawn worker"),
+                )
             })
             .collect();
-        Pool { shared, workers }
+        *shared.worker_handles.lock() = workers;
+        let watchdog = cfg.watchdog.map(|wcfg| {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let sh = Arc::clone(&shared);
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("pool-watchdog".into())
+                .spawn(move || watchdog_loop(&sh, &wcfg, &stop2))
+                .expect("spawn watchdog");
+            WatchdogHandle { stop, handle }
+        });
+        Pool { shared, watchdog }
     }
 
     /// Submits a job. Callers outside the pool go through the sharded
@@ -508,6 +651,10 @@ impl Pool {
             steal_fails: self.shared.steal_fails.get(),
             steal_tier_hits: std::array::from_fn(|i| self.shared.steal_tier_hits[i].get()),
             steal_skips_suspended: self.shared.steal_skips_suspended.get(),
+            jobs_panicked: self.shared.jobs_panicked.get(),
+            workers_respawned: self.shared.workers_respawned.get(),
+            stalls_detected: self.shared.stalls_detected.get(),
+            stall_nudges: self.shared.stall_nudges.get(),
         }
     }
 
@@ -536,6 +683,14 @@ impl Drop for Pool {
     fn drop(&mut self) {
         let sh = &self.shared;
         sh.shutdown.store(true, Ordering::Release);
+        // Stop the watchdog before joining workers so no respawn can
+        // race the teardown (any respawn already in flight lands a
+        // worker that observes `shutdown` and exits immediately).
+        if let Some(wd) = self.watchdog.take() {
+            *wd.stop.0.lock() = true;
+            wd.stop.1.notify_all();
+            let _ = wd.handle.join();
+        }
         // Wake idle sleepers...
         {
             let mut sleepers = sh.sleepers.lock();
@@ -555,7 +710,8 @@ impl Drop for Pool {
                 t.cv.notify_one();
             }
         }
-        for w in self.workers.drain(..) {
+        let workers: Vec<Option<JoinHandle<()>>> = std::mem::take(&mut *sh.worker_handles.lock());
+        for w in workers.into_iter().flatten() {
             let _ = w.join();
         }
     }
@@ -844,12 +1000,20 @@ fn idle_spin_then_park(
         sh.nsleepers.fetch_add(1, Ordering::SeqCst);
     }
     sh.recorder.record(index, EventKind::Park, 0);
+    sh.heartbeats[index].store(
+        pack_heartbeat(trace::now_ns(), HB_PARKED),
+        Ordering::Relaxed,
+    );
     sh.spin_before_park
         .record(started.elapsed().as_nanos() as u64);
     if sh.shutdown.load(Ordering::Acquire) || work_available(sh) {
         unregister_sleeper(sh, slot);
         observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
         let woke = Instant::now();
+        sh.heartbeats[index].store(
+            pack_heartbeat(trace::ns_since_origin(woke), HB_IDLE),
+            Ordering::Relaxed,
+        );
         sh.recorder
             .record_at(index, trace::ns_since_origin(woke), EventKind::Unpark, 0);
         return Some(woke);
@@ -866,6 +1030,10 @@ fn idle_spin_then_park(
     unregister_sleeper(sh, slot);
     observe_wait(sh, spin, started.elapsed().as_nanos() as u64);
     let woke = Instant::now();
+    sh.heartbeats[index].store(
+        pack_heartbeat(trace::ns_since_origin(woke), HB_IDLE),
+        Ordering::Relaxed,
+    );
     sh.recorder
         .record_at(index, trace::ns_since_origin(woke), EventKind::Unpark, 0);
     Some(woke)
@@ -881,8 +1049,161 @@ fn unregister_sleeper(sh: &PoolShared, slot: &Arc<IdleSlot>) {
     }
 }
 
+/// Per-job accounting that must run whether the job returns or panics:
+/// `jobs_run` counts every executed job (panicked ones included — they
+/// were acquired through exactly one path, so conservation holds) and
+/// the `outstanding` decrement keeps `wait_idle` from hanging on a job
+/// that will never "finish" normally.
+struct JobGuard<'a> {
+    sh: &'a PoolShared,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.sh.jobs_run.incr();
+        if self.sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.sh.idle_mu.lock();
+            self.sh.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Armed for the lifetime of a worker loop; if the loop unwinds (a job
+/// panic escaping with [`PoolConfig::isolate_panics`] off), repairs the
+/// shared accounting the dead worker can no longer maintain: clears its
+/// suspended flag, removes it from the `active` count, and stamps a
+/// fresh idle heartbeat so the watchdog sees a death (the thread's
+/// `is_finished` handle), not a stall.
+struct DeathWatch<'a> {
+    sh: &'a PoolShared,
+    index: usize,
+    armed: bool,
+}
+
+impl Drop for DeathWatch<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.sh.suspended_flags[self.index].store(false, Ordering::Release);
+        self.sh.active.fetch_sub(1, Ordering::AcqRel);
+        self.sh.heartbeats[self.index]
+            .store(pack_heartbeat(trace::now_ns(), HB_IDLE), Ordering::Relaxed);
+    }
+}
+
+/// The stall-watchdog monitor thread (see [`WatchdogConfig`]): scans
+/// every worker's heartbeat each interval, opens a stall episode for a
+/// running worker whose heartbeat went stale past the threshold
+/// (log + `stalls_detected` + [`EventKind::Stall`]), closes it on the
+/// first observed progress (`stall_ns` + [`EventKind::Recovered`]),
+/// nudges long-parked workers while work is visibly queued, and — when
+/// opted in — respawns worker threads that died.
+fn watchdog_loop(sh: &Arc<PoolShared>, cfg: &WatchdogConfig, stop: &(Mutex<bool>, Condvar)) {
+    let n = sh.stealers.len();
+    // The recorder's extra ring (index n) belongs to the watchdog.
+    let wd_ring = n;
+    // Open episodes: the heartbeat word observed at detection (progress
+    // == any change) and the detection timestamp.
+    let mut episodes: Vec<Option<(u64, u64)>> = vec![None; n];
+    let threshold_ns = cfg.stall_threshold.as_nanos() as u64;
+    loop {
+        {
+            let mut stopped = stop.0.lock();
+            if !*stopped {
+                stop.1.wait_for(&mut stopped, cfg.interval);
+            }
+            if *stopped {
+                return;
+            }
+        }
+        let now_ns = trace::now_ns();
+        for (i, episode) in episodes.iter_mut().enumerate() {
+            let hb = sh.heartbeats[i].load(Ordering::Relaxed);
+            let (ts, state) = (hb >> 2, hb & 0b11);
+            let stale = now_ns.saturating_sub(ts);
+            let stalled = state == HB_RUNNING && stale > threshold_ns;
+            match *episode {
+                None if stalled => {
+                    *episode = Some((hb, now_ns));
+                    sh.stalls_detected.incr();
+                    let ms = (stale / 1_000_000).min(u64::from(u32::MAX)) as u32;
+                    sh.recorder
+                        .record_from(wd_ring, i as u16, now_ns, EventKind::Stall, ms);
+                    eprintln!(
+                        "pool-watchdog: worker {i} stalled ({} ms since last progress, threshold {} ms)",
+                        stale / 1_000_000,
+                        threshold_ns / 1_000_000,
+                    );
+                }
+                Some((hb_at_detect, detected_ns)) if hb != hb_at_detect => {
+                    *episode = None;
+                    let dur = now_ns.saturating_sub(detected_ns);
+                    sh.stall_ns.record(dur);
+                    let ms = (dur / 1_000_000).min(u64::from(u32::MAX)) as u32;
+                    sh.recorder
+                        .record_from(wd_ring, i as u16, now_ns, EventKind::Recovered, ms);
+                }
+                _ => {}
+            }
+            if cfg.nudge
+                && state == HB_PARKED
+                && stale > threshold_ns
+                && sh.outstanding.load(Ordering::Acquire) > 0
+                && work_available(sh)
+            {
+                sh.stall_nudges.incr();
+                wake_one(sh);
+            }
+        }
+        if cfg.respawn {
+            respawn_dead_workers(sh);
+        }
+    }
+}
+
+/// Replaces any worker thread whose handle reports it finished while the
+/// pool is still running (only a panic escaping `worker_loop` gets a
+/// worker there). The dead worker's deque buffer stays alive behind its
+/// registered stealer, so tasks it still held remain stealable; the
+/// replacement runs on a fresh, unregistered deque — its local pushes
+/// are popped locally and drained to the injector on suspend, so
+/// nothing is stranded (the deque is merely invisible to steal sweeps,
+/// a throughput footnote on an already-exceptional path).
+fn respawn_dead_workers(sh: &Arc<PoolShared>) {
+    let mut handles = sh.worker_handles.lock();
+    for i in 0..handles.len() {
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !handles[i].as_ref().is_some_and(JoinHandle::is_finished) {
+            continue;
+        }
+        if let Some(dead) = handles[i].take() {
+            let _ = dead.join();
+        }
+        let (w, _unregistered_stealer) = deque::deque::<Task>();
+        let sh2 = Arc::clone(sh);
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("pool-worker-{i}r"))
+            .spawn(move || worker_loop(&sh2, i, w))
+        {
+            // The death guard removed the worker from `active`; its
+            // replacement re-enters the active set.
+            sh.active.fetch_add(1, Ordering::AcqRel);
+            sh.workers_respawned.incr();
+            handles[i] = Some(h);
+        }
+    }
+}
+
 fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
     let _tls = TlsGuard::set(Arc::as_ptr(sh) as usize, &worker);
+    let mut death = DeathWatch {
+        sh,
+        index,
+        armed: true,
+    };
     let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1) | 1;
     let idle_slot = Arc::new(IdleSlot {
         woken: Mutex::new(false),
@@ -904,6 +1225,7 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
             if burst_jobs > 0 {
                 sh.recorder.record(index, EventKind::JobEnd, burst_jobs);
             }
+            death.armed = false;
             return;
         }
         // --- Safe suspension point: no job held, no lock held. ---
@@ -945,6 +1267,10 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 drain_local(sh, &worker);
                 sh.suspended_flags[index].store(true, Ordering::Release);
                 let suspended_at = Instant::now();
+                sh.heartbeats[index].store(
+                    pack_heartbeat(trace::ns_since_origin(suspended_at), HB_SUSPENDED),
+                    Ordering::Relaxed,
+                );
                 sh.recorder.record_at(
                     index,
                     trace::ns_since_origin(suspended_at),
@@ -956,6 +1282,10 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 match outcome {
                     SuspendOutcome::Resumed(signaled_at) => {
                         let woke = Instant::now();
+                        sh.heartbeats[index].store(
+                            pack_heartbeat(trace::ns_since_origin(woke), HB_IDLE),
+                            Ordering::Relaxed,
+                        );
                         let lat_us = signaled_at.map_or(0, |at| {
                             (woke.duration_since(at).as_micros()).min(u32::MAX as u128) as u32
                         });
@@ -969,7 +1299,10 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                         pending_suspend = Some(suspended_at);
                         continue; // re-enter the safe point
                     }
-                    SuspendOutcome::Shutdown => return,
+                    SuspendOutcome::Shutdown => {
+                        death.armed = false;
+                        return;
+                    }
                 }
             }
         } else if active < target {
@@ -984,6 +1317,11 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 // wake-to-run/suspend-to-resume latencies, and the
                 // flight-recorder timestamp.
                 let now = Instant::now();
+                let now_ns = trace::ns_since_origin(now);
+                // The heartbeat reuses the clock read above: one relaxed
+                // store per job to a worker-private word is the entire
+                // hot-path cost of the watchdog.
+                sh.heartbeats[index].store(pack_heartbeat(now_ns, HB_RUNNING), Ordering::Relaxed);
                 let wait = now.duration_since(task.submitted);
                 sh.queue_wait.record(wait.as_nanos() as u64);
                 if let Some(at) = pending_wake.take() {
@@ -1002,17 +1340,27 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                 if burst_jobs == 0 {
                     sh.recorder.record_at(
                         index,
-                        trace::ns_since_origin(now),
+                        now_ns,
                         EventKind::JobStart,
                         wait.as_micros().min(u32::MAX as u128) as u32,
                     );
                 }
                 burst_jobs = burst_jobs.saturating_add(1);
-                (task.job)();
-                sh.jobs_run.incr();
-                if sh.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let _g = sh.idle_mu.lock();
-                    sh.idle_cv.notify_all();
+                {
+                    let _completed = JobGuard { sh };
+                    if sh.isolate_panics {
+                        // Jobs are asserted unwind-safe (see
+                        // `PoolConfig::isolate_panics`): the pool's own
+                        // invariants hold either way, and shared state a
+                        // job mutates is the job author's contract.
+                        let caught =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.job));
+                        if caught.is_err() {
+                            sh.jobs_panicked.incr();
+                        }
+                    } else {
+                        (task.job)();
+                    }
                 }
             }
             None => {
@@ -1020,6 +1368,11 @@ fn worker_loop(sh: &Arc<PoolShared>, index: usize, worker: Worker<Task>) {
                     sh.recorder.record(index, EventKind::JobEnd, burst_jobs);
                     burst_jobs = 0;
                 }
+                // Out of work: leave the running state so the watchdog
+                // never mistakes an empty queue for a wedged job (the
+                // idle path can afford its own clock read).
+                sh.heartbeats[index]
+                    .store(pack_heartbeat(trace::now_ns(), HB_IDLE), Ordering::Relaxed);
                 if sh.idle_spin {
                     // Period-faithful busy wait: burn a short slice, then
                     // re-check (lets the OS preempt us naturally).
@@ -1467,6 +1820,174 @@ mod tests {
         assert!(kinds.contains(&EventKind::Suspend), "no Suspend event");
         assert!(kinds.contains(&EventKind::Resume), "no Resume event");
         assert!(kinds.contains(&EventKind::Epoch), "no Epoch event");
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_conserved() {
+        let c = controller(4);
+        let pool = Pool::new(&c, 4, false); // isolate_panics defaults on
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                if i % 5 == 0 {
+                    panic!("chaos job {i}");
+                }
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle(); // must not hang on the panicked jobs
+        assert_eq!(done.load(Ordering::Relaxed), 80);
+        let m = pool.metrics();
+        assert_eq!(m.jobs_run, 100, "panicked jobs still count as run");
+        assert_eq!(m.jobs_panicked, 20);
+        assert_eq!(
+            m.local_hits + m.injector_pops + m.steals,
+            m.jobs_run,
+            "conservation must survive panics: {m:?}"
+        );
+        // The workers survived: fresh jobs still run on all paths.
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 81);
+        assert_eq!(pool.metrics().workers_respawned, 0, "nobody died");
+    }
+
+    #[test]
+    fn escaped_panic_kills_worker_and_watchdog_respawns_it() {
+        let c = controller(4);
+        let mut cfg = PoolConfig::new(4);
+        cfg.isolate_panics = false;
+        let mut wd = WatchdogConfig::new(Duration::from_millis(200));
+        wd.interval = Duration::from_millis(5);
+        wd.respawn = true;
+        cfg.watchdog = Some(wd);
+        let pool = Pool::with_config(&c, cfg);
+        pool.execute(|| panic!("worker killer"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.metrics().workers_respawned == 0 {
+            assert!(std::time::Instant::now() < deadline, "never respawned");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The healed fleet still runs everything, conservation intact.
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+        let m = pool.metrics();
+        assert_eq!(m.jobs_run, 201, "the killer job still counts");
+        assert_eq!(m.local_hits + m.injector_pops + m.steals, m.jobs_run);
+        assert!(pool.active() <= 4, "respawn inflated the active count");
+    }
+
+    /// Randomized (seeded) respawn hand-off churn: escaped panics kill
+    /// workers mid-stream while the target flaps, the watchdog keeps
+    /// replacing them, and every non-panicking job still runs exactly
+    /// once with the acquisition-path conservation intact.
+    #[test]
+    fn respawn_handoff_churn_preserves_conservation() {
+        let mut seed = 0x5EED_D0A7u64;
+        for round in 0..4 {
+            let n = 4;
+            let slot = Arc::new(TargetSlot::new(n));
+            let mut cfg = PoolConfig::new(n);
+            cfg.isolate_panics = false;
+            let mut wd = WatchdogConfig::new(Duration::from_millis(200));
+            wd.interval = Duration::from_millis(2);
+            wd.respawn = true;
+            cfg.watchdog = Some(wd);
+            let pool = Pool::with_slot_config(Arc::clone(&slot), cfg);
+            let done = Arc::new(AtomicUsize::new(0));
+            let mut expected = 0usize;
+            let mut submitted = 0u64;
+            for flip in 0..30 {
+                slot.target
+                    .store(if flip % 2 == 0 { 1 } else { n }, Ordering::Release);
+                for _ in 0..8 {
+                    submitted += 1;
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    if seed % 11 == 0 {
+                        pool.execute(|| panic!("churn"));
+                    } else {
+                        expected += 1;
+                        let d = Arc::clone(&done);
+                        pool.execute(move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                }
+                if flip % 10 == 9 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            pool.wait_idle();
+            assert_eq!(
+                done.load(Ordering::Relaxed),
+                expected,
+                "round {round}: surviving jobs must all run"
+            );
+            let m = pool.metrics();
+            assert_eq!(m.jobs_run, submitted, "round {round}: {m:?}");
+            assert_eq!(
+                m.local_hits + m.injector_pops + m.steals,
+                m.jobs_run,
+                "round {round}: conservation broke: {m:?}"
+            );
+            assert!(pool.active() <= n, "round {round}: phantom active");
+            drop(pool); // must join respawned workers cleanly too
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_stall_and_recovery_with_trace_events() {
+        let c = controller(2);
+        let mut cfg = PoolConfig::new(2);
+        let threshold = Duration::from_millis(200);
+        cfg.watchdog = Some(WatchdogConfig::new(threshold));
+        let pool = Pool::with_config(&c, cfg);
+        // One wedged job: sleeps far past the stall threshold.
+        let submitted = std::time::Instant::now();
+        pool.execute(|| std::thread::sleep(Duration::from_millis(600)));
+        let deadline = submitted + Duration::from_secs(5);
+        while pool.metrics().stalls_detected == 0 {
+            assert!(std::time::Instant::now() < deadline, "stall never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let detected_after = submitted.elapsed();
+        assert!(
+            detected_after <= threshold * 2 + Duration::from_millis(150),
+            "detection too slow: {detected_after:?} for threshold {threshold:?}"
+        );
+        // The job ends; the next heartbeat closes the episode.
+        pool.wait_idle();
+        pool.execute(|| {});
+        pool.wait_idle();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().histograms["stall_ns"].count == 0 {
+            assert!(std::time::Instant::now() < deadline, "never recovered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events = pool.recorder().drain(usize::MAX);
+        let stall = events.iter().find(|e| e.kind == EventKind::Stall);
+        let recovered = events.iter().find(|e| e.kind == EventKind::Recovered);
+        let stall = stall.expect("Stall event emitted");
+        assert!(recovered.is_some(), "Recovered event emitted");
+        assert!(
+            (stall.worker as usize) < 2,
+            "Stall names the wedged worker: {stall:?}"
+        );
+        // Wire codec round-trips the new kinds.
+        assert_eq!(TraceEvent::parse(&stall.to_wire()), Some(*stall));
     }
 
     #[test]

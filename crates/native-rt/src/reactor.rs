@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crate::stats::Registry;
-use crate::uds::{handle_line_into, ServerState, UdsServerConfig};
+use crate::uds::{handle_line_into, write_snapshot, ServerState, UdsServerConfig};
 
 /// The longest line the reactor will buffer for one frame before
 /// answering `ERR malformed` and dropping the connection. Generous —
@@ -445,6 +445,7 @@ pub(crate) fn serve(
     let mut ready: Vec<(u64, bool, bool)> = Vec::new();
     let mut scratch = vec![0u8; 64 * 1024];
     let mut reply = String::new();
+    let mut last_snapshot = Instant::now();
 
     while !stop.load(Ordering::Acquire) {
         // Sleep until traffic or the next lease deadline, capped so the
@@ -474,6 +475,14 @@ pub(crate) fn serve(
         // Fire due lease timers (cheap heap peek when nothing is due;
         // the /proc liveness sweep throttles itself inside).
         state.prune(cfg, now);
+        // Periodic crash-recovery snapshot, off the same timer wakeups
+        // (the wait cap bounds staleness; the hot frame path below is
+        // untouched when no interval has elapsed).
+        if cfg.snapshot_path.is_some() && now.duration_since(last_snapshot) >= cfg.snapshot_interval
+        {
+            write_snapshot(&state, cfg, epoch, now);
+            last_snapshot = now;
+        }
 
         // Phase 1: accept and drain every ready socket, staging batched
         // replies. Nothing is written back yet, so the wakeup's frame
@@ -534,6 +543,10 @@ pub(crate) fn serve(
             }
         }
     }
+    // Final write on the way out: a graceful shutdown (SIGTERM → drop)
+    // persists everything served, so the next boot restores the exact
+    // fleet this instance was managing.
+    write_snapshot(&state, cfg, epoch, Instant::now());
 }
 
 /// Accepts every pending connection (the listener is non-blocking).

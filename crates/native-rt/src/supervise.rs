@@ -16,6 +16,12 @@
 //! - An `ERR unregistered` reply (lease expiry, or a restarted server
 //!   reached through a still-open proxy connection) is healed in place by
 //!   re-registering on the same connection.
+//! - A reconnect after a lost connection starts as an *observer* and
+//!   classifies what it finds ([`RestartKind`]): a server that answers
+//!   the probe poll with a fresh epoch **recovered this registration
+//!   from its snapshot** (no re-REGISTER needed — the storm the
+//!   snapshot exists to prevent), while an `ERR unregistered` answer
+//!   means a cold restart, healed by registering again.
 //!
 //! Recovery behavior is observable: the supervisor records `reconnects`,
 //! `degraded_enters`, `epoch_changes`, `poll_errors`, and
@@ -71,6 +77,22 @@ impl SupervisorConfig {
     }
 }
 
+/// How a server restart presented to the supervisor on reconnect —
+/// surfaced as a typed event (and `restarts_recovered` /
+/// `restarts_cold` counters) so operators can tell a snapshot-recovered
+/// restart from a state-losing one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartKind {
+    /// The new server instance answered the probe poll with a live
+    /// target under a fresh epoch: it restored this registration from
+    /// its snapshot and no re-REGISTER was needed.
+    Recovered,
+    /// The new server instance had never heard of this pid (`ERR
+    /// unregistered` under a fresh epoch): it cold-started and the
+    /// supervisor re-registered from scratch.
+    Cold,
+}
+
 fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state | 1;
     x ^= x << 13;
@@ -105,11 +127,16 @@ pub struct SupervisedClient {
     next_attempt: Option<Instant>,
     rng: u64,
     degraded_since: Option<Instant>,
+    /// How the most recent server *restart* presented on reconnect
+    /// (`None` until a restart has been observed).
+    last_restart: Option<RestartKind>,
     reconnects: Counter,
     degraded_enters: Counter,
     epoch_changes: Counter,
     poll_errors: Counter,
     events_shipped: Counter,
+    restarts_recovered: Counter,
+    restarts_cold: Counter,
     degraded_gauge: Gauge,
     degraded_ns: Hist,
 }
@@ -127,6 +154,8 @@ impl SupervisedClient {
             epoch_changes: registry.counter("epoch_changes"),
             poll_errors: registry.counter("poll_errors"),
             events_shipped: registry.counter("events_shipped"),
+            restarts_recovered: registry.counter("restarts_recovered"),
+            restarts_cold: registry.counter("restarts_cold"),
             degraded_gauge: registry.gauge("degraded"),
             degraded_ns: registry.histogram("degraded_ns"),
             registry,
@@ -139,6 +168,7 @@ impl SupervisedClient {
             recorder: None,
             next_attempt: None,
             degraded_since: None,
+            last_restart: None,
         };
         s.ensure_connected();
         s
@@ -199,6 +229,47 @@ impl SupervisedClient {
         self.schedule_retry();
     }
 
+    fn note_restart(&mut self, kind: RestartKind) {
+        self.last_restart = Some(kind);
+        match kind {
+            RestartKind::Recovered => self.restarts_recovered.incr(),
+            RestartKind::Cold => self.restarts_cold.incr(),
+        }
+    }
+
+    /// How the most recent observed server restart presented: recovered
+    /// from snapshot, or cold. `None` until a restart has been seen.
+    pub fn last_restart(&self) -> Option<RestartKind> {
+        self.last_restart
+    }
+
+    /// The reconnect path: come back as an *observer* (a bare connect
+    /// sends no REGISTER) and probe with one poll. A live target means
+    /// the restarted server recovered this registration from its
+    /// snapshot — adopt the new epoch, send nothing. `ERR unregistered`
+    /// means a cold restart — register from scratch. Either way an
+    /// epoch change is classified and counted; an unchanged epoch is a
+    /// plain transport hiccup, not a restart.
+    fn reconnect_classified(&mut self) -> std::io::Result<UdsClient> {
+        let mut c = UdsClient::connect(&self.cfg.path, self.cfg.io_timeout)?;
+        c.set_nworkers(self.cfg.nworkers);
+        match c.poll_reply()? {
+            PollReply::Target { epoch, .. } => {
+                c.adopt_epoch(epoch);
+                if self.last_epoch.is_some_and(|prev| prev != epoch) {
+                    self.note_restart(RestartKind::Recovered);
+                }
+            }
+            PollReply::Unregistered => {
+                let epoch = c.re_register()?;
+                if self.last_epoch.is_some_and(|prev| prev != epoch) {
+                    self.note_restart(RestartKind::Cold);
+                }
+            }
+        }
+        Ok(c)
+    }
+
     fn ensure_connected(&mut self) -> bool {
         if self.conn.is_some() {
             return true;
@@ -208,11 +279,12 @@ impl SupervisedClient {
                 return false;
             }
         }
-        match UdsClient::register_with_timeout(
-            &self.cfg.path,
-            self.cfg.nworkers,
-            self.cfg.io_timeout,
-        ) {
+        let attempt = if self.ever_connected {
+            self.reconnect_classified()
+        } else {
+            UdsClient::register_with_timeout(&self.cfg.path, self.cfg.nworkers, self.cfg.io_timeout)
+        };
+        match attempt {
             Ok(c) => {
                 if self.ever_connected {
                     self.reconnects.incr();
@@ -273,6 +345,13 @@ impl SupervisedClient {
                     let conn = self.conn.as_mut().expect("just connected");
                     match conn.re_register() {
                         Ok(epoch) => {
+                            if self.last_epoch.is_some_and(|prev| prev != epoch) {
+                                // A restarted server reached through a
+                                // still-open proxy connection that lost
+                                // this pid: a cold restart, healed by the
+                                // re-register above.
+                                self.note_restart(RestartKind::Cold);
+                            }
                             self.note_epoch(epoch);
                             if attempt == 0 {
                                 continue;
@@ -329,6 +408,13 @@ impl SupervisedClient {
                     let conn = self.conn.as_mut().expect("just connected");
                     match conn.re_register() {
                         Ok(epoch) => {
+                            if self.last_epoch.is_some_and(|prev| prev != epoch) {
+                                // A restarted server reached through a
+                                // still-open proxy connection that lost
+                                // this pid: a cold restart, healed by the
+                                // re-register above.
+                                self.note_restart(RestartKind::Cold);
+                            }
                             self.note_epoch(epoch);
                             if attempt == 0 {
                                 continue;
@@ -531,6 +617,86 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restart_is_classified_recovered_with_no_re_register() {
+        let path = sock_path("restart-recovered");
+        let snap = std::env::temp_dir().join(format!(
+            "procctl-sup-{}-restart-recovered.snap",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&snap);
+        let mut scfg = UdsServerConfig::new(&path, 4);
+        scfg.snapshot_path = Some(snap.clone());
+        let server = UdsServer::start(scfg.clone()).expect("server");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), Arc::clone(&registry));
+        assert_eq!(sup.poll_target(), Some(4));
+        let epoch1 = sup.epoch().expect("epoch after first poll");
+        // Graceful stop writes the final snapshot; the next instance
+        // restores our registration from it before accepting traffic.
+        drop(server);
+        while sup.poll_target().is_some() {
+            // drain until the supervisor notices the dead connection
+        }
+        let server2 = UdsServer::start(scfg).expect("server2");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            sup.retry_now();
+            if sup.poll_target() == Some(4) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "never reconnected");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(sup.last_restart(), Some(RestartKind::Recovered));
+        let counters = registry.snapshot().counters;
+        assert_eq!(counters["restarts_recovered"], 1);
+        assert_eq!(counters["restarts_cold"], 0);
+        assert!(
+            sup.epoch().expect("epoch after reconnect") > epoch1,
+            "boot epochs must be monotone across a recovered restart"
+        );
+        // The whole point of the snapshot: the recovered server never
+        // saw a REGISTER from this client.
+        assert_eq!(
+            server2.stats().counters["registers"],
+            0,
+            "recovered restart must not trigger a re-registration storm"
+        );
+        drop(server2);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn snapshotless_restart_is_classified_cold_and_re_registers() {
+        let path = sock_path("restart-cold");
+        let server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
+        let registry = Arc::new(Registry::new());
+        let mut sup = SupervisedClient::new(fast_cfg(&path, 8), Arc::clone(&registry));
+        assert_eq!(sup.poll_target(), Some(4));
+        drop(server);
+        while sup.poll_target().is_some() {
+            // drain until the supervisor notices the dead connection
+        }
+        let server2 = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server2");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            sup.retry_now();
+            if sup.poll_target() == Some(4) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "never reconnected");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(sup.last_restart(), Some(RestartKind::Cold));
+        let counters = registry.snapshot().counters;
+        assert_eq!(counters["restarts_cold"], 1);
+        assert_eq!(counters["restarts_recovered"], 0);
+        // Cold start lost the registration, so exactly one REGISTER
+        // heals it.
+        assert_eq!(server2.stats().counters["registers"], 1);
+    }
+
+    #[test]
     fn poll_target_cpus_returns_the_assigned_set() {
         let path = sock_path("cpus-healthy");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
@@ -587,7 +753,7 @@ mod tests {
     #[test]
     fn ship_events_drains_recorder_into_server_journal() {
         use crate::trace::{EventKind, FlightRecorder};
-        use crate::uds::{TraceReply, UdsClient};
+        use crate::uds::UdsClient;
 
         let path = sock_path("ship-events");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server");
@@ -604,15 +770,15 @@ mod tests {
         // A reader sees the shipped events (after the poll's decision
         // instant) in the server journal.
         let mut reader = UdsClient::register(&path, 1).expect("reader");
-        match reader.trace(std::process::id(), None).expect("trace") {
-            TraceReply::Events { events, .. } => {
-                let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
-                assert!(kinds.contains(&EventKind::JobStart), "{kinds:?}");
-                assert!(kinds.contains(&EventKind::Steal), "{kinds:?}");
-                assert!(kinds.contains(&EventKind::Decision), "{kinds:?}");
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (_, events) = reader
+            .trace(std::process::id(), None)
+            .expect("trace")
+            .into_events()
+            .expect("events reply");
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::JobStart), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::Steal), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::Decision), "{kinds:?}");
         // Nothing resident → shipping again is a no-op.
         sup.ship_events();
         assert_eq!(registry.snapshot().counters["events_shipped"], 2);

@@ -62,11 +62,20 @@ pub enum EventKind {
     /// A control-server partition decision (server journals only); `arg`
     /// is the target handed to the application.
     Decision = 10,
+    /// The watchdog classified a worker as stalled: heartbeat state
+    /// "running" but no progress for longer than the configured
+    /// threshold. `worker` is the *stalled* worker (the event itself is
+    /// emitted from the watchdog's own ring); `arg` is the observed
+    /// staleness in milliseconds (saturating).
+    Stall = 11,
+    /// A previously-stalled worker made progress again; `arg` is the
+    /// full stall episode duration in milliseconds (saturating).
+    Recovered = 12,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::JobStart,
         EventKind::JobEnd,
         EventKind::Steal,
@@ -78,6 +87,8 @@ impl EventKind {
         EventKind::Epoch,
         EventKind::Retier,
         EventKind::Decision,
+        EventKind::Stall,
+        EventKind::Recovered,
     ];
 
     /// The two-letter wire code (`js`, `je`, `st`, …).
@@ -94,6 +105,8 @@ impl EventKind {
             EventKind::Epoch => "ep",
             EventKind::Retier => "rt",
             EventKind::Decision => "dc",
+            EventKind::Stall => "sl",
+            EventKind::Recovered => "rc",
         }
     }
 
@@ -398,12 +411,22 @@ impl FlightRecorder {
     /// Records an event with a caller-supplied timestamp (hot paths reuse
     /// a clock read they already made via [`ns_since_origin`]).
     pub fn record_at(&self, worker: usize, ts_ns: u64, kind: EventKind, arg: u32) {
-        let Some(ring) = self.rings.get(worker) else {
+        self.record_from(worker, worker as u16, ts_ns, kind, arg);
+    }
+
+    /// Records an event into ring `ring` on behalf of `worker`, with a
+    /// caller-supplied timestamp. Rings are single-producer, so a monitor
+    /// thread reporting about another worker (e.g. the pool watchdog
+    /// emitting [`EventKind::Stall`] for a wedged worker) must push into
+    /// its *own* ring while stamping the subject worker's index into the
+    /// event. No-op when disabled or `ring` is out of range.
+    pub fn record_from(&self, ring: usize, worker: u16, ts_ns: u64, kind: EventKind, arg: u32) {
+        let Some(ring) = self.rings.get(ring) else {
             return;
         };
         let discarded = ring.push(TraceEvent {
             ts_ns,
-            worker: worker as u16,
+            worker,
             kind,
             arg,
         });

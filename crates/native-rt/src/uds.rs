@@ -236,6 +236,18 @@ pub struct UdsServerConfig {
     /// so the full test suite can be pointed at either engine without
     /// modification.
     pub engine: ServerEngine,
+    /// Where to persist the crash-recovery snapshot (see
+    /// [`crate::snapshot`]): registrations, remaining lease time,
+    /// latest reports, and the boot epoch, written atomically
+    /// (tmp+rename) every [`UdsServerConfig::snapshot_interval`] and at
+    /// shutdown, restored at the next boot. `None` (the default)
+    /// disables snapshotting entirely.
+    pub snapshot_path: Option<PathBuf>,
+    /// How often the periodic snapshot is written (both engines; the
+    /// reactor piggy-backs on its timer wakeups, so effective
+    /// granularity is bounded below by its wait cap). Ignored without a
+    /// [`UdsServerConfig::snapshot_path`].
+    pub snapshot_interval: Duration,
 }
 
 impl UdsServerConfig {
@@ -254,6 +266,8 @@ impl UdsServerConfig {
             weighted: false,
             journal_cap: DEFAULT_JOURNAL_CAP,
             engine: ServerEngine::from_env().unwrap_or_default(),
+            snapshot_path: None,
+            snapshot_interval: Duration::from_secs(1),
         }
     }
 
@@ -345,6 +359,9 @@ struct HotCounters {
     journal_drops: Counter,
     recompute_coalesced: Counter,
     timer_fires: Counter,
+    snapshot_writes: Counter,
+    snapshot_restores: Counter,
+    snapshot_rejected: Counter,
     apps: Gauge,
 }
 
@@ -362,6 +379,9 @@ impl HotCounters {
             journal_drops: r.counter("journal_drops"),
             recompute_coalesced: r.counter("recompute_coalesced"),
             timer_fires: r.counter("timer_fires"),
+            snapshot_writes: r.counter("snapshot_writes"),
+            snapshot_restores: r.counter("snapshot_restores"),
+            snapshot_rejected: r.counter("snapshot_rejected"),
             apps: r.gauge("apps"),
         }
     }
@@ -677,6 +697,71 @@ impl ServerState {
         Some((idx, self.targets_cache.get(idx).copied()?))
     }
 
+    /// Serializes the recoverable state (see [`crate::snapshot`]):
+    /// registrations in partition order with their remaining lease
+    /// time, latest reports, and the boot epoch. Journals are
+    /// deliberately excluded — drains are destructive and replaying
+    /// stale events after restart would corrupt the merged timeline.
+    pub(crate) fn to_snapshot(
+        &self,
+        epoch: u64,
+        cfg: &UdsServerConfig,
+        now: Instant,
+    ) -> crate::snapshot::ServerSnapshot {
+        crate::snapshot::ServerSnapshot {
+            epoch,
+            apps: self
+                .apps
+                .iter()
+                .map(|a| crate::snapshot::SnapshotApp {
+                    pid: a.pid,
+                    nworkers: a.nworkers,
+                    lease_remaining: (a.last_seen + cfg.lease_ttl).saturating_duration_since(now),
+                })
+                .collect(),
+            reports: self
+                .reports
+                .iter()
+                .map(|(pid, line)| (*pid, line.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores a decoded snapshot into a freshly-constructed state:
+    /// registrations re-admit in snapshot (= partition) order with
+    /// their leases re-armed at the *remaining* time — a crash and
+    /// restart never extends a silent client's tenure — and reports
+    /// reattach to the pids that survived. Invalid worker counts are
+    /// skipped (the snapshot is data, not trusted input).
+    pub(crate) fn restore_snapshot(
+        &mut self,
+        snap: &crate::snapshot::ServerSnapshot,
+        cfg: &UdsServerConfig,
+        now: Instant,
+    ) {
+        for a in &snap.apps {
+            if validate_processes(a.nworkers).is_err() || self.index.contains_key(&a.pid) {
+                continue;
+            }
+            // Backdate last_seen so `last_seen + ttl` lands exactly at
+            // the snapshotted remaining-lease deadline.
+            let back = cfg.lease_ttl.saturating_sub(a.lease_remaining);
+            let seen = now.checked_sub(back).unwrap_or(now);
+            self.index.insert(a.pid, self.apps.len());
+            self.apps.push(AppReg::new(a.pid, a.nworkers, seen));
+            self.lease_timers
+                .push(Reverse((seen + cfg.lease_ttl, a.pid)));
+        }
+        for (pid, line) in &snap.reports {
+            if self.index.contains_key(pid) {
+                self.reports.insert(*pid, line.clone());
+            }
+        }
+        self.invalidate_targets();
+        self.hot.apps.set(self.apps.len() as i64);
+        self.hot.snapshot_restores.incr();
+    }
+
     /// The slot, target, *and* concrete CPU set for `pid`: every app's
     /// effective target is sliced contiguously from the configured CPU
     /// order, so each reply is consistent with what every other
@@ -703,6 +788,26 @@ fn boot_epoch() -> u64 {
     // Fold in the pid so two servers booted within one clock tick (or on
     // a coarse clock) still differ.
     nanos ^ (u64::from(std::process::id()).rotate_left(48)) | 1
+}
+
+/// Persists the recoverable state when `cfg` names a snapshot path (a
+/// no-op otherwise). Both engines call this — the reactor from its
+/// timer wakeups, the thread engine from its accept loop — and both at
+/// shutdown, so a `kill -9` between intervals loses at most one
+/// interval of registrations. A failed write is reported and retried
+/// at the next interval, never fatal: serving traffic outranks
+/// persistence.
+pub(crate) fn write_snapshot(st: &ServerState, cfg: &UdsServerConfig, epoch: u64, now: Instant) {
+    let Some(path) = &cfg.snapshot_path else {
+        return;
+    };
+    match st.to_snapshot(epoch, cfg, now).write_atomic(path) {
+        Ok(()) => st.hot.snapshot_writes.incr(),
+        Err(e) => eprintln!(
+            "procctl server: snapshot write to {} failed: {e}",
+            path.display()
+        ),
+    }
 }
 
 /// The standalone control server.
@@ -740,7 +845,7 @@ impl UdsServer {
         }
         let listener = UnixListener::bind(&cfg.path)?;
         listener.set_nonblocking(true)?;
-        let epoch = boot_epoch();
+        let mut epoch = boot_epoch();
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Registry::new());
         // Pre-register every statistic so a STATS reply (and the in-process
@@ -759,13 +864,39 @@ impl UdsServer {
             "frames_batched",
             "recompute_coalesced",
             "timer_fires",
+            "snapshot_writes",
+            "snapshot_restores",
+            "snapshot_rejected",
         ] {
-            // sched-counters: registers polls byes reports malformed lease_expiries events_pushes traces journal_drops reactor_wakeups frames_batched recompute_coalesced timer_fires
+            // sched-counters: registers polls byes reports malformed lease_expiries events_pushes traces journal_drops reactor_wakeups frames_batched recompute_coalesced timer_fires snapshot_writes snapshot_restores snapshot_rejected
             registry.counter(name);
         }
         registry.gauge("apps");
         registry.gauge("conn_handlers");
-        let state = ServerState::new(&registry);
+        let mut state = ServerState::new(&registry);
+        // Crash recovery: restore the previous instance's registrations
+        // and pick an epoch strictly above the snapshotted one, so
+        // epochs stay monotone across restarts even on coarse clocks.
+        // Any defect in the file — truncation, checksum, future version
+        // — cold-starts cleanly and is counted, never partially
+        // restored.
+        if let Some(spath) = &cfg.snapshot_path {
+            match crate::snapshot::ServerSnapshot::load(spath) {
+                Ok(snap) => {
+                    epoch = epoch.max(snap.epoch.wrapping_add(1));
+                    state.restore_snapshot(&snap, &cfg, Instant::now());
+                }
+                Err(crate::snapshot::SnapshotError::Io(e))
+                    if e.kind() == io::ErrorKind::NotFound => {} // first boot
+                Err(e) => {
+                    state.hot.snapshot_rejected.incr();
+                    eprintln!(
+                        "procctl server: rejecting snapshot {} ({e}); cold start",
+                        spath.display()
+                    );
+                }
+            }
+        }
         let accept_thread = match cfg.engine {
             ServerEngine::Reactor => {
                 // The reactor thread owns the state outright — no mutex.
@@ -788,12 +919,20 @@ impl UdsServer {
                     .name("procctl-uds-server".into())
                     .spawn(move || {
                         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                        let mut last_snapshot = Instant::now();
                         while !stop.load(Ordering::Acquire) {
                             // Reap handlers whose connection already ended;
                             // without this the Vec grows without bound under
                             // connection churn (joined only at shutdown).
                             handlers.retain(|h| !h.is_finished());
                             registry.gauge("conn_handlers").set(handlers.len() as i64);
+                            if cfg2.snapshot_path.is_some()
+                                && last_snapshot.elapsed() >= cfg2.snapshot_interval
+                            {
+                                let now = Instant::now();
+                                write_snapshot(&state.lock(), &cfg2, epoch, now);
+                                last_snapshot = now;
+                            }
                             match listener.accept() {
                                 Ok((stream, _)) => {
                                     let state = Arc::clone(&state);
@@ -820,6 +959,10 @@ impl UdsServer {
                         for h in handlers {
                             let _ = h.join();
                         }
+                        // Final write after every handler drained, so a
+                        // graceful shutdown (SIGTERM → drop) persists
+                        // the very last frames' effects.
+                        write_snapshot(&state.lock(), &cfg2, epoch, Instant::now());
                     })
                     .expect("spawn accept thread")
             }
@@ -1169,6 +1312,22 @@ pub enum PollReply {
     Unregistered,
 }
 
+impl PollReply {
+    /// The `(target, epoch)` of a live reply, or a typed
+    /// [`io::ErrorKind::NotConnected`] error for `Unregistered` — so
+    /// tests and chaos drills can assert on the unexpected case instead
+    /// of `panic!`ing the harness.
+    pub fn target(self) -> io::Result<(u32, u64)> {
+        match self {
+            PollReply::Target { target, epoch } => Ok((target, epoch)),
+            PollReply::Unregistered => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "expected a target, server answered unregistered",
+            )),
+        }
+    }
+}
+
 /// A decoded reply to `POLL <pid> cpus` (the CPU-set extension).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CpusPollReply {
@@ -1189,6 +1348,29 @@ pub enum CpusPollReply {
     Unsupported,
 }
 
+impl CpusPollReply {
+    /// The `(target, epoch, cpus)` of a live reply, or a typed error:
+    /// [`io::ErrorKind::NotConnected`] for `Unregistered`,
+    /// [`io::ErrorKind::Unsupported`] for a pre-extension server.
+    pub fn target(self) -> io::Result<(u32, u64, Option<Vec<u32>>)> {
+        match self {
+            CpusPollReply::Target {
+                target,
+                epoch,
+                cpus,
+            } => Ok((target, epoch, cpus)),
+            CpusPollReply::Unregistered => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "expected a target, server answered unregistered",
+            )),
+            CpusPollReply::Unsupported => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "server predates the cpus extension",
+            )),
+        }
+    }
+}
+
 /// A decoded reply to `EVENTS <pid> <batch>` (the flight-recorder push).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventsReply {
@@ -1202,6 +1384,25 @@ pub enum EventsReply {
     /// The server predates the flight-recorder extension (it answered
     /// `ERR malformed`). Stop pushing until the next reconnect.
     Unsupported,
+}
+
+impl EventsReply {
+    /// The epoch of an accepted push, or a typed error:
+    /// [`io::ErrorKind::NotConnected`] for `Unregistered`,
+    /// [`io::ErrorKind::Unsupported`] for a pre-extension server.
+    pub fn accepted(self) -> io::Result<u64> {
+        match self {
+            EventsReply::Accepted { epoch } => Ok(epoch),
+            EventsReply::Unregistered => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "events push rejected: unregistered",
+            )),
+            EventsReply::Unsupported => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "server predates the events extension",
+            )),
+        }
+    }
 }
 
 /// A decoded reply to `TRACE <pid> [max]` (the journal drain).
@@ -1218,6 +1419,20 @@ pub enum TraceReply {
     },
     /// The server predates the extension (it answered `ERR`).
     Unsupported,
+}
+
+impl TraceReply {
+    /// The `(epoch, events)` of a served drain, or a typed
+    /// [`io::ErrorKind::Unsupported`] error for a pre-extension server.
+    pub fn into_events(self) -> io::Result<(u64, Vec<TraceEvent>)> {
+        match self {
+            TraceReply::Events { epoch, events } => Ok((epoch, events)),
+            TraceReply::Unsupported => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "server predates the trace extension",
+            )),
+        }
+    }
 }
 
 /// One application's row in a `STATS ALL` reply.
@@ -1257,6 +1472,20 @@ pub enum StatsAllReply {
     /// answered `ERR malformed`). Fall back to per-pid
     /// [`UdsClient::app_stats`] calls.
     Unsupported,
+}
+
+impl StatsAllReply {
+    /// The fleet rows of a served snapshot, or a typed
+    /// [`io::ErrorKind::Unsupported`] error for a pre-verb server.
+    pub fn into_apps(self) -> io::Result<Vec<AppStatsEntry>> {
+        match self {
+            StatsAllReply::Apps(apps) => Ok(apps),
+            StatsAllReply::Unsupported => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "server predates STATS ALL",
+            )),
+        }
+    }
 }
 
 /// Client-side connection to a [`UdsServer`].
@@ -1323,6 +1552,21 @@ impl UdsClient {
     /// The boot epoch of the server this client last registered with.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Arms the worker count a later [`UdsClient::re_register`] will
+    /// declare — used by the supervisor's reconnect path, which starts
+    /// from an observer [`UdsClient::connect`] and only registers if
+    /// the restarted server did *not* recover its registration.
+    pub(crate) fn set_nworkers(&mut self, nworkers: u32) {
+        self.nworkers = nworkers;
+    }
+
+    /// Adopts an epoch observed on a reply without re-registering (the
+    /// snapshot-recovered-server path: the registration survived, only
+    /// the epoch moved).
+    pub(crate) fn adopt_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     fn send(&mut self, msg: &str) -> io::Result<()> {
@@ -1795,15 +2039,79 @@ mod tests {
             first_epoch = server.epoch();
             let mut c = UdsClient::register(&path, 4).expect("client");
             assert_eq!(c.epoch(), first_epoch);
-            match c.poll_reply().expect("poll") {
-                PollReply::Target { epoch, .. } => assert_eq!(epoch, first_epoch),
-                other => panic!("expected a target, got {other:?}"),
-            }
+            let (_, epoch) = c.poll_reply().expect("poll").target().expect("target");
+            assert_eq!(epoch, first_epoch);
         }
         let server2 = UdsServer::start(UdsServerConfig::new(&path, 4)).expect("server2");
         assert_ne!(server2.epoch(), first_epoch, "restart must bump the epoch");
         let c2 = UdsClient::register(&path, 4).expect("client2");
         assert_eq!(c2.epoch(), server2.epoch());
+    }
+
+    #[test]
+    fn snapshot_restores_registrations_and_reports_across_restart() {
+        let path = sock_path("snapshot");
+        let snap = std::env::temp_dir().join(format!("procctl-test-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&snap);
+        let mut cfg = UdsServerConfig::new(&path, 8);
+        cfg.snapshot_path = Some(snap.clone());
+        let first_epoch;
+        {
+            let server = UdsServer::start(cfg.clone()).expect("server");
+            first_epoch = server.epoch();
+            let mut c = UdsClient::register(&path, 16).expect("client");
+            c.report("jobs_run=7").expect("report");
+            // Graceful drop: the engine's exit path writes the final
+            // snapshot with the registration and report included.
+        }
+        assert!(snap.exists(), "shutdown must leave a snapshot behind");
+        let server2 = UdsServer::start(cfg).expect("server2");
+        assert!(
+            server2.epoch() > first_epoch,
+            "epochs must stay monotone across a recovery restart"
+        );
+        assert_eq!(server2.stats().counters["snapshot_restores"], 1);
+        // The registration survived: an *observer* connection (which
+        // never sends REGISTER) polls a live target straight away.
+        let mut c2 = UdsClient::connect(&path, DEFAULT_IO_TIMEOUT).expect("observer");
+        let (target, epoch) = c2.poll_reply().expect("poll").target().expect("restored");
+        assert_eq!(target, 8);
+        assert_eq!(epoch, server2.epoch());
+        assert_eq!(
+            c2.app_stats(std::process::id()).expect("stats"),
+            "jobs_run=7",
+            "reports survive the restart"
+        );
+        assert_eq!(
+            server2.stats().counters["registers"],
+            0,
+            "recovery must not need a re-registration storm"
+        );
+        drop(server2);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn corrupt_snapshot_cold_starts_and_counts() {
+        let path = sock_path("snapcorrupt");
+        let snap =
+            std::env::temp_dir().join(format!("procctl-test-{}-bad.snap", std::process::id()));
+        // Structurally plausible but checksum-invalid: the server must
+        // reject it, count it, and cold-start.
+        std::fs::write(
+            &snap,
+            "PROCCTL-SNAPSHOT v1\nepoch 5\napp 1 4 1000\nend 0000000000000000\n",
+        )
+        .expect("plant corrupt snapshot");
+        let mut cfg = UdsServerConfig::new(&path, 8);
+        cfg.snapshot_path = Some(snap.clone());
+        let server = UdsServer::start(cfg).expect("server");
+        assert_eq!(server.stats().counters["snapshot_rejected"], 1);
+        assert_eq!(server.stats().counters["snapshot_restores"], 0);
+        let mut c = UdsClient::connect(&path, DEFAULT_IO_TIMEOUT).expect("observer");
+        assert_eq!(c.poll_reply().expect("poll"), PollReply::Unregistered);
+        drop(server);
+        let _ = std::fs::remove_file(&snap);
     }
 
     #[test]
@@ -1960,18 +2268,14 @@ mod tests {
         let path = sock_path("cpuspoll");
         let _server = UdsServer::start(UdsServerConfig::new(&path, 8)).expect("server");
         let mut c = UdsClient::register(&path, 16).expect("client");
-        match c.poll_cpus_reply().expect("poll cpus") {
-            CpusPollReply::Target {
-                target,
-                epoch,
-                cpus,
-            } => {
-                assert_eq!(target, 8);
-                assert_ne!(epoch, 0);
-                assert_eq!(cpus.expect("cpu set"), (0..8).collect::<Vec<u32>>());
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (target, epoch, cpus) = c
+            .poll_cpus_reply()
+            .expect("poll cpus")
+            .target()
+            .expect("target");
+        assert_eq!(target, 8);
+        assert_ne!(epoch, 0);
+        assert_eq!(cpus.expect("cpu set"), (0..8).collect::<Vec<u32>>());
         // The plain poll still works on the same connection (old clients
         // and new clients coexist against the same server).
         assert_eq!(c.poll().expect("plain poll"), 8);
@@ -1986,13 +2290,13 @@ mod tests {
         cfg.cpu_order = Some(vec![2, 3, 0, 1]);
         let _server = UdsServer::start(cfg).expect("server");
         let mut c = UdsClient::register(&path, 2).expect("client");
-        match c.poll_cpus_reply().expect("poll cpus") {
-            CpusPollReply::Target { target, cpus, .. } => {
-                assert_eq!(target, 2);
-                assert_eq!(cpus.expect("cpu set"), vec![2, 3]);
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (target, _, cpus) = c
+            .poll_cpus_reply()
+            .expect("poll cpus")
+            .target()
+            .expect("target");
+        assert_eq!(target, 2);
+        assert_eq!(cpus.expect("cpu set"), vec![2, 3]);
     }
 
     #[test]
@@ -2050,26 +2354,26 @@ mod tests {
             ev(20, EventKind::Steal, 1),
             ev(30, EventKind::Park, 0),
         ];
-        match c.push_events(&batch).expect("push") {
-            EventsReply::Accepted { epoch } => assert_eq!(epoch, c.epoch()),
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let epoch = c.push_events(&batch).expect("push").accepted().expect("ok");
+        assert_eq!(epoch, c.epoch());
         let me = std::process::id();
-        match c.trace(me, None).expect("trace") {
-            TraceReply::Events { epoch, events } => {
-                assert_eq!(epoch, c.epoch());
-                assert_eq!(events.len(), 4, "decision + 3 pushed: {events:?}");
-                assert_eq!(events[0].kind, EventKind::Decision);
-                assert_eq!(events[0].arg, 8);
-                assert_eq!(&events[1..], &batch[..]);
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (epoch, events) = c
+            .trace(me, None)
+            .expect("trace")
+            .into_events()
+            .expect("events");
+        assert_eq!(epoch, c.epoch());
+        assert_eq!(events.len(), 4, "decision + 3 pushed: {events:?}");
+        assert_eq!(events[0].kind, EventKind::Decision);
+        assert_eq!(events[0].arg, 8);
+        assert_eq!(&events[1..], &batch[..]);
         // The drain is destructive: a second read is empty.
-        match c.trace(me, None).expect("trace again") {
-            TraceReply::Events { events, .. } => assert!(events.is_empty()),
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (_, events) = c
+            .trace(me, None)
+            .expect("trace again")
+            .into_events()
+            .expect("events");
+        assert!(events.is_empty());
         // After BYE the pid is unregistered for pushes.
         c.bye().expect("bye");
         assert_eq!(
@@ -2093,16 +2397,18 @@ mod tests {
             EventsReply::Accepted { .. }
         ));
         let me = std::process::id();
-        match c.trace(me, Some(2)).expect("trace max 2") {
-            TraceReply::Events { events, .. } => {
-                assert_eq!(events, batch[..2], "oldest two first");
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
-        match c.trace(me, None).expect("trace rest") {
-            TraceReply::Events { events, .. } => assert_eq!(events, batch[2..]),
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (_, events) = c
+            .trace(me, Some(2))
+            .expect("trace max 2")
+            .into_events()
+            .expect("events");
+        assert_eq!(events, batch[..2], "oldest two first");
+        let (_, events) = c
+            .trace(me, None)
+            .expect("trace rest")
+            .into_events()
+            .expect("events");
+        assert_eq!(events, batch[2..]);
     }
 
     #[test]
@@ -2119,12 +2425,12 @@ mod tests {
             c.push_events(&batch).expect("push"),
             EventsReply::Accepted { .. }
         ));
-        match c.trace(std::process::id(), None).expect("trace") {
-            TraceReply::Events { events, .. } => {
-                assert_eq!(events, batch[6..], "survivors are the newest 4");
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (_, events) = c
+            .trace(std::process::id(), None)
+            .expect("trace")
+            .into_events()
+            .expect("events");
+        assert_eq!(events, batch[6..], "survivors are the newest 4");
         assert_eq!(server.stats().counters["journal_drops"], 6);
     }
 
@@ -2142,17 +2448,17 @@ mod tests {
         c.send("REGISTER 1 16\n").expect("send");
         assert!(c.read_line().expect("reply").starts_with("OK"));
         assert_eq!(c.poll().expect("poll"), 4);
-        match c.trace(std::process::id(), None).expect("trace") {
-            TraceReply::Events { events, .. } => {
-                let decisions: Vec<u32> = events
-                    .iter()
-                    .filter(|e| e.kind == EventKind::Decision)
-                    .map(|e| e.arg)
-                    .collect();
-                assert_eq!(decisions, vec![8, 4], "one instant per change");
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let (_, events) = c
+            .trace(std::process::id(), None)
+            .expect("trace")
+            .into_events()
+            .expect("events");
+        let decisions: Vec<u32> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Decision)
+            .map(|e| e.arg)
+            .collect();
+        assert_eq!(decisions, vec![8, 4], "one instant per change");
     }
 
     #[test]
@@ -2163,22 +2469,18 @@ mod tests {
         c.send("REGISTER 1 16\n").expect("send");
         assert!(c.read_line().expect("reply").starts_with("OK"));
         c.report("jobs_run=42 steals=3").expect("report");
-        match c.stats_all().expect("stats all") {
-            StatsAllReply::Apps(apps) => {
-                assert_eq!(apps.len(), 2, "{apps:?}");
-                let me = apps
-                    .iter()
-                    .find(|a| a.pid == std::process::id())
-                    .expect("own entry");
-                assert_eq!(me.target, 4);
-                assert_eq!(me.nworkers, 16);
-                assert_eq!(me.report, "jobs_run=42 steals=3");
-                let init = apps.iter().find(|a| a.pid == 1).expect("init entry");
-                assert_eq!(init.target, 4);
-                assert_eq!(init.report, "");
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let apps = c.stats_all().expect("stats all").into_apps().expect("apps");
+        assert_eq!(apps.len(), 2, "{apps:?}");
+        let me = apps
+            .iter()
+            .find(|a| a.pid == std::process::id())
+            .expect("own entry");
+        assert_eq!(me.target, 4);
+        assert_eq!(me.nworkers, 16);
+        assert_eq!(me.report, "jobs_run=42 steals=3");
+        let init = apps.iter().find(|a| a.pid == 1).expect("init entry");
+        assert_eq!(init.target, 4);
+        assert_eq!(init.report, "");
     }
 
     #[test]

@@ -8,11 +8,11 @@
 #![cfg(target_os = "linux")]
 
 use native_rt::{
-    ChaosConfig, ChaosProxy, Pool, SupervisedClient, SupervisorConfig, TargetSlot, UdsClient,
-    UdsServer, UdsServerConfig,
+    ChaosConfig, ChaosProxy, JobChaos, JobFault, Pool, PoolConfig, RestartKind, SupervisedClient,
+    SupervisorConfig, TargetSlot, UdsClient, UdsServer, UdsServerConfig, WatchdogConfig,
 };
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -264,6 +264,166 @@ fn client_survives_truncated_and_garbled_frames() {
     // Garbled frames surface as poll errors, never as panics or hangs.
     let snap = registry.snapshot();
     assert!(snap.counters["poll_errors"] >= 1, "{snap:?}");
+}
+
+/// Panic isolation under churn: a seeded fraction of jobs panic, yet no
+/// worker dies, every submitted job is accounted for exactly once
+/// (`jobs_run` conservation), and the pool keeps executing afterwards.
+#[test]
+fn injected_job_panics_never_lose_workers_or_jobs() {
+    let slot = Arc::new(TargetSlot::new(4));
+    let mut cfg = PoolConfig::new(4);
+    cfg.watchdog = Some(WatchdogConfig::new(Duration::from_millis(500)));
+    let pool = Pool::with_slot_config(slot, cfg);
+
+    const JOBS: u64 = 400;
+    let mut chaos = JobChaos::new(0xBADC0DE, 0.2, 0.0, Duration::ZERO);
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..JOBS {
+        let d = Arc::clone(&done);
+        let (_, job) = chaos.wrap(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.execute(job);
+    }
+    pool.wait_idle();
+
+    let (panics, _) = chaos.injected();
+    assert!(panics > 0, "the schedule must inject at least one panic");
+    let m = pool.metrics();
+    assert_eq!(m.jobs_run, JOBS, "conservation: every job accounted once");
+    assert_eq!(m.jobs_panicked, panics, "every injected panic was caught");
+    assert_eq!(
+        done.load(Ordering::Relaxed) as u64,
+        JOBS - panics,
+        "clean jobs all ran; panicked jobs never reached their work"
+    );
+    assert_eq!(m.workers_respawned, 0, "isolation means no worker died");
+
+    // The pool is still fully alive: a clean batch runs to completion.
+    let after = Arc::new(AtomicUsize::new(0));
+    for _ in 0..64 {
+        let a = Arc::clone(&after);
+        pool.execute(move || {
+            a.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(after.load(Ordering::Relaxed), 64);
+}
+
+/// Stall detection bound: a job that wedges a worker is flagged by the
+/// watchdog within 2× the stall threshold (scan interval is half the
+/// threshold), surfaces as `Stall`/`Recovered` trace events, and closes
+/// into the `stall_ns` histogram once the worker makes progress again.
+#[test]
+fn injected_stall_detected_within_twice_threshold() {
+    const THRESHOLD: Duration = Duration::from_millis(120);
+    let slot = Arc::new(TargetSlot::new(2));
+    let mut cfg = PoolConfig::new(2);
+    cfg.watchdog = Some(WatchdogConfig::new(THRESHOLD));
+    let pool = Pool::with_slot_config(slot, cfg);
+
+    // Probability 1: the schedule stalls this job deterministically.
+    let mut chaos = JobChaos::new(5, 0.0, 1.0, Duration::from_millis(600));
+    let (fault, job) = chaos.wrap(|| {});
+    assert_eq!(fault, JobFault::Stall);
+    let submitted = Instant::now();
+    pool.execute(job);
+
+    wait_for(5, "stall detection", || pool.metrics().stalls_detected >= 1);
+    let detected_after = submitted.elapsed();
+    assert!(
+        detected_after <= 2 * THRESHOLD,
+        "stall flagged only after {detected_after:?} (threshold {THRESHOLD:?})"
+    );
+
+    // The episode closes when the sleep ends: duration recorded, and
+    // both ends of the episode are in the flight recorder.
+    pool.wait_idle();
+    wait_for(5, "stall episode closes", || {
+        pool.registry().snapshot().histograms["stall_ns"].count >= 1
+    });
+    let kinds: Vec<native_rt::EventKind> =
+        pool.recorder().drain(4096).iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&native_rt::EventKind::Stall), "{kinds:?}");
+    assert!(
+        kinds.contains(&native_rt::EventKind::Recovered),
+        "{kinds:?}"
+    );
+}
+
+/// The full crash-recovery acceptance path: `kill -9` the standalone
+/// serverd (no final snapshot write, no socket cleanup), restart it on
+/// the same snapshot path, and the supervised client must classify the
+/// restart as [`RestartKind::Recovered`] — its registration came back
+/// from the periodic snapshot with no re-REGISTER — under a strictly
+/// larger boot epoch.
+#[test]
+fn kill_nine_serverd_restart_recovers_registrations_from_snapshot() {
+    let path = sock_path("kill9");
+    let snap =
+        std::env::temp_dir().join(format!("procctl-chaos-{}-kill9.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+    let bin = env!("CARGO_BIN_EXE_procctl-serverd");
+    let spawn = || {
+        std::process::Command::new(bin)
+            .arg(path.as_os_str())
+            .args(["--cpus", "4", "--snapshot-interval-ms", "25", "--snapshot"])
+            .arg(snap.as_os_str())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn serverd")
+    };
+    let mut child = spawn();
+    wait_for(10, "server socket", || path.exists());
+
+    let registry = Arc::new(native_rt::Registry::new());
+    let mut sup = SupervisedClient::new(fast_sup_cfg(&path, 8), Arc::clone(&registry));
+    wait_for(10, "first healthy poll", || {
+        sup.retry_now();
+        sup.poll_target() == Some(4)
+    });
+    let e1 = sup.epoch().expect("epoch after first poll");
+
+    // Wait for a *periodic* snapshot to capture our registration — with
+    // SIGKILL there is no shutdown write, this file is all that survives.
+    let app_line = format!("app {} ", std::process::id());
+    wait_for(10, "registration snapshotted", || {
+        std::fs::read_to_string(&snap).is_ok_and(|s| s.contains(&app_line))
+    });
+
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+    wait_for(10, "supervisor notices the kill", || {
+        sup.poll_target().is_none()
+    });
+
+    // Restart on the same socket (stale file reclaimed) and snapshot.
+    let mut child2 = spawn();
+    wait_for(10, "post-restart healthy poll", || {
+        sup.retry_now();
+        sup.poll_target() == Some(4)
+    });
+
+    assert_eq!(
+        sup.last_restart(),
+        Some(RestartKind::Recovered),
+        "restart must be classified as recovered-from-snapshot"
+    );
+    let e2 = sup.epoch().expect("epoch after recovery");
+    assert!(e2 > e1, "boot epochs must be monotone: {e1} -> {e2}");
+    let snap_counters = registry.snapshot().counters;
+    assert_eq!(snap_counters["restarts_recovered"], 1);
+    assert_eq!(
+        snap_counters["restarts_cold"], 0,
+        "a recovered restart must not re-REGISTER"
+    );
+
+    let _ = child2.kill();
+    let _ = child2.wait();
+    let _ = std::fs::remove_file(&snap);
 }
 
 /// A paused proxy is the "wedged but alive" server: the client's I/O

@@ -1,17 +1,21 @@
-//! A scripted chaos drill against the fault-tolerant control plane.
+//! A scripted chaos drill against the self-healing runtime.
 //!
-//! One process, five acts: start a control server, attach a real worker
-//! pool through a `SupervisedClient`, kill the server mid-flight, let
-//! the pool run degraded, restart the server, and print the fault
-//! counters that the recovery left behind — the transcript pasted into
-//! EXPERIMENTS.md §Chaos drill.
+//! One process, seven acts: start a snapshot-backed control server,
+//! attach a watchdogged worker pool through a `SupervisedClient`, kill
+//! the server mid-flight, let the pool run degraded, restart the server
+//! (which restores its registrations from the snapshot — the supervisor
+//! classifies the restart as *recovered*, no re-REGISTER), inject
+//! worker panics and a worker stall from a seeded schedule, and print
+//! the fault counters every layer left behind — the transcript pasted
+//! into EXPERIMENTS.md §Chaos drill.
 //!
 //! Run with: `cargo run --release --example chaos_drill`
 
 #[cfg(target_os = "linux")]
 fn main() {
     use native_rt::{
-        Pool, SupervisedClient, SupervisorConfig, TargetSlot, UdsClient, UdsServer, UdsServerConfig,
+        JobChaos, Pool, PoolConfig, SupervisedClient, SupervisorConfig, TargetSlot, UdsClient,
+        UdsServer, UdsServerConfig, WatchdogConfig,
     };
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
@@ -21,11 +25,23 @@ fn main() {
     let cpus = 4;
     let nworkers = 8;
 
-    let server = UdsServer::start(UdsServerConfig::new(&path, cpus)).expect("server");
-    println!("[t=0ms] server up: {} cpus, epoch {}", cpus, server.epoch());
+    let snap_path = std::env::temp_dir().join(format!("procctl-drill-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+    let mut scfg = UdsServerConfig::new(&path, cpus);
+    scfg.snapshot_path = Some(snap_path.clone());
+    scfg.snapshot_interval = Duration::from_millis(25);
+    let server = UdsServer::start(scfg.clone()).expect("server");
+    println!(
+        "[t=0ms] server up: {} cpus, epoch {}, snapshot {}",
+        cpus,
+        server.epoch(),
+        snap_path.display()
+    );
 
     let slot = Arc::new(TargetSlot::new(nworkers));
-    let pool = Pool::with_slot(Arc::clone(&slot), nworkers, false);
+    let mut pcfg = PoolConfig::new(nworkers);
+    pcfg.watchdog = Some(WatchdogConfig::new(Duration::from_millis(100)));
+    let pool = Pool::with_slot_config(Arc::clone(&slot), pcfg);
     let mut cfg = SupervisorConfig::new(&path, nworkers as u32);
     cfg.io_timeout = Duration::from_millis(250);
     cfg.backoff_initial = Duration::from_millis(20);
@@ -78,13 +94,21 @@ fn main() {
         t(start),
         done.load(Ordering::Relaxed)
     );
-    let server = UdsServer::start(UdsServerConfig::new(&path, cpus)).expect("restart");
-    println!("[t={}ms] new epoch {}", t(start), server.epoch());
-    settle(&slot, cpus);
+    let server = UdsServer::start(scfg).expect("restart");
     println!(
-        "[t={}ms] recovered: re-registered, target back to {}",
+        "[t={}ms] new epoch {} ({} registrations restored from snapshot)",
         t(start),
-        target(&slot)
+        server.epoch(),
+        server.stats().counters["snapshot_restores"]
+    );
+    settle(&slot, cpus);
+    let reg = pool.registry().snapshot();
+    println!(
+        "[t={}ms] recovered: target back to {} — restart classified recovered={} cold={} (registration came back from the snapshot, no re-REGISTER)",
+        t(start),
+        target(&slot),
+        reg.counters["restarts_recovered"],
+        reg.counters["restarts_cold"],
     );
 
     pool.wait_idle();
@@ -93,6 +117,55 @@ fn main() {
         t(start),
         done.load(Ordering::Relaxed)
     );
+
+    // Data-plane chaos: a seeded schedule panics ~10% of a batch. Panic
+    // isolation catches each one; no worker dies, nothing is lost. The
+    // injected panics are the point — keep the default hook's backtrace
+    // spew out of the transcript.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos: injected"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let mut job_chaos = JobChaos::new(0xD211, 0.1, 0.0, Duration::ZERO);
+    let survived = Arc::new(AtomicUsize::new(0));
+    for _ in 0..500 {
+        let s = Arc::clone(&survived);
+        let (_, job) = job_chaos.wrap(move || {
+            s.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.execute(job);
+    }
+    pool.wait_idle();
+    let (injected_panics, _) = job_chaos.injected();
+    let m = pool.metrics();
+    println!(
+        "[t={}ms] >>> injected {injected_panics} job panics across 500 jobs: {} clean jobs ran, jobs_panicked={} caught, workers_respawned={} (no worker lost)",
+        t(start),
+        survived.load(Ordering::Relaxed),
+        m.jobs_panicked,
+        m.workers_respawned,
+    );
+
+    // And one wedged job: the stall watchdog (threshold 100 ms) flags it
+    // while it sleeps, then closes the episode when the worker recovers.
+    let (_, wedged) = JobChaos::new(1, 0.0, 1.0, Duration::from_millis(300)).wrap(|| {});
+    let stall_start = Instant::now();
+    pool.execute(wedged);
+    while pool.metrics().stalls_detected == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "[t={}ms] >>> injected a 300 ms worker stall: watchdog flagged it after {} ms",
+        t(start),
+        stall_start.elapsed().as_millis()
+    );
+    pool.wait_idle();
 
     // The poller REPORTs the pool registry, so the recovery is visible
     // over the wire to any client — this is what an operator would see.
@@ -109,6 +182,10 @@ fn main() {
         "epoch_changes",
         "poll_errors",
         "degraded",
+        "restarts_recovered",
+        "restarts_cold",
+        "jobs_panicked",
+        "stalls_detected",
     ];
     let faults: Vec<&str> = line
         .split_whitespace()
@@ -156,6 +233,7 @@ fn main() {
             println!("[t={}ms] server predates TRACE — no timeline", t(start));
         }
     }
+    let _ = std::fs::remove_file(&snap_path);
 }
 
 #[cfg(not(target_os = "linux"))]
