@@ -299,6 +299,61 @@ pub fn ablation_cache(
     rows
 }
 
+/// The four cells of the CR-lock ablation: `(label, server control?,
+/// CR queue lock?)`.
+pub const CR_VARIANTS: [(&str, bool, bool); 4] = [
+    ("none", false, false),
+    ("control", true, false),
+    ("crlock", false, true),
+    ("both", true, true),
+];
+
+/// Ablation E: the Figure-1 pair scenario (matmul and FFT simultaneously,
+/// process count swept) through all four cells of
+/// {no control, server control, CR queue lock, both}. Returns one
+/// speed-up series per application per cell, in [`CR_VARIANTS`] order —
+/// series are named `"<app> <cell>"`.
+pub fn ablation_crlock(
+    env: &SimEnv,
+    presets: &Presets,
+    nprocs: &[u32],
+    poll: SimDur,
+    cr: uthreads::CrParams,
+) -> Vec<Series> {
+    let kinds = [AppKind::Matmul, AppKind::Fft];
+    let base = baselines(env, presets, &kinds);
+    let mut series = Vec::new();
+    for &(label, use_control, use_cr) in &CR_VARIANTS {
+        let mut per_app: Vec<Series> = kinds
+            .iter()
+            .map(|k| Series::new(format!("{} {}", k.name(), label)))
+            .collect();
+        for &n in nprocs {
+            let launches: Vec<AppLaunch> = kinds
+                .iter()
+                .map(|&kind| AppLaunch {
+                    kind,
+                    nprocs: n,
+                    start: SimTime::ZERO,
+                })
+                .collect();
+            let (outs, _) = crate::scenario::run_scenario_tuned(
+                env,
+                presets,
+                &launches,
+                use_control.then_some(poll),
+                use_cr.then_some(cr),
+                LIMIT,
+            );
+            for (s, o) in per_app.iter_mut().zip(&outs) {
+                s.push(f64::from(n), base[&o.kind] / o.wall);
+            }
+        }
+        series.extend(per_app);
+    }
+    series
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +376,26 @@ mod tests {
             // other app but 2 <= cpus).
             assert!((curve.points[0].1 - 1.0).abs() < 0.3, "{curve:?}");
         }
+    }
+
+    #[test]
+    fn ablation_crlock_produces_all_four_cells() {
+        let presets = Presets::tiny();
+        let s = ablation_crlock(
+            &quick_env(),
+            &presets,
+            &[2, 8],
+            SimDur::from_secs(2),
+            uthreads::CrParams::fixed(2),
+        );
+        // 2 apps x 4 cells, 2 points each.
+        assert_eq!(s.len(), 8);
+        for curve in &s {
+            assert_eq!(curve.points.len(), 2);
+            assert!(curve.points.iter().all(|&(_, y)| y > 0.0), "{curve:?}");
+        }
+        let labels: Vec<&str> = s.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"matmul crlock") && labels.contains(&"fft both"));
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub fn convert_kind(kind: EventKind) -> SchedEventKind {
         EventKind::Decision => SchedEventKind::Decision,
         EventKind::Stall => SchedEventKind::Stall,
         EventKind::Recovered => SchedEventKind::Recovered,
+        EventKind::CrCull => SchedEventKind::CrCull,
+        EventKind::CrPromote => SchedEventKind::CrPromote,
     }
 }
 

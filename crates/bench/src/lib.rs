@@ -9,7 +9,9 @@
 //! trace, and a JSON report (see [`observe`]). The figure binaries accept
 //! `--json <path>` to also write their plotted series as JSON. The
 //! `pool_bench` binary (see [`poolbench`]) measures the native runtime's
-//! work-stealing pool against its central-queue baseline, and the
+//! work-stealing pool against its central-queue baseline, the
+//! `lock_bench` binary (see [`lockbench`]) measures the
+//! concurrency-restricting lock against its bare inner spinlock, and the
 //! `serverd_bench` binary (see [`serverdbench`]) measures the control
 //! server's reactor core against the thread-per-connection baseline.
 
@@ -17,6 +19,7 @@
 
 pub mod figures;
 pub mod fleettrace;
+pub mod lockbench;
 pub mod observe;
 pub mod poolbench;
 pub mod report;
@@ -25,11 +28,12 @@ pub mod scenario;
 pub mod serverdbench;
 
 pub use figures::{
-    ablation_cache, ablation_policies, ablation_poll, baselines, fig1, fig3, fig4, fig4_launches,
-    fig4_with_stagger, fig5, fig5_with_stagger, Fig4Row, PAPER_STAGGER,
+    ablation_cache, ablation_crlock, ablation_policies, ablation_poll, baselines, fig1, fig3, fig4,
+    fig4_launches, fig4_with_stagger, fig5, fig5_with_stagger, Fig4Row, CR_VARIANTS, PAPER_STAGGER,
 };
 pub use observe::{cycle_table, report_json, run_json, scenario_trace};
 pub use scenario::{
-    run_scenario, run_scenario_instrumented, run_solo, spawn_server, spawn_server_logged, AppKind,
-    AppLaunch, AppRun, PolicyKind, RunOutcome, ScenarioRun, SimEnv, SERVER_APP,
+    run_scenario, run_scenario_instrumented, run_scenario_instrumented_tuned, run_scenario_tuned,
+    run_solo, run_solo_tuned, spawn_server, spawn_server_logged, AppKind, AppLaunch, AppRun,
+    PolicyKind, RunOutcome, ScenarioRun, SimEnv, SERVER_APP,
 };

@@ -171,6 +171,19 @@ pub fn scenario_trace(run: &ScenarioRun) -> TraceBuilder {
                         f64::from(target),
                     );
                 }
+                SpanKind::CrCull => {
+                    b.instant("cr-cull", "crlock", pid, tid, us(r.time), JsonValue::Null);
+                }
+                SpanKind::CrPromote => {
+                    b.instant(
+                        "cr-promote",
+                        "crlock",
+                        pid,
+                        tid,
+                        us(r.time),
+                        JsonValue::Null,
+                    );
+                }
             }
         }
         // Anything still open when the run ended (e.g. a worker suspended

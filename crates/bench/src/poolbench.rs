@@ -173,7 +173,7 @@ impl AnyPool {
 
 /// Burns roughly `spins` iterations of untraceable arithmetic.
 #[inline]
-fn burn(spins: u64) {
+pub(crate) fn burn(spins: u64) {
     let mut acc = 0u64;
     for i in 0..spins {
         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);

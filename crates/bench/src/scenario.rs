@@ -240,7 +240,26 @@ pub fn run_scenario(
     poll_interval: Option<SimDur>,
     limit: SimTime,
 ) -> (Vec<RunOutcome>, Kernel) {
-    let run = run_scenario_instrumented(env, presets, launches, poll_interval, limit);
+    run_scenario_tuned(env, presets, launches, poll_interval, None, limit)
+}
+
+/// [`run_scenario`] with the threads package's lock-level switch exposed:
+/// `cr = Some(..)` enables the concurrency-restricting queue lock in every
+/// application. Crossing `poll_interval` and `cr` yields the four-way
+/// ablation {no control, server control, CR lock, both}.
+///
+/// # Panics
+///
+/// Panics if any application fails to finish before `limit`.
+pub fn run_scenario_tuned(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll_interval: Option<SimDur>,
+    cr: Option<uthreads::CrParams>,
+    limit: SimTime,
+) -> (Vec<RunOutcome>, Kernel) {
+    let run = run_scenario_instrumented_tuned(env, presets, launches, poll_interval, cr, limit);
     let outcomes = run
         .apps
         .into_iter()
@@ -268,6 +287,23 @@ pub fn run_scenario_instrumented(
     poll_interval: Option<SimDur>,
     limit: SimTime,
 ) -> ScenarioRun {
+    run_scenario_instrumented_tuned(env, presets, launches, poll_interval, None, limit)
+}
+
+/// [`run_scenario_instrumented`] with the CR queue-lock switch exposed
+/// (see [`run_scenario_tuned`]).
+///
+/// # Panics
+///
+/// Panics if any application fails to finish before `limit`.
+pub fn run_scenario_instrumented_tuned(
+    env: &SimEnv,
+    presets: &Presets,
+    launches: &[AppLaunch],
+    poll_interval: Option<SimDur>,
+    cr: Option<uthreads::CrParams>,
+    limit: SimTime,
+) -> ScenarioRun {
     let mut kernel = env.make_kernel();
     let server = poll_interval.map(|_| spawn_server_logged(&mut kernel));
     let mut order: Vec<(usize, SimTime)> = launches
@@ -283,6 +319,9 @@ pub fn run_scenario_instrumented(
         let mut cfg = ThreadsConfig::new(l.nprocs);
         if let (Some((port, _)), Some(interval)) = (&server, poll_interval) {
             cfg = cfg.with_control(*port, interval);
+        }
+        if let Some(cr) = cr {
+            cfg = cfg.with_cr_lock(cr);
         }
         let app_id = AppId(idx as u32);
         let handle = launch(&mut kernel, app_id, cfg, l.kind.spec(presets));
@@ -336,7 +375,20 @@ pub fn run_solo(
     poll_interval: Option<SimDur>,
     limit: SimTime,
 ) -> RunOutcome {
-    let (mut outs, _) = run_scenario(
+    run_solo_tuned(env, presets, kind, nprocs, poll_interval, None, limit)
+}
+
+/// [`run_solo`] with the CR queue-lock switch exposed.
+pub fn run_solo_tuned(
+    env: &SimEnv,
+    presets: &Presets,
+    kind: AppKind,
+    nprocs: u32,
+    poll_interval: Option<SimDur>,
+    cr: Option<uthreads::CrParams>,
+    limit: SimTime,
+) -> RunOutcome {
+    let (mut outs, _) = run_scenario_tuned(
         env,
         presets,
         &[AppLaunch {
@@ -345,6 +397,7 @@ pub fn run_solo(
             start: SimTime::ZERO,
         }],
         poll_interval,
+        cr,
         limit,
     );
     outs.pop().expect("one outcome")

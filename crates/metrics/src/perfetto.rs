@@ -361,6 +361,12 @@ pub enum SchedEventKind {
     Stall,
     /// A stalled worker made progress again (`arg` = episode ms).
     Recovered,
+    /// The worker was culled by a concurrency-restricting gate
+    /// (`arg` = time spent culled in µs, recorded on wake).
+    CrCull,
+    /// The worker's gate exit promoted a culled thread
+    /// (`arg` = the gate's active-set bound).
+    CrPromote,
 }
 
 /// One application's slice of the fleet: its events (flight-recorder
@@ -534,6 +540,22 @@ pub fn sched_timeline(apps: &[AppTimeline]) -> TraceBuilder {
                     tid,
                     ts_us,
                     JsonValue::obj([("episode_ms", arg)]),
+                ),
+                SchedEventKind::CrCull => b.instant(
+                    "cr-cull",
+                    "crlock",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("culled_us", arg)]),
+                ),
+                SchedEventKind::CrPromote => b.instant(
+                    "cr-promote",
+                    "crlock",
+                    app.pid,
+                    tid,
+                    ts_us,
+                    JsonValue::obj([("active_set", arg)]),
                 ),
             }
         }

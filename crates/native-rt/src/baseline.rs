@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::controller::{Controller, TargetSlot};
+use crate::crlock::{CrConfig, CrGate};
 use crate::pool::{Job, PoolMetrics};
 use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
 
@@ -65,6 +66,9 @@ struct PoolShared {
     queue_wait: Hist,
     park: Hist,
     unpark: Hist,
+    /// Concurrency-restricting gate over the central queue's dequeue
+    /// (the pool's one collapse-prone lock); `None` = ungated baseline.
+    cr_gate: Option<CrGate>,
     idle_spin: bool,
 }
 
@@ -83,6 +87,21 @@ impl CentralPool {
 
     /// Creates a pool whose target is driven externally through `target`.
     pub fn with_slot(target: Arc<TargetSlot>, nworkers: usize, idle_spin: bool) -> Self {
+        Self::with_slot_cr(target, nworkers, idle_spin, None)
+    }
+
+    /// As [`CentralPool::with_slot`], optionally putting a
+    /// concurrency-restricting gate ([`CrGate`]) in front of the central
+    /// queue mutex: at most `active_max` workers contend for the dequeue
+    /// at once, the rest park on the gate's culled list until promoted.
+    /// This is the lock the paper's Figure-1 collapse convoys on, so the
+    /// gate is the purest native test of "how much does the lock fix".
+    pub fn with_slot_cr(
+        target: Arc<TargetSlot>,
+        nworkers: usize,
+        idle_spin: bool,
+        cr: Option<CrConfig>,
+    ) -> Self {
         assert!(nworkers >= 1);
         let registry = Arc::new(Registry::new());
         let shared = Arc::new(PoolShared {
@@ -103,6 +122,7 @@ impl CentralPool {
             queue_wait: registry.histogram("queue_wait_ns"),
             park: registry.histogram("park_ns"),
             unpark: registry.histogram("unpark_ns"),
+            cr_gate: cr.map(|c| CrGate::with_registry(c, &registry)),
             registry,
             idle_spin,
         });
@@ -256,7 +276,24 @@ fn worker_loop(sh: &Arc<PoolShared>) {
             }
         }
         // --- Dequeue and run. ---
-        let job = sh.queue.lock().pop_front();
+        // With a CR gate configured, only `active_max` workers contend
+        // for the queue mutex; the rest park on the culled list. The
+        // gate wraps *only* the dequeue — the empty-queue sleep below
+        // stays outside it, so a gate slot is never held across a
+        // blocking wait and every culled worker is promoted by some
+        // holder's exit (workers check shutdown only between balanced
+        // enter/exit pairs, so none is left behind at shutdown either).
+        let job = match &sh.cr_gate {
+            Some(gate) => {
+                gate.enter();
+                let admitted_at = Instant::now();
+                let job = sh.queue.lock().pop_front();
+                gate.observe_acquire(admitted_at.elapsed().as_nanos() as u64);
+                gate.exit();
+                job
+            }
+            None => sh.queue.lock().pop_front(),
+        };
         match job {
             Some((submitted_at, job)) => {
                 // Lock already released: the histogram update happens
@@ -306,6 +343,29 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 200);
         assert_eq!(pool.metrics().jobs_run, 200);
         assert_eq!(pool.stats().histograms["queue_wait_ns"].count, 200);
+    }
+
+    #[test]
+    fn central_pool_with_cr_gate_conserves_jobs() {
+        let c = Controller::new(2, Duration::from_millis(10));
+        let target = c.register(8);
+        // 8 workers funneled through a 2-slot gate: passivation and
+        // promotion both get exercised, and nothing may be lost.
+        let pool = CentralPool::with_slot_cr(target, 8, false, Some(CrConfig::fixed(2)));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..400 {
+            let k = Arc::clone(&counter);
+            pool.execute(move || {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+        assert_eq!(pool.metrics().jobs_run, 400);
+        let stats = pool.stats();
+        assert_eq!(stats.gauges["cr_active_size"], 2);
+        assert!(stats.counters.contains_key("cr_passivations"));
+        assert!(stats.counters.contains_key("cr_promotions"));
     }
 
     #[test]

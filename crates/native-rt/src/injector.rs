@@ -14,17 +14,38 @@
 //! as push-before-increment … decrement-after-pop, so a nonzero length
 //! always has a corresponding element *eventually*; consumers treat it as
 //! a hint, never a guarantee (the pop path still scans the shards).
+//!
+//! Each shard additionally keeps a *conservative* occupancy count
+//! (incremented before the push, decremented after the pop, so it never
+//! under-counts). Both of `pop`'s sweeps skip shards whose occupancy
+//! reads zero — under the usual many-idle-workers-few-jobs regime the
+//! certain sweep would otherwise serialize every consumer through every
+//! shard lock just to prove them empty. Skips by the certain sweep are
+//! counted as `injector_sweep_skips` when the pool wires a counter in.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::stats::Counter;
+
 /// Pad each shard to its own cache line so neighboring shard locks don't
 /// false-share.
 #[repr(align(64))]
 struct Shard<T> {
     queue: Mutex<VecDeque<T>>,
+    /// Conservative per-shard element count: incremented *before* the
+    /// shard push and decremented *after* the shard pop, so at every
+    /// instant `occupancy ≥ queue.len()` and a zero read proves the
+    /// shard empty — what lets `pop`'s sweeps skip the shard without
+    /// taking its lock.
+    // sched-atomic(handoff): the Release pre-increment is ordered before
+    // the producer's global `len` Release add, so a consumer whose
+    // `is_empty` Acquire load observed the element also observes the
+    // occupancy (no element published through `len` is ever skipped);
+    // over-counts from in-flight operations only cost a redundant lock.
+    occupancy: AtomicUsize,
 }
 
 /// A sharded MPMC FIFO queue.
@@ -39,20 +60,35 @@ pub struct Injector<T> {
     // producers' publish signal for the consumers' sleep/wake fast path
     // (Acquire load in is_empty); the shard mutex moves the data itself.
     len: AtomicUsize,
+    /// Shards skipped by `pop`'s certain sweep on a zero occupancy read
+    /// (`injector_sweep_skips` when wired to a pool's registry).
+    sweep_skips: Option<Counter>,
 }
 
 impl<T> Injector<T> {
     /// Creates an injector sized for `nworkers` consumers.
     pub fn new(nworkers: usize) -> Self {
+        Self::build(nworkers, None)
+    }
+
+    /// As [`Injector::new`], counting certain-sweep shard skips on
+    /// `skips` (registered by the pool as `injector_sweep_skips`).
+    pub fn with_counter(nworkers: usize, skips: Counter) -> Self {
+        Self::build(nworkers, Some(skips))
+    }
+
+    fn build(nworkers: usize, sweep_skips: Option<Counter>) -> Self {
         let n = (2 * nworkers.max(1)).next_power_of_two();
         Injector {
             shards: (0..n)
                 .map(|_| Shard {
                     queue: Mutex::new(VecDeque::new()),
+                    occupancy: AtomicUsize::new(0),
                 })
                 .collect(),
             cursor: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
+            sweep_skips,
         }
     }
 
@@ -75,6 +111,10 @@ impl<T> Injector<T> {
     pub fn push(&self, value: T) {
         let mask = self.shards.len() - 1;
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) & mask;
+        // Occupancy rises before the element does (see the field docs):
+        // a sweep that reads zero afterward can only be missing a push
+        // that had not reached the global `len` publish either.
+        self.shards[i].occupancy.fetch_add(1, Ordering::Release);
         self.shards[i].queue.lock().push_back(value);
         self.len.fetch_add(1, Ordering::Release);
     }
@@ -90,25 +130,57 @@ impl<T> Injector<T> {
         }
         let n = self.shards.len();
         let mask = n - 1;
-        // Opportunistic sweep: try-lock only.
+        // Opportunistic sweep: try-lock only, skipping shards whose
+        // occupancy proves them empty.
         for off in 0..n {
             let shard = &self.shards[(hint + off) & mask];
+            if shard.occupancy.load(Ordering::Acquire) == 0 {
+                continue;
+            }
             if let Some(mut q) = shard.queue.try_lock() {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    shard.occupancy.fetch_sub(1, Ordering::Release);
                     self.len.fetch_sub(1, Ordering::Release);
                     return Some(v);
                 }
             }
         }
-        // Certain sweep: take every lock once.
+        self.certain_sweep(hint)
+    }
+
+    /// The second sweep: take every lock whose shard may hold an
+    /// element; a zero occupancy is proof enough to skip (the
+    /// pre-increment protocol guarantees it cannot hide an element
+    /// this consumer was promised via `is_empty`).
+    fn certain_sweep(&self, hint: usize) -> Option<T> {
+        let n = self.shards.len();
+        let mask = n - 1;
+        let mut skipped = 0u64;
         for off in 0..n {
             let shard = &self.shards[(hint + off) & mask];
-            if let Some(v) = shard.queue.lock().pop_front() {
+            if shard.occupancy.load(Ordering::Acquire) == 0 {
+                skipped += 1;
+                continue;
+            }
+            let popped = shard.queue.lock().pop_front();
+            if let Some(v) = popped {
+                shard.occupancy.fetch_sub(1, Ordering::Release);
                 self.len.fetch_sub(1, Ordering::Release);
+                self.note_skips(skipped);
                 return Some(v);
             }
         }
+        self.note_skips(skipped);
         None
+    }
+
+    fn note_skips(&self, skipped: u64) {
+        if skipped > 0 {
+            if let Some(sweep_skips) = &self.sweep_skips {
+                sweep_skips.add(skipped);
+            }
+        }
     }
 }
 
@@ -129,6 +201,40 @@ mod tests {
         assert!(inj.pop(0).is_none());
         got.sort_unstable();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn certain_sweep_skips_empty_shards_and_counts_them() {
+        let registry = crate::stats::Registry::new();
+        let skips = registry.counter("injector_sweep_skips");
+        // 4 workers → 8 shards; one element lands on shard 0.
+        let inj = Injector::with_counter(4, skips.clone());
+        inj.push(7u32);
+        // Sweeping from shard 1, the seven empty shards (1..8) are all
+        // skipped on occupancy before the element is found on shard 0.
+        assert_eq!(inj.certain_sweep(1), Some(7));
+        assert_eq!(skips.get(), 7);
+        // A sweep of a fully empty injector skips every shard.
+        assert_eq!(inj.certain_sweep(0), None);
+        assert_eq!(skips.get(), 15);
+    }
+
+    #[test]
+    fn occupancy_tracks_pushes_and_pops() {
+        let inj = Injector::new(1); // 2 shards
+        for i in 0..6 {
+            inj.push(i);
+        }
+        let occupied: usize = inj
+            .shards
+            .iter()
+            .map(|s| s.occupancy.load(Ordering::Acquire))
+            .sum();
+        assert_eq!(occupied, 6);
+        while inj.pop(0).is_some() {}
+        for s in inj.shards.iter() {
+            assert_eq!(s.occupancy.load(Ordering::Acquire), 0);
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod baseline;
 #[cfg(unix)]
 pub mod chaos;
 mod controller;
+pub mod crlock;
 pub mod deque;
 pub mod injector;
 mod pool;
@@ -66,6 +67,10 @@ pub use baseline::CentralPool;
 #[cfg(unix)]
 pub use chaos::{ChaosConfig, ChaosProxy, JobChaos, JobFault};
 pub use controller::{Controller, TargetSlot};
+pub use crlock::{
+    AdaptiveConfig, AdaptiveSizer, Admission, CrConfig, CrGate, CrGuard, CrLock, RawLock,
+    RawParking, RawSpin,
+};
 pub use deque::{Steal, Stealer, Worker};
 pub use injector::Injector;
 pub use pool::{Job, Pool, PoolConfig, PoolMetrics, WatchdogConfig};

@@ -50,6 +50,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::controller::{Controller, TargetSlot};
+use crate::crlock::{Admission, CrConfig, CrGate};
 use crate::deque::{self, Steal, Stealer, Worker};
 use crate::injector::Injector;
 use crate::stats::{Counter, Gauge, Hist, Registry, Snapshot};
@@ -383,6 +384,10 @@ struct PoolShared {
     stall_ns: Hist,
     /// The per-worker flight-recorder rings (may be disabled).
     recorder: Arc<FlightRecorder>,
+    /// Concurrency-restricting gate over the injector sweep (see
+    /// [`PoolConfig::cr_injector`]); its `cr_*` statistics ride
+    /// `registry`.
+    cr_gate: Option<CrGate>,
     /// Busy-wait (1989-style) instead of sleeping when the queues are
     /// empty but work is outstanding.
     idle_spin: bool,
@@ -427,6 +432,12 @@ pub struct PoolConfig {
     /// (default) disables monitoring entirely — zero threads, zero
     /// hot-path cost beyond one relaxed heartbeat store per job.
     pub watchdog: Option<WatchdogConfig>,
+    /// Put a concurrency-restricting gate ([`CrGate`]) in front of the
+    /// injector's sweep: at most `active_max` workers contend for the
+    /// shard locks at once, the rest park on the gate's culled list.
+    /// `None` (default, and what every gated benchmark baseline uses)
+    /// leaves the injector ungated.
+    pub cr_injector: Option<CrConfig>,
 }
 
 /// Default flight-recorder ring capacity per worker ("always-on": large
@@ -447,6 +458,7 @@ impl PoolConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             isolate_panics: true,
             watchdog: None,
+            cr_injector: None,
         }
     }
 }
@@ -521,7 +533,10 @@ impl Pool {
         // Stall/Recovered events about (not from) a wedged worker.
         let recorder = FlightRecorder::new(nworkers + 1, cfg.trace_capacity, &registry);
         let shared = Arc::new(PoolShared {
-            injector: Injector::new(nworkers),
+            injector: Injector::with_counter(nworkers, registry.counter("injector_sweep_skips")),
+            cr_gate: cfg
+                .cr_injector
+                .map(|cr| CrGate::with_registry(cr, &registry)),
             stealers: stealers.into_boxed_slice(),
             outstanding: AtomicUsize::new(0),
             idle_cv: Condvar::new(),
@@ -753,11 +768,39 @@ fn find_task(
         sh.local_hits.incr();
         return Some(*t);
     }
-    if let Some(t) = sh.injector.pop(index) {
+    if let Some(t) = injector_pop(sh, index) {
         sh.injector_pops.incr();
         return Some(t);
     }
     steal_task(sh, index, rings, rng)
+}
+
+/// The injector leg of [`find_task`], routed through the CR gate when
+/// one is configured: only `active_max` workers sweep the shard locks
+/// at once, the rest park on the culled list until promoted. The gate
+/// is consulted only while the injector looks nonempty — an empty
+/// injector must stay a one-atomic-load fast path for idle workers.
+fn injector_pop(sh: &PoolShared, index: usize) -> Option<Task> {
+    let Some(gate) = &sh.cr_gate else {
+        return sh.injector.pop(index);
+    };
+    if sh.injector.is_empty() {
+        return None;
+    }
+    let admission = gate.enter();
+    let admitted_at = Instant::now();
+    let popped = sh.injector.pop(index);
+    gate.observe_acquire(admitted_at.elapsed().as_nanos() as u64);
+    let promoted = gate.exit();
+    if let Admission::Culled { waited_ns } = admission {
+        let us = (waited_ns / 1_000).min(u32::MAX as u64) as u32;
+        sh.recorder.record(index, EventKind::CrCull, us);
+    }
+    if promoted {
+        sh.recorder
+            .record(index, EventKind::CrPromote, gate.active_max() as u32);
+    }
+    popped
 }
 
 fn xorshift(state: &mut u64) -> u64 {

@@ -71,11 +71,18 @@ pub enum EventKind {
     /// A previously-stalled worker made progress again; `arg` is the
     /// full stall episode duration in milliseconds (saturating).
     Recovered = 12,
+    /// The worker was culled by a concurrency-restricting gate (parked
+    /// on the passive list instead of contending); `arg` is the time it
+    /// spent culled in microseconds (saturating), recorded on wake.
+    CrCull = 13,
+    /// The worker's gate exit promoted a culled thread back into the
+    /// active set; `arg` is the gate's current active-set bound.
+    CrPromote = 14,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::JobStart,
         EventKind::JobEnd,
         EventKind::Steal,
@@ -89,6 +96,8 @@ impl EventKind {
         EventKind::Decision,
         EventKind::Stall,
         EventKind::Recovered,
+        EventKind::CrCull,
+        EventKind::CrPromote,
     ];
 
     /// The two-letter wire code (`js`, `je`, `st`, …).
@@ -107,6 +116,8 @@ impl EventKind {
             EventKind::Decision => "dc",
             EventKind::Stall => "sl",
             EventKind::Recovered => "rc",
+            EventKind::CrCull => "cc",
+            EventKind::CrPromote => "cp",
         }
     }
 

@@ -8,8 +8,9 @@
 #![cfg(target_os = "linux")]
 
 use native_rt::{
-    ChaosConfig, ChaosProxy, JobChaos, JobFault, Pool, PoolConfig, RestartKind, SupervisedClient,
-    SupervisorConfig, TargetSlot, UdsClient, UdsServer, UdsServerConfig, WatchdogConfig,
+    ChaosConfig, ChaosProxy, CrConfig, JobChaos, JobFault, Pool, PoolConfig, RestartKind,
+    SupervisedClient, SupervisorConfig, TargetSlot, UdsClient, UdsServer, UdsServerConfig,
+    WatchdogConfig,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -301,6 +302,80 @@ fn injected_job_panics_never_lose_workers_or_jobs() {
     assert_eq!(m.workers_respawned, 0, "isolation means no worker died");
 
     // The pool is still fully alive: a clean batch runs to completion.
+    let after = Arc::new(AtomicUsize::new(0));
+    for _ in 0..64 {
+        let a = Arc::clone(&after);
+        pool.execute(move || {
+            a.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(after.load(Ordering::Relaxed), 64);
+}
+
+/// The two throttling mechanisms compose under faults: a
+/// concurrency-restricting gate on the injector (at most 2 workers
+/// contending for the central queue, the rest parked on the gate's
+/// culled list) while process control flaps the target between 1 and
+/// the full pool — so control-suspended workers and gate-passivated
+/// workers overlap — and a seeded fraction of jobs panic on top. A bad
+/// hand-off here wedges the pool (the lone runnable worker parked on
+/// the gate, the gate holder suspended by control); the test's
+/// liveness proof is that `wait_idle` returns with every job accounted
+/// for exactly once.
+#[test]
+fn cr_gate_composes_with_control_flapping_under_panics() {
+    let slot = Arc::new(TargetSlot::new(4));
+    let mut cfg = PoolConfig::new(4);
+    cfg.watchdog = Some(WatchdogConfig::new(Duration::from_millis(500)));
+    cfg.cr_injector = Some(CrConfig::fixed(2));
+    let pool = Pool::with_slot_config(Arc::clone(&slot), cfg);
+
+    const BATCHES: u64 = 8;
+    const PER_BATCH: u64 = 75;
+    const JOBS: u64 = BATCHES * PER_BATCH;
+    let mut chaos = JobChaos::new(0xCC10C4, 0.2, 0.0, Duration::ZERO);
+    let done = Arc::new(AtomicUsize::new(0));
+    for batch in 0..BATCHES {
+        // Flap control out of phase with the batches: shrink to one
+        // runnable worker while others sit passivated on the gate, then
+        // restore, repeatedly. Each pause lets workers reach safe points
+        // and observe the new target mid-stream.
+        let target = if batch % 2 == 0 { 1 } else { 4 };
+        slot.target.store(target, Ordering::Release);
+        for _ in 0..PER_BATCH {
+            let d = Arc::clone(&done);
+            let (_, job) = chaos.wrap(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+            pool.execute(job);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    slot.target.store(4, Ordering::Release);
+    pool.wait_idle();
+
+    let (panics, _) = chaos.injected();
+    assert!(panics > 0, "the schedule must inject at least one panic");
+    let m = pool.metrics();
+    assert_eq!(m.jobs_run, JOBS, "conservation: every job accounted once");
+    assert_eq!(m.jobs_panicked, panics, "every injected panic was caught");
+    assert_eq!(
+        done.load(Ordering::Relaxed) as u64,
+        JOBS - panics,
+        "clean jobs all ran; panicked jobs never reached their work"
+    );
+    assert_eq!(m.workers_respawned, 0, "isolation means no worker died");
+    assert!(
+        m.suspends >= 1,
+        "flapping the target to 1 must suspend at least one worker"
+    );
+    let snap = pool.registry().snapshot();
+    assert_eq!(snap.gauges["cr_active_size"], 2, "fixed gate never resizes");
+    assert!(snap.counters.contains_key("cr_passivations"), "{snap:?}");
+    assert!(snap.counters.contains_key("cr_promotions"), "{snap:?}");
+
+    // Both mechanisms disengaged: a clean batch runs to completion.
     let after = Arc::new(AtomicUsize::new(0));
     for _ in 0..64 {
         let a = Arc::clone(&after);

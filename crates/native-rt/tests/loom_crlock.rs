@@ -1,0 +1,122 @@
+//! Model checks for the CR gate's passivation hand-off
+//! (`crlock.rs`) — the protocol behind the `sched-atomic(seqcst)`
+//! annotations on `admitted` and `passive_len`.
+//!
+//! The interleaving under test is the classic lost wakeup: the last
+//! active thread releases *while* a newly culled thread is between
+//! "published on the culled list" and "parked". If the releaser misses
+//! the publication and the parker misses the release, the parker sleeps
+//! forever on a gate nobody will ever exit again. The Dekker pairing
+//! (parker: publish `passive_len`, re-check `admitted`; releaser:
+//! decrement `admitted`, re-check `passive_len`, both `SeqCst`)
+//! guarantees at least one side sees the other, so every model
+//! iteration must terminate with every thread admitted exactly once.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p native-rt --test
+//! loom_crlock` (the loom CI lane).
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+use native_rt::crlock::{Admission, CrConfig, CrGate, CrLock};
+
+/// One holder, one challenger, one slot: the challenger arrives while
+/// the slot is taken and the holder releases concurrently with the
+/// challenger's publish/park. A lost wakeup hangs the model; a slot
+/// leak trips the final `culled()`/re-entry checks.
+#[test]
+fn release_while_culling_never_loses_the_wakeup() {
+    loom::model(|| {
+        let gate = Arc::new(CrGate::new(CrConfig::fixed(1)));
+        let admitted = Arc::new(AtomicUsize::new(0));
+
+        let holder = {
+            let gate = Arc::clone(&gate);
+            let admitted = Arc::clone(&admitted);
+            loom::thread::spawn(move || {
+                gate.enter();
+                admitted.fetch_add(1, Ordering::Relaxed);
+                gate.exit();
+            })
+        };
+        let challenger = {
+            let gate = Arc::clone(&gate);
+            let admitted = Arc::clone(&admitted);
+            loom::thread::spawn(move || {
+                gate.enter();
+                admitted.fetch_add(1, Ordering::Relaxed);
+                gate.exit();
+            })
+        };
+        holder.join().unwrap();
+        challenger.join().unwrap();
+
+        assert_eq!(admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(gate.culled(), 0, "culled list must drain");
+        // The gate must still work: both slots were returned.
+        assert_eq!(gate.enter(), Admission::Direct);
+        gate.exit();
+    });
+}
+
+/// Three threads through a one-slot gate: at least one passivation is
+/// forced in most interleavings, and every hand-off chain (exit →
+/// promote → parked thread resumes → its exit promotes the next) must
+/// run to completion without dropping a thread.
+#[test]
+fn handoff_chain_admits_every_thread_exactly_once() {
+    loom::model(|| {
+        let gate = Arc::new(CrGate::new(CrConfig::fixed(1)));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let admitted = Arc::new(AtomicUsize::new(0));
+
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let inside = Arc::clone(&inside);
+                let admitted = Arc::clone(&admitted);
+                loom::thread::spawn(move || {
+                    gate.enter();
+                    assert_eq!(
+                        inside.fetch_add(1, Ordering::SeqCst),
+                        0,
+                        "two threads inside a one-slot gate"
+                    );
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    gate.exit();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        assert_eq!(admitted.load(Ordering::Relaxed), 3);
+        assert_eq!(gate.culled(), 0, "culled list must drain");
+    });
+}
+
+/// The composed lock: mutual exclusion over real data while the gate
+/// culls and promotes underneath. Lost updates would show as a short
+/// count.
+#[test]
+fn crlock_conserves_updates_across_handoffs() {
+    loom::model(|| {
+        let lk: Arc<CrLock<usize>> = Arc::new(CrLock::new(CrConfig::fixed(1), 0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let lk = Arc::clone(&lk);
+                loom::thread::spawn(move || {
+                    *lk.lock() += 1;
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*lk.lock(), 3);
+    });
+}

@@ -77,6 +77,11 @@ impl ThreadsApp {
         self.shared.borrow().target()
     }
 
+    /// The CR queue lock's current active-set bound, if CR is enabled.
+    pub fn cr_active_max(&self) -> Option<u32> {
+        self.shared.borrow().cr_active_max()
+    }
+
     /// A copy of the span records emitted so far (task pickup/finish,
     /// suspension enter/exit, queue-lock waits, control polls).
     pub fn spans(&self) -> Vec<crate::span::SpanRecord> {

@@ -22,7 +22,7 @@ mod task;
 mod worker;
 
 pub use app::{launch, AppSpec, ThreadsApp};
-pub use shared::{AppMetrics, AppShared, ControlParams, ThreadsConfig};
+pub use shared::{AppMetrics, AppShared, ControlParams, CrParams, ThreadsConfig};
 pub use span::{poll_to_convergence, wake_to_run, SpanKind, SpanLog, SpanRecord};
 pub use task::{BarrierId, ChanId, FnTask, OpsBody, Task, TaskBody, TaskEvent, TaskOp};
 pub use worker::Worker;

@@ -31,6 +31,10 @@ pub struct AppMetrics {
     pub polls: u64,
     /// Time workers spent in the idle loop waiting for work to appear.
     pub idle_spin: SimDur,
+    /// Workers culled by the concurrency-restricting queue lock.
+    pub cr_passivations: u64,
+    /// Culled workers promoted back into the CR lock's active set.
+    pub cr_promotions: u64,
 }
 
 #[derive(Debug, Default)]
@@ -44,6 +48,209 @@ pub(crate) struct BarrierState {
 pub(crate) struct ChanState {
     pub values: VecDeque<u64>,
     pub parked: Vec<Task>,
+}
+
+/// Parameters of the concurrency-restricting (CR) queue lock — the
+/// simulated twin of `native-rt`'s `CrLock`. With CR enabled, at most
+/// `active_max` workers circulate through the run queue at a time; excess
+/// arrivals are *culled* (parked on a passive list, awaiting a signal)
+/// instead of piling onto the queue lock, so heavy overcommit degrades
+/// into a small circulating workforce plus a crowd of descheduled
+/// workers rather than a mob of spinners feeding lock-holder preemption.
+#[derive(Clone, Copy, Debug)]
+pub struct CrParams {
+    /// Maximum workers admitted to the circulating set at once (≥ 1;
+    /// clamped to the worker count at launch).
+    pub active_max: u32,
+    /// Fairness bound: every this many dequeues, the longest-parked
+    /// passive worker swaps places with a circulating one, so the
+    /// passive list cannot starve its oldest entry.
+    pub promotion_interval: u64,
+    /// Adapt `active_max` from observed queue-lock wait times: shrink
+    /// when waits blow up past the critical-section cost (a preempted
+    /// holder is being spun on), grow when the lock is quiet but workers
+    /// sit culled.
+    pub adaptive: bool,
+}
+
+impl CrParams {
+    /// A fixed active set of `active_max` workers with the default
+    /// promotion interval.
+    pub fn fixed(active_max: u32) -> Self {
+        assert!(active_max >= 1, "the active set needs at least one slot");
+        CrParams {
+            active_max,
+            promotion_interval: 32,
+            adaptive: false,
+        }
+    }
+
+    /// Like [`CrParams::fixed`], but `active_max` adapts to observed
+    /// queue-lock waits (starting from the given value).
+    pub fn adaptive(active_max: u32) -> Self {
+        CrParams {
+            adaptive: true,
+            ..CrParams::fixed(active_max)
+        }
+    }
+}
+
+/// What the worker that just released the dequeue lock should do with
+/// its admission slot (see [`CrSimState::on_unlock`]).
+#[derive(Debug)]
+pub(crate) enum CrUnlock {
+    /// Keep the slot and run the dequeued task.
+    Keep,
+    /// Adaptive shrink took effect: the caller's slot is gone. It runs
+    /// its task slotless and re-competes at the next safe point.
+    Drop,
+    /// A vacancy exists: wake the returned worker with a fresh slot; the
+    /// caller keeps its own.
+    Fill(Pid),
+    /// Fairness rotation: the caller's slot transfers to the returned
+    /// worker; the caller runs its task slotless.
+    Rotate(Pid),
+}
+
+/// Live state of the CR queue lock for one application.
+///
+/// The *slot* invariant: `active` counts workers holding an admission
+/// slot. Slots are **sticky** — held across the whole dequeue → run-task
+/// → next-dequeue cycle — so the active set is the application's
+/// circulating workforce and the passive list is genuinely descheduled
+/// (blocked, consuming no processor). Slots change hands only at
+/// dequeue-unlock ([`CrSimState::on_unlock`]: vacancy fill, fairness
+/// rotation, adaptive resize) and at the shutdown drain
+/// ([`CrSimState::grant`]). Crucially, no hand-off sits on the lock's
+/// critical path: a promotion wakes a worker into the *workforce*, not
+/// into a just-released lock, so wakeup latency never stalls the queue.
+#[derive(Debug)]
+pub(crate) struct CrSimState {
+    /// Current active-set bound (moves only when adaptive).
+    pub active_max: u32,
+    /// Workers currently holding an admission slot.
+    pub active: u32,
+    /// Culled workers, FIFO: the longest-parked worker is promoted
+    /// first, so rotation bounds every entry's wait.
+    pub passive: VecDeque<Pid>,
+    /// Dequeues completed — the rotation clock.
+    dequeues: u64,
+    /// Rotation clock reading at the last fairness rotation.
+    last_rotation: u64,
+    params: CrParams,
+    /// Hard ceiling for adaptive growth (the worker count).
+    cap: u32,
+    /// EWMA of observed queue-lock wait, in simulated nanoseconds.
+    ewma_wait_ns: u64,
+    /// Waits observed so far (first sample seeds the EWMA).
+    nwaits: u64,
+    /// Waits since the adaptive policy last ran.
+    since_adapt: u32,
+}
+
+/// Adaptive policy: revisit `active_max` every this many observed waits.
+const CR_ADAPT_EVERY: u32 = 32;
+
+impl CrSimState {
+    pub(crate) fn new(params: CrParams, nprocs: u32) -> Self {
+        CrSimState {
+            active_max: params.active_max.clamp(1, nprocs),
+            active: 0,
+            passive: VecDeque::new(),
+            dequeues: 0,
+            last_rotation: 0,
+            params,
+            cap: nprocs,
+            ewma_wait_ns: 0,
+            nwaits: 0,
+            since_adapt: 0,
+        }
+    }
+
+    /// Tries to take an admission slot; false means the caller must park.
+    pub(crate) fn try_admit(&mut self) -> bool {
+        if self.active >= self.active_max {
+            return false;
+        }
+        self.active += 1;
+        true
+    }
+
+    /// Parks the caller on the passive list (caller holds no slot).
+    pub(crate) fn park(&mut self, pid: Pid) {
+        self.passive.push_back(pid);
+    }
+
+    /// Frees the caller's slot without promoting anyone (exit paths and
+    /// wakeups that find nothing to do).
+    pub(crate) fn release_slot(&mut self) {
+        self.active -= 1;
+    }
+
+    /// Slot accounting after a dequeue-unlock: apply any pending adaptive
+    /// resize, fill vacancies from the passive list, and rotate the
+    /// longest-parked worker in every `promotion_interval` dequeues.
+    pub(crate) fn on_unlock(&mut self) -> CrUnlock {
+        self.dequeues += 1;
+        if self.active > self.active_max {
+            self.active -= 1;
+            return CrUnlock::Drop;
+        }
+        if self.active < self.active_max {
+            if let Some(pid) = self.passive.pop_front() {
+                self.active += 1;
+                return CrUnlock::Fill(pid);
+            }
+        }
+        if self.dequeues - self.last_rotation >= self.params.promotion_interval {
+            if let Some(pid) = self.passive.pop_front() {
+                self.last_rotation = self.dequeues;
+                return CrUnlock::Rotate(pid);
+            }
+        }
+        CrUnlock::Keep
+    }
+
+    /// Shutdown drain: grants a fresh slot to a passive worker so it can
+    /// observe `done` and exit. May transiently exceed `active_max`; the
+    /// woken worker gives the slot straight back.
+    pub(crate) fn grant(&mut self) -> Option<Pid> {
+        let pid = self.passive.pop_front()?;
+        self.active += 1;
+        Some(pid)
+    }
+
+    /// Feeds one observed queue-lock wait to the adaptive policy. The
+    /// reference cost is `queue_op` (the time the lock is held per
+    /// operation): waits far above it mean the holder was preempted
+    /// mid-section — shrink; waits far below it with workers culled mean
+    /// the restriction is too tight — grow.
+    pub(crate) fn observe_wait(&mut self, waited: SimDur, queue_op: SimDur) {
+        if !self.params.adaptive {
+            return;
+        }
+        let x = waited.nanos();
+        self.ewma_wait_ns = if self.nwaits == 0 {
+            x
+        } else {
+            (self.ewma_wait_ns / 8).saturating_mul(7) + x / 8
+        };
+        self.nwaits += 1;
+        self.since_adapt += 1;
+        if self.since_adapt < CR_ADAPT_EVERY {
+            return;
+        }
+        self.since_adapt = 0;
+        let op = queue_op.nanos();
+        if self.ewma_wait_ns > op.saturating_mul(2) && self.active_max > 1 {
+            self.active_max -= 1;
+        } else if self.ewma_wait_ns < op / 4
+            && !self.passive.is_empty()
+            && self.active_max < self.cap
+        {
+            self.active_max += 1;
+        }
+    }
 }
 
 /// Tuning of the threads package for one application.
@@ -64,6 +271,10 @@ pub struct ThreadsConfig {
     /// Process-control parameters; `None` reproduces the unmodified
     /// package (the paper's dashed curves).
     pub control: Option<ControlParams>,
+    /// Concurrency-restricting queue-lock parameters; `None` keeps the
+    /// unrestricted spinlock. Orthogonal to `control`: the four-way
+    /// ablation crosses the two switches.
+    pub cr: Option<CrParams>,
     /// Span-log capacity (records retained); 0 = unbounded. The figure
     /// harnesses replay full histories, so unbounded is the default;
     /// bounded logs mirror the native flight recorder's drop-oldest ring.
@@ -112,8 +323,15 @@ impl ThreadsConfig {
             queue_op: SimDur::from_micros(800),
             idle_spin: SimDur::from_micros(500),
             control: None,
+            cr: None,
             span_capacity: 0,
         }
+    }
+
+    /// Enables the concurrency-restricting queue lock.
+    pub fn with_cr_lock(mut self, cr: CrParams) -> Self {
+        self.cr = Some(cr);
+        self
     }
 
     /// Enables process control through the given central-server port.
@@ -178,6 +396,8 @@ pub struct AppShared {
     /// A poll request is outstanding (guards the single reply mailbox).
     pub(crate) poll_in_flight: bool,
     pub(crate) control: Option<ClientControl>,
+    /// Concurrency-restricting queue-lock state, when enabled.
+    pub(crate) cr: Option<CrSimState>,
     pub(crate) metrics: AppMetrics,
     /// Span events emitted by the workers (task/suspension/lock-wait/poll).
     pub(crate) spans: SpanLog,
@@ -187,8 +407,10 @@ impl AppShared {
     pub(crate) fn new(cfg: ThreadsConfig, qlock: LockId) -> Self {
         let active = cfg.nprocs;
         let spans = SpanLog::bounded(cfg.span_capacity);
+        let cr = cfg.cr.map(|p| CrSimState::new(p, cfg.nprocs));
         AppShared {
             cfg,
+            cr,
             queue: VecDeque::new(),
             outstanding: 0,
             barriers: Vec::new(),
@@ -228,6 +450,12 @@ impl AppShared {
     /// The latest process-control target, if control is enabled.
     pub fn target(&self) -> Option<u32> {
         self.control.as_ref().map(ClientControl::target)
+    }
+
+    /// The CR queue lock's current active-set bound, if CR is enabled
+    /// (differs from the configured value only under the adaptive policy).
+    pub fn cr_active_max(&self) -> Option<u32> {
+        self.cr.as_ref().map(|cr| cr.active_max)
     }
 
     /// The span log recorded so far.

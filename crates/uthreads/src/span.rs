@@ -40,6 +40,12 @@ pub enum SpanKind {
         /// The new target number of runnable processes.
         target: u32,
     },
+    /// The concurrency-restricting queue lock culled the worker: the
+    /// active set was full, so it parked instead of joining the spin.
+    CrCull,
+    /// The worker was promoted from the CR lock's passive list (it wakes
+    /// holding an admission slot handed over by the releaser).
+    CrPromote,
 }
 
 /// One timestamped span record.

@@ -22,7 +22,7 @@ use desim::SimTime;
 use procctl::{ClientControl, Decision};
 use simkernel::{Action, Behavior, Pid, PortId, UserCtx, Wakeup};
 
-use crate::shared::{AppShared, ControlMode, ControlParams};
+use crate::shared::{AppShared, ControlMode, ControlParams, CrSimState, CrUnlock};
 use crate::span::SpanKind;
 use crate::task::{BarrierId, ChanId, Task, TaskEvent, TaskOp};
 
@@ -75,6 +75,12 @@ enum WState {
     TaskQCrit(QOp),
     /// Releasing the queue lock after a task-side queue operation.
     TaskQUnlock(Resume),
+    /// Culled by the CR queue lock on the way to a dequeue; waiting for a
+    /// promotion (or shutdown-drain) signal.
+    CrParkedDequeue,
+    /// Promotion signal in flight after releasing the lock from a dequeue;
+    /// the dequeued item (if any) is still in `pending`.
+    CrPromoteDequeue,
     /// Busy-wait slice while the queue is empty but tasks are outstanding.
     IdleSpin,
     /// Goodbye message to the server in flight.
@@ -100,6 +106,11 @@ pub struct Worker {
     reply_port: Option<PortId>,
     /// When this worker last requested the queue lock (span accounting).
     qlock_req: Option<SimTime>,
+    /// Whether this worker holds a CR admission slot. Slots are sticky:
+    /// kept across the whole dequeue → run-task → next-dequeue cycle, and
+    /// given up only by the unlock policy (rotation, adaptive shrink) or
+    /// on the way to idling/exiting.
+    cr_slot: bool,
 }
 
 impl Worker {
@@ -119,6 +130,7 @@ impl Worker {
             spawned: 0,
             reply_port,
             qlock_req: None,
+            cr_slot: false,
         }
     }
 
@@ -141,7 +153,7 @@ impl Worker {
     fn safe_point(&mut self, ctx: &mut dyn UserCtx) -> Action {
         let mut sh = self.shared.borrow_mut();
         if sh.done {
-            return Self::die(&mut self.state, &mut sh);
+            return Self::die(&mut self.state, &mut self.cr_slot, &mut sh);
         }
         if sh.control.is_some() {
             let active = sh.active;
@@ -195,6 +207,10 @@ impl Worker {
             }
         }
         if !sh.queue.is_empty() {
+            if Self::cr_cull(&mut sh, &mut self.cr_slot, ctx) {
+                self.state = WState::CrParkedDequeue;
+                return Action::WaitSignal;
+            }
             self.qlock_req = Some(ctx.now());
             self.state = WState::DequeueLock;
             return Action::AcquireLock(sh.qlock);
@@ -214,7 +230,7 @@ impl Worker {
                 self.state = WState::SendBye;
                 return Action::Send(port, msg);
             }
-            return Self::die(&mut self.state, &mut sh);
+            return Self::die(&mut self.state, &mut self.cr_slot, &mut sh);
         }
         // Work exists but none is ready: busy-wait a slice and re-check.
         let spin = sh.cfg.idle_spin;
@@ -223,19 +239,88 @@ impl Worker {
         Action::Compute(spin)
     }
 
-    /// Completion path: wake suspended colleagues, then exit.
+    /// Completion path: give back any held CR slot, wake suspended
+    /// colleagues, and drain the CR lock's passive list, then exit.
+    /// Without the drain, workers culled at the finish line would wait
+    /// forever on a promotion that no dequeuing worker remains to send.
     ///
     /// An associated function (not a method) because callers hold the
     /// shared-state borrow while updating the worker's own state.
-    fn die(state: &mut WState, sh: &mut AppShared) -> Action {
+    fn die(state: &mut WState, cr_slot: &mut bool, sh: &mut AppShared) -> Action {
+        if *cr_slot {
+            sh.cr
+                .as_mut()
+                .expect("slot held without CR state")
+                .release_slot();
+            *cr_slot = false;
+        }
         if let Some(pid) = sh.suspended.pop() {
             sh.active += 1;
+            *state = WState::Dying;
+            Action::SendSignal(pid)
+        } else if let Some(pid) = sh.cr.as_mut().and_then(CrSimState::grant) {
             *state = WState::Dying;
             Action::SendSignal(pid)
         } else {
             sh.active -= 1;
             Action::Exit
         }
+    }
+
+    /// CR admission at the dequeue site. Returns true when the caller was
+    /// culled (parked on the passive list, to be woken by a promotion or
+    /// the shutdown drain); false means the caller holds an admission
+    /// slot — kept from its previous cycle, or taken now — and may
+    /// contend for the queue lock.
+    ///
+    /// A culled worker also leaves the process-control `active` count: it
+    /// has voluntarily descheduled itself, and reporting it as active
+    /// would make the control server suspend circulating workers to
+    /// compensate for ones that already yielded the processor.
+    fn cr_cull(sh: &mut AppShared, cr_slot: &mut bool, ctx: &mut dyn UserCtx) -> bool {
+        if *cr_slot {
+            return false;
+        }
+        match &mut sh.cr {
+            None => return false,
+            Some(cr) => {
+                if cr.try_admit() {
+                    *cr_slot = true;
+                    return false;
+                }
+                cr.park(ctx.my_pid());
+            }
+        }
+        sh.active -= 1;
+        sh.metrics.cr_passivations += 1;
+        sh.spans.push(ctx.now(), ctx.my_pid(), SpanKind::CrCull);
+        true
+    }
+
+    /// Slot bookkeeping after a dequeue's lock release: applies the CR
+    /// unlock policy (adaptive resize, vacancy fill, fairness rotation).
+    /// Returns a pid to signal when a passive worker was promoted into
+    /// the circulating workforce.
+    fn cr_unlock(&mut self, ctx: &mut dyn UserCtx) -> Option<Pid> {
+        let mut sh = self.shared.borrow_mut();
+        if !self.cr_slot || sh.cr.is_none() {
+            return None;
+        }
+        let pid = match sh.cr.as_mut().expect("checked").on_unlock() {
+            CrUnlock::Keep => return None,
+            CrUnlock::Drop => {
+                self.cr_slot = false;
+                return None;
+            }
+            CrUnlock::Fill(pid) => pid,
+            CrUnlock::Rotate(pid) => {
+                self.cr_slot = false;
+                pid
+            }
+        };
+        sh.metrics.cr_promotions += 1;
+        sh.spans.push(ctx.now(), pid, SpanKind::CrPromote);
+        Some(pid)
     }
 
     /// Advances the current task and maps its next op onto kernel actions.
@@ -259,32 +344,55 @@ impl Worker {
                 self.state = WState::TaskRun(TaskEvent::Unlocked);
                 Action::ReleaseLock(l)
             }
-            TaskOp::Spawn(t) => self.qlock_for(QOp::Spawn(Some(t)), ctx.now()),
-            TaskOp::Barrier(b) => self.qlock_for(QOp::Barrier(b), ctx.now()),
-            TaskOp::Send(c, v) => self.qlock_for(QOp::Send(c, v), ctx.now()),
-            TaskOp::Recv(c) => self.qlock_for(QOp::Recv(c), ctx.now()),
-            TaskOp::Requeue => self.qlock_for(QOp::Requeue, ctx.now()),
-            TaskOp::Done => self.qlock_for(QOp::Finish, ctx.now()),
+            TaskOp::Spawn(t) => self.qlock_for(QOp::Spawn(Some(t)), ctx),
+            TaskOp::Barrier(b) => self.qlock_for(QOp::Barrier(b), ctx),
+            TaskOp::Send(c, v) => self.qlock_for(QOp::Send(c, v), ctx),
+            TaskOp::Recv(c) => self.qlock_for(QOp::Recv(c), ctx),
+            TaskOp::Requeue => self.qlock_for(QOp::Requeue, ctx),
+            TaskOp::Done => self.qlock_for(QOp::Finish, ctx),
         }
     }
 
-    fn qlock_for(&mut self, op: QOp, now: SimTime) -> Action {
+    /// Task-side queue operations bypass CR admission: a mid-task worker
+    /// is (or was, until a rotation) a slot holder, and parking a worker
+    /// that carries an in-flight task would strand the task. The bounded
+    /// active set keeps these contenders few.
+    fn qlock_for(&mut self, op: QOp, ctx: &mut dyn UserCtx) -> Action {
         let qlock = self.shared.borrow().qlock;
-        self.qlock_req = Some(now);
+        self.qlock_req = Some(ctx.now());
         self.state = WState::TaskQLock(op);
         Action::AcquireLock(qlock)
     }
 
-    /// Records how long the worker waited for the queue lock it now holds.
+    /// Records how long the worker waited for the queue lock it now
+    /// holds, and feeds the wait to the CR lock's adaptive policy.
     fn note_qlock_acquired(&mut self, ctx: &mut dyn UserCtx) {
         if let Some(since) = self.qlock_req.take() {
-            self.shared.borrow_mut().spans.push(
-                ctx.now(),
-                ctx.my_pid(),
-                SpanKind::QueueLockWait {
-                    waited: ctx.now().since(since),
-                },
-            );
+            let waited = ctx.now().since(since);
+            let mut sh = self.shared.borrow_mut();
+            let queue_op = sh.cfg.queue_op;
+            if let Some(cr) = &mut sh.cr {
+                cr.observe_wait(waited, queue_op);
+            }
+            sh.spans
+                .push(ctx.now(), ctx.my_pid(), SpanKind::QueueLockWait { waited });
+        }
+    }
+
+    /// Continuation after a dequeue's lock release (and any promotion
+    /// signal): start the dequeued task, or return to the safe point when
+    /// another worker won the race for the last task.
+    fn after_dequeue_unlock(&mut self, ctx: &mut dyn UserCtx) -> Action {
+        match self.pending.take() {
+            Some((task, ev)) => {
+                self.cur = Some(task);
+                self.shared
+                    .borrow_mut()
+                    .spans
+                    .push(ctx.now(), ctx.my_pid(), SpanKind::TaskStart);
+                self.task_step(ev, ctx)
+            }
+            None => self.safe_point(ctx),
         }
     }
 
@@ -469,19 +577,14 @@ impl Behavior for Worker {
                 self.state = WState::DequeueUnlock;
                 Action::ReleaseLock(qlock)
             }
-            (WState::DequeueUnlock, Wakeup::LockReleased(_)) => match self.pending.take() {
-                Some((task, ev)) => {
-                    self.cur = Some(task);
-                    self.shared.borrow_mut().spans.push(
-                        ctx.now(),
-                        ctx.my_pid(),
-                        SpanKind::TaskStart,
-                    );
-                    self.task_step(ev, ctx)
+            (WState::DequeueUnlock, Wakeup::LockReleased(_)) => {
+                if let Some(pid) = self.cr_unlock(ctx) {
+                    self.state = WState::CrPromoteDequeue;
+                    return Action::SendSignal(pid);
                 }
-                // Another worker won the race for the last task.
-                None => self.safe_point(ctx),
-            },
+                self.after_dequeue_unlock(ctx)
+            }
+            (WState::CrPromoteDequeue, Wakeup::SignalSent) => self.after_dequeue_unlock(ctx),
             (WState::TaskRun(ev), w) => {
                 debug_assert!(matches!(
                     (&ev, &w),
@@ -508,6 +611,38 @@ impl Behavior for Worker {
                 Resume::Event(ev) => self.task_step(ev, ctx),
                 Resume::ToSafe => self.safe_point(ctx),
             },
+            (WState::CrParkedDequeue, Wakeup::Resumed) => {
+                // Woken holding a slot: promoted into the circulating
+                // workforce, or granted a slot by the shutdown drain.
+                // Rejoin the process-control active count, then dequeue —
+                // or, when the queue emptied (or the run finished) while
+                // this worker was parked, give the slot straight back and
+                // fall into the normal safe-point flow, which idles or
+                // heads for the exit path.
+                self.cr_slot = true;
+                let dequeue = {
+                    let mut sh = self.shared.borrow_mut();
+                    sh.active += 1;
+                    if sh.done || sh.queue.is_empty() {
+                        sh.cr
+                            .as_mut()
+                            .expect("CR wakeup without CR state")
+                            .release_slot();
+                        self.cr_slot = false;
+                        None
+                    } else {
+                        Some(sh.qlock)
+                    }
+                };
+                match dequeue {
+                    None => self.safe_point(ctx),
+                    Some(qlock) => {
+                        self.qlock_req = Some(ctx.now());
+                        self.state = WState::DequeueLock;
+                        Action::AcquireLock(qlock)
+                    }
+                }
+            }
             (WState::IdleSpin, Wakeup::ComputeDone) => self.safe_point(ctx),
             (WState::DecentSample, Wakeup::ComputeDone) => {
                 let stats = ctx.rpstat();
@@ -534,11 +669,11 @@ impl Behavior for Worker {
                 let mut sh = self.shared.borrow_mut();
                 // `done` is already set; head straight for the exit path.
                 debug_assert!(sh.done);
-                Self::die(&mut self.state, &mut sh)
+                Self::die(&mut self.state, &mut self.cr_slot, &mut sh)
             }
             (WState::Dying, Wakeup::SignalSent) => {
                 let mut sh = self.shared.borrow_mut();
-                Self::die(&mut self.state, &mut sh)
+                Self::die(&mut self.state, &mut self.cr_slot, &mut sh)
             }
             (state, wakeup) => {
                 unreachable!("worker: unexpected wakeup {wakeup:?} in state {state:?}")

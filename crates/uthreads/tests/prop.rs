@@ -180,4 +180,42 @@ proptest! {
         let m = app.metrics();
         prop_assert!(m.resumes <= m.suspends, "more resumes than suspends");
     }
+
+    /// With the concurrency-restricting queue lock enabled — alone or
+    /// combined with process control — every task still runs exactly once
+    /// and every culled worker is eventually promoted or drained, for
+    /// arbitrary machine sizes, worker counts, and active-set bounds.
+    #[test]
+    fn cr_lock_never_loses_workers_or_tasks(
+        cpus in 1usize..5,
+        nprocs in 2u32..16,
+        active_max in 1u32..6,
+        with_control in any::<bool>(),
+        ntasks in 10u32..80,
+    ) {
+        let mut k = kernel(cpus);
+        let mut cfg = ThreadsConfig::new(nprocs)
+            .with_cr_lock(uthreads::CrParams::fixed(active_max));
+        if with_control {
+            let port = k.create_port();
+            k.spawn_root(
+                AppId(999),
+                64,
+                Box::new(procctl::Server::new(procctl::ServerConfig::new(port))),
+            );
+            cfg = cfg.with_control(port, SimDur::from_millis(500));
+        }
+        let tasks: Vec<Task> = (0..ntasks)
+            .map(|_| Task::compute("t", SimDur::from_millis(20)))
+            .collect();
+        let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
+        prop_assert!(k.run_until_apps_done(&[AppId(0)], LIMIT), "CR lock wedged the app");
+        prop_assert_eq!(app.metrics().tasks_run, u64::from(ntasks));
+        prop_assert_eq!(k.runnable_count(), 0);
+        let m = app.metrics();
+        prop_assert!(
+            m.cr_promotions <= m.cr_passivations,
+            "more promotions ({}) than passivations ({})", m.cr_promotions, m.cr_passivations
+        );
+    }
 }

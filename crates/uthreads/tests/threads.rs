@@ -448,3 +448,118 @@ fn requeue_creates_safe_points_in_long_tasks() {
     // Overcommitted 8 workers on 2 CPUs: control must have engaged.
     assert!(app.metrics().suspends > 0);
 }
+
+#[test]
+fn cr_lock_culls_excess_workers_and_loses_nothing() {
+    // 8 workers, 2 admission slots: 6 arrivals at a non-empty queue find
+    // the active set full and are culled; every culled worker is later
+    // promoted (or drained at shutdown) and every task still runs.
+    let mut k = kernel(4);
+    let tasks: Vec<Task> = (0..64)
+        .map(|_| Task::compute("w", SimDur::from_millis(10)))
+        .collect();
+    let cfg = ThreadsConfig::new(8).with_cr_lock(uthreads::CrParams::fixed(2));
+    let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
+    assert!(k.run_until_apps_done(&[AppId(0)], t(120)));
+    let m = app.metrics();
+    assert_eq!(m.tasks_run, 64);
+    assert!(m.cr_passivations > 0, "no worker was ever culled");
+    assert!(m.cr_promotions > 0, "no culled worker was ever promoted");
+    assert!(m.cr_promotions <= m.cr_passivations);
+    assert_eq!(app.cr_active_max(), Some(2));
+}
+
+#[test]
+fn cr_lock_single_slot_survives_barriers_and_channels() {
+    // active_max = 1 funnels every queue operation — dequeues, barrier
+    // arrivals, channel sends/receives, task finishes — through a single
+    // admission slot, exercising the task-side park/promote path hard.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut k = kernel(4);
+    let mut spec = AppSpec::tasks(vec![]);
+    let bar = spec.add_barrier(4);
+    let ch = spec.add_channel();
+    for i in 0..4u64 {
+        let mut stage = 0;
+        spec.tasks.push(Task::new(
+            "phased",
+            Box::new(FnTask(move |ev: TaskEvent| {
+                stage += 1;
+                match (stage, ev) {
+                    (1, TaskEvent::Start) => TaskOp::Compute(SimDur::from_millis(2)),
+                    (2, TaskEvent::ComputeDone) => TaskOp::Barrier(bar),
+                    (3, TaskEvent::BarrierPassed) => TaskOp::Send(ch, i),
+                    (4, TaskEvent::Sent) => TaskOp::Done,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })),
+        ));
+    }
+    let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = got.clone();
+    let mut received = 0u32;
+    spec.tasks.push(Task::new(
+        "consumer",
+        Box::new(FnTask(move |ev: TaskEvent| match ev {
+            TaskEvent::Received(v) => {
+                sink.borrow_mut().push(v);
+                received += 1;
+                if received == 4 {
+                    TaskOp::Done
+                } else {
+                    TaskOp::Recv(ch)
+                }
+            }
+            _ => TaskOp::Recv(ch),
+        })),
+    ));
+    let cfg = ThreadsConfig::new(6).with_cr_lock(uthreads::CrParams::fixed(1));
+    let app = launch(&mut k, AppId(0), cfg, spec);
+    assert!(k.run_until_apps_done(&[AppId(0)], t(120)));
+    assert_eq!(app.metrics().tasks_run, 5);
+    let mut vals = got.borrow().clone();
+    vals.sort_unstable();
+    assert_eq!(vals, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn cr_lock_composes_with_process_control() {
+    // The four-way ablation's {both} cell in miniature: server control
+    // suspends workers at safe points while the CR lock culls lock-level
+    // excess. The two mechanisms must not strand each other's workers.
+    let mut k = kernel(2);
+    let server_port = spawn_server(&mut k);
+    let tasks: Vec<Task> = (0..200)
+        .map(|_| Task::compute("w", SimDur::from_millis(20)))
+        .collect();
+    let cfg = ThreadsConfig::new(8)
+        .with_control(server_port, SimDur::from_millis(500))
+        .with_cr_lock(uthreads::CrParams::fixed(2));
+    let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
+    assert!(k.run_until_apps_done(&[AppId(0)], t(240)));
+    let m = app.metrics();
+    assert_eq!(m.tasks_run, 200);
+    // Overcommitted 8 workers on 2 CPUs: control engaged.
+    assert!(m.suspends > 0, "control never engaged");
+    assert!(m.cr_passivations > 0, "CR lock never engaged");
+}
+
+#[test]
+fn adaptive_cr_lock_shrinks_when_lock_waits_dwarf_the_critical_section() {
+    // Start wide open (active_max = 8). Eight workers hammering a
+    // spinlock whose hold time is queue_op makes the mean acquisition
+    // wait several multiples of queue_op, so the adaptive policy must
+    // ratchet the active set down.
+    let mut k = kernel(8);
+    let tasks: Vec<Task> = (0..300)
+        .map(|_| Task::compute("w", SimDur::from_micros(100)))
+        .collect();
+    let cfg = ThreadsConfig::new(8).with_cr_lock(uthreads::CrParams::adaptive(8));
+    let app = launch(&mut k, AppId(0), cfg, AppSpec::tasks(tasks));
+    assert!(k.run_until_apps_done(&[AppId(0)], t(600)));
+    assert_eq!(app.metrics().tasks_run, 300);
+    let bound = app.cr_active_max().expect("CR enabled");
+    assert!(bound < 8, "adaptive bound never shrank: still {bound}");
+}
