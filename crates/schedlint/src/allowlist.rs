@@ -23,6 +23,11 @@ pub struct AllowEntry {
     pub contains: Option<String>,
     /// Why the finding is acceptable. Mandatory and non-empty.
     pub justification: String,
+    /// Optional `YYYY-MM-DD` expiry: the entry is valid *through* this
+    /// date and fails the run starting the day after. Keeps
+    /// suppressions from fossilizing — every long-lived exception must
+    /// be re-triaged on a schedule.
+    pub expires: Option<String>,
     /// 1-based line of the `[[allow]]` header, for error reporting.
     pub line: u32,
 }
@@ -47,8 +52,49 @@ impl AllowEntry {
         if let Some(c) = &self.contains {
             s.push_str(&format!(", message ~ {c:?}"));
         }
+        if let Some(e) = &self.expires {
+            s.push_str(&format!(", expires {e}"));
+        }
         s
     }
+}
+
+/// Is `date` a plausible `YYYY-MM-DD`? Shape and range checks only —
+/// enough to make lexicographic comparison against another such date
+/// meaningful.
+fn valid_date(date: &str) -> bool {
+    let b = date.as_bytes();
+    if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+        return false;
+    }
+    let digits = |r: std::ops::Range<usize>| date[r].chars().all(|c| c.is_ascii_digit());
+    if !digits(0..4) || !digits(5..7) || !digits(8..10) {
+        return false;
+    }
+    let month: u32 = date[5..7].parse().unwrap_or(0);
+    let day: u32 = date[8..10].parse().unwrap_or(0);
+    (1..=12).contains(&month) && (1..=31).contains(&day)
+}
+
+/// Today as `YYYY-MM-DD` (UTC), via days-since-epoch → civil date
+/// (Howard Hinnant's algorithm). No clock crates in the offline build.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// The parsed allowlist.
@@ -83,13 +129,14 @@ impl Allowlist {
             Option<String>,
             Option<String>,
             Option<String>,
+            Option<String>,
         );
         let mut entries = Vec::new();
         let mut cur: Option<Partial> = None;
         let finish = |cur: &mut Option<Partial>,
                       entries: &mut Vec<AllowEntry>|
          -> Result<(), AllowlistError> {
-            if let Some((line, rule, path, contains, justification)) = cur.take() {
+            if let Some((line, rule, path, contains, justification, expires)) = cur.take() {
                 let rule = rule.ok_or(AllowlistError {
                     line,
                     message: "entry is missing `rule`".into(),
@@ -104,11 +151,23 @@ impl Allowlist {
                              every allowlisted finding must say why it is acceptable"
                             ),
                         })?;
+                if let Some(e) = &expires {
+                    if !valid_date(e) {
+                        return Err(AllowlistError {
+                            line,
+                            message: format!(
+                                "entry for {rule} has malformed `expires` {e:?} — use \
+                                 `YYYY-MM-DD`"
+                            ),
+                        });
+                    }
+                }
                 entries.push(AllowEntry {
                     rule,
                     path,
                     contains,
                     justification,
+                    expires,
                     line,
                 });
             }
@@ -122,7 +181,7 @@ impl Allowlist {
             }
             if line == "[[allow]]" {
                 finish(&mut cur, &mut entries)?;
-                cur = Some((lineno, None, None, None, None));
+                cur = Some((lineno, None, None, None, None, None));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -152,11 +211,12 @@ impl Allowlist {
                 "path" => &mut entry.2,
                 "contains" => &mut entry.3,
                 "justification" => &mut entry.4,
+                "expires" => &mut entry.5,
                 other => {
                     return Err(AllowlistError {
                         line: lineno,
                         message: format!(
-                            "unknown key `{other}` (rule|path|contains|justification)"
+                            "unknown key `{other}` (rule|path|contains|justification|expires)"
                         ),
                     })
                 }
@@ -200,6 +260,17 @@ impl Allowlist {
             .map(|(e, _)| e)
             .collect();
         (remaining, excused, unused)
+    }
+
+    /// Entries whose `expires` date has passed as of `today`
+    /// (`YYYY-MM-DD`; ISO dates compare lexicographically). An entry is
+    /// valid *through* its expiry date — it fails starting the next
+    /// day.
+    pub fn expired(&self, today: &str) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.expires.as_deref().is_some_and(|x| today > x))
+            .collect()
     }
 }
 
@@ -271,5 +342,56 @@ justification = "never fires; kept to test unused reporting"
     fn unquoted_value_is_fatal() {
         let err = Allowlist::parse("[[allow]]\nrule = SL040\n").unwrap_err();
         assert!(err.message.contains("double-quoted"), "{err}");
+    }
+
+    #[test]
+    fn expires_parses_and_round_trips() {
+        let al = Allowlist::parse(
+            "[[allow]]\nrule = \"SL020\"\njustification = \"triaged\"\n\
+             expires = \"2026-09-30\"\n",
+        )
+        .unwrap();
+        assert_eq!(al.entries[0].expires.as_deref(), Some("2026-09-30"));
+        assert!(al.entries[0].describe().contains("expires 2026-09-30"));
+    }
+
+    #[test]
+    fn malformed_expires_is_fatal() {
+        for bad in [
+            "2026-9-30",
+            "someday",
+            "2026/09/30",
+            "2026-13-01",
+            "2026-01-32",
+        ] {
+            let err = Allowlist::parse(&format!(
+                "[[allow]]\nrule = \"SL020\"\njustification = \"x\"\nexpires = \"{bad}\"\n"
+            ))
+            .unwrap_err();
+            assert!(err.message.contains("expires"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn expiry_boundary_is_valid_through_the_date() {
+        let al = Allowlist::parse(
+            "[[allow]]\nrule = \"SL020\"\njustification = \"x\"\nexpires = \"2026-08-07\"\n\
+             [[allow]]\nrule = \"SL030\"\njustification = \"y\"\n",
+        )
+        .unwrap();
+        // On the expiry date itself the entry still holds.
+        assert!(al.expired("2026-08-07").is_empty());
+        // The day after, it fails. Undated entries never expire.
+        let ex = al.expired("2026-08-08");
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].rule, "SL020");
+        assert!(al.expired("2030-01-01")[0].rule == "SL020");
+    }
+
+    #[test]
+    fn today_utc_is_a_valid_iso_date() {
+        let t = today_utc();
+        assert!(super::valid_date(&t), "{t}");
+        assert!(t.as_str() > "2026-01-01", "{t}");
     }
 }

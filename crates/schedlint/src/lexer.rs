@@ -169,7 +169,7 @@ pub fn lex(src: &str) -> Lexed {
                     j += 1;
                     while j < n {
                         if b[j] == '\\' {
-                            j += 2;
+                            j = (j + 2).min(n);
                             continue;
                         }
                         if b[j] == '"' {
@@ -195,7 +195,7 @@ pub fn lex(src: &str) -> Lexed {
                 let mut j = i + 2;
                 while j < n {
                     if b[j] == '\\' {
-                        j += 2;
+                        j = (j + 2).min(n);
                         continue;
                     }
                     if b[j] == '\'' {
@@ -234,7 +234,9 @@ pub fn lex(src: &str) -> Lexed {
             i += 1;
             while i < n {
                 if b[i] == '\\' {
-                    i += 2;
+                    // A trailing backslash at EOF must not run past the
+                    // buffer (unterminated literal in garbage input).
+                    i = (i + 2).min(n);
                     continue;
                 }
                 if b[i] == '"' {

@@ -8,7 +8,7 @@
 //! observability stack expects — and this crate machine-checks them on
 //! every CI run (`cargo run -p schedlint`).
 //!
-//! Five rule families, each with positive/negative fixtures under
+//! Seven rule families, each with positive/negative fixtures under
 //! `tests/fixtures/`:
 //!
 //! | rule  | checks |
@@ -16,26 +16,35 @@
 //! | SL001 | too-weak ordering on a registered atomic (`Relaxed` publish on a `handoff` atomic, sub-`SeqCst` on a Dekker-protocol atomic) |
 //! | SL002 | over-strong ordering (`SeqCst` where `AcqRel` suffices on a `handoff` atomic, anything above `Relaxed` on a statistic) |
 //! | SL003 | an atomic declared in a registry crate without a `sched-atomic(...)` annotation |
+//! | SL004 | a `handoff` atomic with Release-side publishes but no Acquire-side observer anywhere in its crate (orphaned publish) |
+//! | SL005 | a `seqcst` Dekker atomic whose non-test sites have only one half of the store-load handshake at SeqCst (one-sided downgrade) |
 //! | SL010 | a cycle in the cross-function lock-order graph (potential deadlock) |
 //! | SL011 | nested acquisition of the same lock name in one function (self-deadlock with non-reentrant `parking_lot` locks) |
 //! | SL020 | a blocking call (sleep/park/UDS I/O/foreign condvar wait) while a `MutexGuard` is live — the static analogue of the paper's preempted-lock-holder pathology |
+//! | SL021 | a guard live across a blocking call on *some* path of the [`cfg`] region tree (conditional drops the linear SL020 scan loses track of) |
 //! | SL030 | a counter registered in `native_rt::stats` with no increment site, or missing from the DESIGN.md catalog; a dynamic registration with no `sched-counters` annotation |
+//! | SL031 | a `sched-counter-exits(a\|b)`-annotated function with an exit path (early return, `?`, fall-through) that increments none of the named counters |
 //! | SL040 | an `unsafe` block/impl/fn with no `// SAFETY:` comment |
+//! | SL050 | wire-protocol conformance: shared `WIRE_VERBS` table = dispatcher arms, engine parity through `handle_line_into`, client emitted ⊆ handled, reply heads ⊆ parsed, ERR reasons catalogued, sim opcodes mapped |
 //!
 //! There is no `syn` in the offline build environment, so the analyzer
 //! runs on its own minimal lexer ([`lexer`]) and token-pattern matching
-//! — the same in-tree-substitute policy as `shims/*`. The blind spots
-//! that buys (macro-generated code, aliased names, cross-function guard
-//! flow) are listed in DESIGN.md §11; triaged exceptions go to the
-//! checked-in `schedlint.toml` allowlist, each with a justification.
+//! — the same in-tree-substitute policy as `shims/*`. Flow-sensitive
+//! rules (SL021/SL031) run on the [`cfg`] region tree built over that
+//! token model. The blind spots this buys (macro-generated code,
+//! aliased names, cross-crate dataflow) are listed in DESIGN.md §11;
+//! triaged exceptions go to the checked-in `schedlint.toml` allowlist,
+//! each with a justification and an optional `expires` date.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod allowlist;
+pub mod cfg;
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 pub use allowlist::{Allowlist, AllowlistError};
@@ -70,9 +79,11 @@ impl std::fmt::Display for Diagnostic {
 pub fn run_rules(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     diags.extend(rules::atomics::check(models, config));
+    diags.extend(rules::hb::check(models));
     diags.extend(rules::locks::check(models));
     diags.extend(rules::counters::check(models, config));
     diags.extend(rules::unsafety::check(models));
+    diags.extend(rules::proto::check(models, config));
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     diags
 }

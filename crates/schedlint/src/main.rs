@@ -1,43 +1,109 @@
 //! `cargo run -p schedlint` — the CI gate.
 //!
 //! Exit codes: 0 clean (possibly with allowlisted findings), 1 findings
-//! or stale allowlist entries, 2 usage/configuration error.
+//! / stale or expired allowlist entries / new-vs-baseline findings /
+//! blown time budget, 2 usage/configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use schedlint::{analyze_workspace, Allowlist, Config};
+use schedlint::allowlist::today_utc;
+use schedlint::{analyze_workspace, sarif, Allowlist, Config};
 
-fn main() -> ExitCode {
+struct Cli {
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    budget_ms: Option<u64>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+const HELP: &str = "schedlint — workspace concurrency-invariant analyzer
+
+USAGE: schedlint [OPTIONS]
+
+  --root <dir>            workspace root (default: walk up from cwd)
+  --format <text|json|sarif>
+                          output format for the findings report
+  --out <file>            write the report there instead of stdout
+  --baseline <file>       gate only on findings whose fingerprint is
+                          not in this previously emitted json/sarif
+                          report (pre-existing findings still print)
+  --write-baseline <file> write the current findings as a json baseline
+                          and exit 0 (use to [re]bless the tree)
+  --budget-ms <n>         fail if the analysis itself exceeds n ms
+
+Scans crates/*/src/**/*.rs and enforces SL001..SL050 (see
+crates/schedlint/src/lib.rs for the rule catalog). Findings are
+filtered through the checked-in schedlint.toml allowlist; unused or
+expired allowlist entries fail the run.";
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        format: Format::Text,
+        out: None,
+        baseline: None,
+        write_baseline: None,
+        budget_ms: None,
+    };
     let mut args = std::env::args().skip(1);
-    let mut root: Option<PathBuf> = None;
     while let Some(a) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{a} needs a value"))
+        };
         match a.as_str() {
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("schedlint: --root needs a path");
-                    return ExitCode::from(2);
+            "--root" => cli.root = Some(path_arg(&mut args)?),
+            "--out" => cli.out = Some(path_arg(&mut args)?),
+            "--baseline" => cli.baseline = Some(path_arg(&mut args)?),
+            "--write-baseline" => cli.write_baseline = Some(path_arg(&mut args)?),
+            "--format" => {
+                cli.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!("--format must be text|json|sarif, got {other:?}"))
+                    }
                 }
-            },
+            }
+            "--budget-ms" => {
+                cli.budget_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--budget-ms needs an integer")?,
+                )
+            }
             "--help" | "-h" => {
-                println!(
-                    "schedlint — workspace concurrency-invariant analyzer\n\n\
-                     USAGE: schedlint [--root <workspace-root>]\n\n\
-                     Scans crates/*/src/**/*.rs and enforces SL001..SL040 (see\n\
-                     crates/schedlint/src/lib.rs for the rule catalog). Findings are\n\
-                     filtered through the checked-in schedlint.toml allowlist; unused\n\
-                     allowlist entries fail the run."
-                );
-                return ExitCode::SUCCESS;
+                println!("{HELP}");
+                std::process::exit(0);
             }
-            other => {
-                eprintln!("schedlint: unknown argument {other:?} (try --help)");
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    let root = match root.or_else(|| {
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("schedlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match cli.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
             .and_then(|d| schedlint::workspace::find_root(&d))
@@ -60,30 +126,112 @@ fn main() -> ExitCode {
         },
         Err(_) => Allowlist::default(),
     };
+    let today = today_utc();
+    let expired = allowlist.expired(&today);
 
+    let started = Instant::now();
     let diags = analyze_workspace(&root, &config);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
     let total = diags.len();
     let (remaining, excused, unused) = allowlist.apply(diags);
 
-    for d in &remaining {
-        println!("{d}");
+    if let Some(path) = &cli.write_baseline {
+        let doc = sarif::to_json(&remaining);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("schedlint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "schedlint: baseline with {} finding(s) written to {}",
+            remaining.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
+
+    // Baseline diff: pre-existing fingerprints do not gate (they still
+    // print, marked), new ones do.
+    let known: Vec<String> = match &cli.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => sarif::baseline_fingerprints(&text),
+            Err(e) => {
+                eprintln!("schedlint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    let prints = sarif::fingerprints(&remaining);
+    let gating: Vec<bool> = prints.iter().map(|fp| !known.contains(fp)).collect();
+    let new_count = gating.iter().filter(|g| **g).count();
+
+    let report = match cli.format {
+        Format::Json => sarif::to_json(&remaining),
+        Format::Sarif => sarif::to_sarif(&remaining),
+        Format::Text => {
+            let mut s = String::new();
+            for (d, is_new) in remaining.iter().zip(&gating) {
+                let tag = if cli.baseline.is_some() && !is_new {
+                    " [baseline]"
+                } else {
+                    ""
+                };
+                s.push_str(&format!("{d}{tag}\n"));
+            }
+            s
+        }
+    };
+    match &cli.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("schedlint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{report}"),
+    }
+
     for e in &unused {
-        println!(
+        eprintln!(
             "schedlint.toml:{}: unused allowlist entry ({}) — the finding it excused is \
              gone; remove the entry",
             e.line,
             e.describe()
         );
     }
+    for e in &expired {
+        eprintln!(
+            "schedlint.toml:{}: allowlist entry expired {} (today is {today}): {} — \
+             re-triage the finding or fix it at source",
+            e.line,
+            e.expires.as_deref().unwrap_or("?"),
+            e.describe()
+        );
+    }
+    let budget_blown = cli.budget_ms.is_some_and(|b| elapsed_ms > b);
+    if budget_blown {
+        eprintln!(
+            "schedlint: analysis took {elapsed_ms} ms, over the --budget-ms {} gate",
+            cli.budget_ms.unwrap_or(0)
+        );
+    }
     eprintln!(
-        "schedlint: {} finding(s): {} failing, {} allowlisted, {} stale allowlist entr(y/ies)",
+        "schedlint: {} finding(s): {} failing ({} new vs baseline), {} allowlisted, \
+         {} stale and {} expired allowlist entr(y/ies), {elapsed_ms} ms",
         total,
         remaining.len(),
+        new_count,
         excused,
-        unused.len()
+        unused.len(),
+        expired.len()
     );
-    if remaining.is_empty() && unused.is_empty() {
+    let failing = if cli.baseline.is_some() {
+        new_count
+    } else {
+        remaining.len()
+    };
+    if failing == 0 && unused.is_empty() && expired.is_empty() && !budget_blown {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -94,6 +94,10 @@ pub struct Func {
     pub body_end: usize,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// `// sched-counter-exits(a|b): why` annotation above the function:
+    /// a claim that every exit path increments at least one of the named
+    /// counter bindings, verified path-sensitively by SL031.
+    pub counter_exits: Option<Vec<String>>,
 }
 
 /// The parsed model of one source file.
@@ -207,6 +211,7 @@ impl FileModel {
     }
 
     fn find_functions(&mut self) {
+        let mut funcs = Vec::new();
         let mut i = 0;
         let n = self.tokens.len();
         while i < n {
@@ -245,11 +250,12 @@ impl FileModel {
                 }
                 if let Some(open) = found {
                     let end = self.match_brace(open);
-                    self.functions.push(Func {
+                    funcs.push(Func {
                         name,
                         body_start: open,
                         body_end: end,
                         line,
+                        counter_exits: self.counter_exits_annotation(line),
                     });
                     // Functions nest (closures are part of the body;
                     // nested `fn` items are rare) — continue the scan
@@ -260,6 +266,46 @@ impl FileModel {
                 }
             }
             i += 1;
+        }
+        self.functions = funcs;
+    }
+
+    /// The `// sched-counter-exits(a|b): why` annotation covering
+    /// `line` (the `fn` keyword's line): on that line or in the
+    /// contiguous comment block directly above it.
+    fn counter_exits_annotation(&self, line: u32) -> Option<Vec<String>> {
+        let mut probe = line;
+        loop {
+            for c in &self.comments {
+                if c.end_line >= probe && c.start_line <= probe {
+                    // The annotation must open the comment (after the
+                    // `//`/`///`/`//!` marker) — prose *mentioning* the
+                    // annotation syntax in rustdoc is not a claim.
+                    let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+                    if let Some(rest) = body.strip_prefix("sched-counter-exits(") {
+                        let end = rest.find(')')?;
+                        let names: Vec<String> = rest[..end]
+                            .split('|')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                        return (!names.is_empty()).then_some(names);
+                    }
+                }
+            }
+            let above = probe.saturating_sub(1);
+            if above == 0 {
+                return None;
+            }
+            let covered = self
+                .comments
+                .iter()
+                .any(|c| c.start_line <= above && c.end_line >= above);
+            let has_code = self.tokens.iter().any(|t| t.line == above);
+            if !covered || has_code {
+                return None;
+            }
+            probe = above;
         }
     }
 

@@ -14,28 +14,9 @@ use std::collections::BTreeMap;
 
 use crate::lexer::Tok;
 use crate::model::{AtomicCategory, FileModel};
-use crate::rules::{match_paren, receiver_name};
+use crate::rules::{first_ordering, match_paren, receiver_name, OpKind};
 use crate::workspace::Config;
 use crate::Diagnostic;
-
-const LOAD_OPS: &[&str] = &["load"];
-const STORE_OPS: &[&str] = &["store"];
-const RMW_OPS: &[&str] = &[
-    "swap",
-    "fetch_add",
-    "fetch_sub",
-    "fetch_and",
-    "fetch_or",
-    "fetch_xor",
-    "fetch_nand",
-    "fetch_min",
-    "fetch_max",
-    "fetch_update",
-    "compare_exchange",
-    "compare_exchange_weak",
-];
-
-const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Strength ladder for "too weak / too strong" wording.
 fn is_relaxed(o: &str) -> bool {
@@ -94,13 +75,7 @@ pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
             let Tok::Ident(op) = &m.tokens[i].tok else {
                 continue;
             };
-            let kind = if LOAD_OPS.contains(&op.as_str()) {
-                OpKind::Load
-            } else if STORE_OPS.contains(&op.as_str()) {
-                OpKind::Store
-            } else if RMW_OPS.contains(&op.as_str()) {
-                OpKind::Rmw
-            } else {
+            let Some(kind) = OpKind::classify(op) else {
                 continue;
             };
             // Must be a method call: `.op(`.
@@ -193,29 +168,6 @@ pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
         }
     }
     diags
-}
-
-#[derive(PartialEq, Clone, Copy)]
-enum OpKind {
-    Load,
-    Store,
-    Rmw,
-}
-
-/// The first `…::<ordering>` path between token indices `from..to`.
-fn first_ordering(m: &FileModel, from: usize, to: usize) -> Option<&str> {
-    for j in from..to.min(m.tokens.len()) {
-        if let Tok::Ident(w) = &m.tokens[j].tok {
-            if ORDERINGS.contains(&w.as_str())
-                && j >= 2
-                && matches!(m.tokens[j - 1].tok, Tok::Punct(':'))
-                && matches!(m.tokens[j - 2].tok, Tok::Punct(':'))
-            {
-                return Some(w);
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! SL030 — counter conservation.
+//! SL030/SL031 — counter conservation.
 //!
 //! Every counter registered against `native_rt::stats` must (a) have an
 //! increment site somewhere in its crate (a registered-but-never-bumped
@@ -9,7 +9,20 @@
 //! increment site by name, so they must carry a
 //! `// sched-counters: name1 name2 …` annotation enumerating the names
 //! they mint; the catalog check then runs on those.
+//!
+//! SL031 is the path-sensitive half: a function annotated
+//! `// sched-counter-exits(a|b): why` claims that *every* exit path —
+//! normal return, early `return`, `?` — increments at least one of the
+//! named counter bindings. The claim is checked on the [`crate::cfg`]
+//! region tree, with one-level interprocedural credit: calling a
+//! same-file function that unconditionally increments a named counter
+//! (e.g. a `reply_malformed` helper) satisfies the path. This catches
+//! the success-path-only accounting bug: the happy arm bumps, the error
+//! arm returns early and the event vanishes from every export.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg;
 use crate::lexer::Tok;
 use crate::model::FileModel;
 use crate::workspace::Config;
@@ -17,6 +30,7 @@ use crate::Diagnostic;
 
 pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    diags.extend(check_exit_annotations(models));
     for m in models {
         if !config.registry_crates.iter().any(|c| c == &m.crate_name) {
             continue;
@@ -68,6 +82,53 @@ pub(crate) fn check(models: &[FileModel], config: &Config) -> Vec<Diagnostic> {
                         ),
                     });
                 }
+            }
+        }
+    }
+    diags
+}
+
+/// SL031: verify every `sched-counter-exits(a|b)` annotation on the
+/// region tree. Runs in all crates — the annotation is opt-in, so its
+/// presence is the claim.
+fn check_exit_annotations(models: &[FileModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in models {
+        let file_fns: BTreeSet<String> = m.functions.iter().map(|f| f.name.clone()).collect();
+        // Per-file callee summaries: which counter bindings a function
+        // increments on every path (one level, no nesting).
+        let mut summaries: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in &m.functions {
+            let tree = cfg::build(m, f, &file_fns);
+            summaries.insert(f.name.clone(), cfg::always_incremented(&tree));
+        }
+        for f in &m.functions {
+            let Some(names) = &f.counter_exits else {
+                continue;
+            };
+            if m.in_tests(f.body_start) {
+                continue;
+            }
+            let targets: BTreeSet<String> = names.iter().cloned().collect();
+            let tree = cfg::build(m, f, &file_fns);
+            for miss in cfg::exit_increments(&tree, f.line, &targets, &summaries) {
+                diags.push(Diagnostic {
+                    rule: "SL031",
+                    path: m.path.clone(),
+                    line: miss.line,
+                    message: format!(
+                        "`{}` {} without incrementing any of {} — the \
+                         `sched-counter-exits` claim is violated on this path, so the \
+                         event disappears from every export",
+                        f.name,
+                        miss.what,
+                        names
+                            .iter()
+                            .map(|n| format!("`{n}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
             }
         }
     }

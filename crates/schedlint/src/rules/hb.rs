@@ -1,0 +1,263 @@
+//! SL004/SL005 — happens-before pairing audit.
+//!
+//! SL001–SL003 check each atomic *site* against its `sched-atomic(...)`
+//! category. This module checks the *pairs* the categories claim exist:
+//!
+//! - **SL004** (`handoff`): a Release-side publish (store or RMW with a
+//!   Release/AcqRel/SeqCst success ordering) is only a synchronization
+//!   edge if some thread performs the matching Acquire-side observation
+//!   (Acquire+ load, or Acquire/AcqRel/SeqCst RMW) of the same atomic.
+//!   A handoff atomic with publishes but no acquire anywhere in its
+//!   crate is an orphaned publish: the data it claims to hand off is
+//!   read unordered, or not at all.
+//! - **SL005** (`seqcst`): a Dekker store-load protocol needs both
+//!   halves in the single total order. An annotated Dekker atomic whose
+//!   non-test sites include SeqCst stores but no SeqCst load (or the
+//!   reverse) has been downgraded one-sidedly — usually by a refactor
+//!   that moved one half behind a helper or deleted it.
+//!
+//! Sites are matched the way the rest of the audit matches them: by
+//! receiver name within the declaring crate, tests excluded. RMWs count
+//! on both sides (an `AcqRel` `fetch_sub` both publishes and observes).
+//! `verified`/`relaxed` categories are out of scope — the former is
+//! proven elsewhere, the latter promises no ordering to pair.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Tok;
+use crate::model::{AtomicCategory, FileModel};
+use crate::rules::{first_ordering, is_method, match_paren, receiver_name, OpKind};
+use crate::Diagnostic;
+
+/// One classified atomic operation site.
+#[derive(Debug, Clone)]
+struct Site {
+    path: String,
+    line: u32,
+    op: String,
+    kind: OpKind,
+    ordering: String,
+}
+
+impl Site {
+    /// Release-side publish: makes prior writes visible to an acquirer.
+    fn publishes(&self) -> bool {
+        self.kind != OpKind::Load
+            && matches!(self.ordering.as_str(), "Release" | "AcqRel" | "SeqCst")
+    }
+
+    /// Acquire-side observation: orders subsequent reads after the
+    /// publish it reads from.
+    fn acquires(&self) -> bool {
+        match self.kind {
+            OpKind::Load => matches!(self.ordering.as_str(), "Acquire" | "SeqCst"),
+            OpKind::Store => false,
+            OpKind::Rmw => matches!(self.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst"),
+        }
+    }
+
+    fn stores_seqcst(&self) -> bool {
+        self.kind != OpKind::Load && self.ordering == "SeqCst"
+    }
+
+    fn loads_seqcst(&self) -> bool {
+        self.kind != OpKind::Store && self.ordering == "SeqCst"
+    }
+}
+
+pub(crate) fn check(models: &[FileModel]) -> Vec<Diagnostic> {
+    // (crate, atomic name) → category. Conflicts are SL003's business.
+    let mut registry: BTreeMap<(String, String), AtomicCategory> = BTreeMap::new();
+    for m in models {
+        for d in &m.atomic_decls {
+            if let Some(cat) = d.category {
+                registry
+                    .entry((m.crate_name.clone(), d.name.clone()))
+                    .or_insert(cat);
+            }
+        }
+    }
+
+    // Classified non-test sites per registered atomic.
+    let mut sites: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for m in models {
+        for i in 0..m.tokens.len() {
+            let Tok::Ident(op) = &m.tokens[i].tok else {
+                continue;
+            };
+            let Some(kind) = OpKind::classify(op) else {
+                continue;
+            };
+            if !is_method(m, i)
+                || !matches!(m.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                || m.in_tests(i)
+            {
+                continue;
+            }
+            let Some(recv) = receiver_name(m, i - 1) else {
+                continue;
+            };
+            let key = (m.crate_name.clone(), recv);
+            if !registry.contains_key(&key) {
+                continue;
+            }
+            let close = match_paren(m, i + 1);
+            let Some(ord) = first_ordering(m, i + 2, close) else {
+                continue; // same-named non-atomic method
+            };
+            sites.entry(key).or_default().push(Site {
+                path: m.path.clone(),
+                line: m.tokens[i].line,
+                op: op.clone(),
+                kind,
+                ordering: ord.to_string(),
+            });
+        }
+    }
+
+    let mut diags = Vec::new();
+    for ((krate, name), cat) in &registry {
+        let sites = sites
+            .get(&(krate.clone(), name.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        match cat {
+            AtomicCategory::Handoff => {
+                let publishes: Vec<&Site> = sites.iter().filter(|s| s.publishes()).collect();
+                let has_acquire = sites.iter().any(|s| s.acquires());
+                if !publishes.is_empty() && !has_acquire {
+                    let w = publishes[0];
+                    diags.push(Diagnostic {
+                        rule: "SL004",
+                        path: w.path.clone(),
+                        line: w.line,
+                        message: format!(
+                            "hand-off atomic `{name}`: `{}` publishes with \
+                             `Ordering::{}` but no Acquire-side load/RMW of `{name}` \
+                             exists in crate `{krate}` — an orphaned publish is not a \
+                             synchronization edge; add the acquire observer or \
+                             re-categorize the atomic",
+                            w.op, w.ordering
+                        ),
+                    });
+                }
+            }
+            AtomicCategory::SeqCst => {
+                let store = sites.iter().find(|s| s.stores_seqcst());
+                let load = sites.iter().find(|s| s.loads_seqcst());
+                match (store, load) {
+                    (Some(w), None) => diags.push(Diagnostic {
+                        rule: "SL005",
+                        path: w.path.clone(),
+                        line: w.line,
+                        message: format!(
+                            "Dekker atomic `{name}`: SeqCst store side present but no \
+                             SeqCst load of `{name}` in crate `{krate}` — the store-load \
+                             handshake has been downgraded on one side and the total \
+                             order proves nothing"
+                        ),
+                    }),
+                    (None, Some(w)) => diags.push(Diagnostic {
+                        rule: "SL005",
+                        path: w.path.clone(),
+                        line: w.line,
+                        message: format!(
+                            "Dekker atomic `{name}`: SeqCst load side present but no \
+                             SeqCst store of `{name}` in crate `{krate}` — the store-load \
+                             handshake has been downgraded on one side and the total \
+                             order proves nothing"
+                        ),
+                    }),
+                    _ => {}
+                }
+            }
+            AtomicCategory::Relaxed | AtomicCategory::Verified => {}
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse("f.rs", "native-rt", src);
+        check(&[m])
+    }
+
+    #[test]
+    fn paired_handoff_is_clean() {
+        let d = run(r#"
+struct S { flag: AtomicBool } // sched-atomic(handoff): publishes drain.
+fn publish(s: &S) { s.flag.store(true, Ordering::Release); }
+fn observe(s: &S) -> bool { s.flag.load(Ordering::Acquire) }
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn orphaned_publish_fires_sl004() {
+        let d = run(r#"
+struct S { flag: AtomicBool } // sched-atomic(handoff): publishes drain.
+fn publish(s: &S) { s.flag.store(true, Ordering::Release); }
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL004");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn acqrel_rmw_counts_as_its_own_observer() {
+        let d = run(r#"
+struct S { outstanding: AtomicUsize } // sched-atomic(handoff): completion count.
+fn retire(s: &S) { s.outstanding.fetch_sub(1, Ordering::AcqRel); }
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_only_acquire_does_not_pair() {
+        let d = run(r#"
+struct S { flag: AtomicBool } // sched-atomic(handoff): publishes drain.
+fn publish(s: &S) { s.flag.store(true, Ordering::Release); }
+mod tests {
+    fn observe(s: &super::S) -> bool { s.flag.load(Ordering::Acquire) }
+}
+"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "SL004");
+    }
+
+    #[test]
+    fn two_sided_dekker_is_clean_one_sided_fires_sl005() {
+        let both = run(r#"
+struct S { gate: AtomicBool } // sched-atomic(seqcst): Dekker with the poller.
+fn raise(s: &S) { s.gate.store(true, Ordering::SeqCst); }
+fn check(s: &S) -> bool { s.gate.load(Ordering::SeqCst) }
+"#);
+        assert!(both.is_empty(), "{both:?}");
+        let store_only = run(r#"
+struct S { gate: AtomicBool } // sched-atomic(seqcst): Dekker with the poller.
+fn raise(s: &S) { s.gate.store(true, Ordering::SeqCst); }
+"#);
+        assert_eq!(store_only.len(), 1, "{store_only:?}");
+        assert_eq!(store_only[0].rule, "SL005");
+        let load_only = run(r#"
+struct S { gate: AtomicBool } // sched-atomic(seqcst): Dekker with the poller.
+fn check(s: &S) -> bool { s.gate.load(Ordering::SeqCst) }
+"#);
+        assert_eq!(load_only.len(), 1, "{load_only:?}");
+        assert_eq!(load_only[0].rule, "SL005");
+    }
+
+    #[test]
+    fn seqcst_rmw_satisfies_both_sides() {
+        let d = run(r#"
+struct S { turn: AtomicUsize } // sched-atomic(seqcst): ticket handshake.
+fn advance(s: &S) { s.turn.fetch_add(1, Ordering::SeqCst); }
+"#);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,4 +1,5 @@
-//! SL010/SL011/SL020 — lock-order and blocking-under-lock analysis.
+//! SL010/SL011/SL020/SL021 — lock-order and blocking-under-lock
+//! analysis.
 //!
 //! This is the static analogue of the paper's core pathology: a process
 //! preempted (or blocked) while holding a lock stalls every sibling
@@ -8,6 +9,13 @@
 //! an immediate self-deadlock with non-reentrant `parking_lot` locks
 //! (SL011), and a blocking call while any guard is live is SL020.
 //!
+//! The linear SL020 scan is *flow-insensitive*: a `drop(g)` inside one
+//! `if` arm kills the guard for the rest of the scan even though the
+//! other arm still holds it. SL021 closes that hole by re-running the
+//! guard-liveness question on the region tree from [`crate::cfg`] — a
+//! blocking call with a guard live on *some* path fires, minus the
+//! sites SL020 already reported.
+//!
 //! Cross-function flow is one level deep: holding guard `A` while
 //! calling a same-crate function that acquires `B` adds edge `A → B`.
 //! Guards passed *into* functions and closures shipped to other threads
@@ -15,35 +23,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::cfg;
 use crate::lexer::Tok;
 use crate::model::FileModel;
-use crate::rules::{match_paren, receiver_name};
+use crate::rules::{is_method, is_path_call, match_paren, receiver_name, BLOCKING, WAITS};
 use crate::Diagnostic;
-
-/// Calls that block the calling thread. Deliberately *not* listed:
-/// `join` (collides with `slice::join`/`str::join`), `yield_now`
-/// (bounded), `write`/`read` (collide with `io::Write`/RwLock naming).
-const BLOCKING: &[&str] = &[
-    "sleep",
-    "sleep_ms",
-    "park",
-    "park_timeout",
-    "read_line",
-    "read_exact",
-    "read_to_end",
-    "read_to_string",
-    "write_all",
-    "write_fmt",
-    "flush",
-    "accept",
-    "connect",
-    "recv",
-    "recv_timeout",
-    "recv_from",
-    "send_to",
-];
-
-const WAITS: &[&str] = &["wait", "wait_while", "wait_timeout", "wait_timeout_while"];
 
 #[derive(Debug, Clone)]
 struct Guard {
@@ -141,36 +125,18 @@ pub(crate) fn check(models: &[FileModel]) -> Vec<Diagnostic> {
                                 .entry((m.crate_name.clone(), f.name.clone()))
                                 .or_default()
                                 .insert(lock.clone());
-                            let (mut bind, cond) = binding_for(m, f.body_start, i);
                             // `mu.lock().pop_front()` chains past the
-                            // guard: whatever a `let` binds, it is not
-                            // the guard, which dies at the semicolon.
-                            // (`.unwrap()`/`.expect()` still yield the
-                            // guard — std Mutex style.)
-                            let mut j = match_paren(m, i + 1);
-                            while punct(m, j, '.')
-                                && matches!(
-                                    m.tokens.get(j + 1).map(|t| &t.tok),
-                                    Some(Tok::Ident(w)) if w == "unwrap" || w == "expect"
-                                )
-                                && punct(m, j + 2, '(')
-                            {
-                                j = match_paren(m, j + 2);
-                            }
-                            let chained = punct(m, j, '.');
-                            if chained {
-                                bind = None;
-                            }
+                            // guard (handled by `acquire_info`); a
+                            // guard — or scrutinee temporary, edition
+                            // 2021 — in an `if let`/`while let`
+                            // condition lives through the *following*
+                            // block, one level deeper.
+                            let info = crate::rules::acquire_info(m, f.body_start, i);
                             guards.push(Guard {
                                 lock,
-                                bind: bind.clone(),
-                                // A guard (or scrutinee temporary —
-                                // edition 2021 keeps it alive) in an
-                                // `if let`/`while let` condition lives
-                                // through the *following* block, one
-                                // level deeper.
-                                birth_depth: if cond { depth + 1 } else { depth },
-                                temp: (bind.is_none() || chained) && !cond,
+                                bind: info.bind,
+                                birth_depth: if info.cond { depth + 1 } else { depth },
+                                temp: info.temp,
                             });
                         }
                     }
@@ -283,6 +249,45 @@ pub(crate) fn check(models: &[FileModel]) -> Vec<Diagnostic> {
 
     // Pass 3: cycles in the per-crate lock-order graph.
     diags.extend(find_cycles(&edges));
+
+    // Pass 4 (SL021): re-ask the blocking-under-guard question on the
+    // region tree, path-sensitively. Sites the linear SL020 pass
+    // already reported are subtracted — SL021 is exactly the residue
+    // the flow-insensitive scan missed (conditional drops, branch-local
+    // holds).
+    let reported: BTreeSet<(String, u32)> = diags
+        .iter()
+        .filter(|d| d.rule == "SL020")
+        .map(|d| (d.path.clone(), d.line))
+        .collect();
+    for m in models {
+        let file_fns: BTreeSet<String> = m.functions.iter().map(|f| f.name.clone()).collect();
+        for f in &m.functions {
+            if m.in_tests(f.body_start) {
+                continue;
+            }
+            let tree = cfg::build(m, f, &file_fns);
+            for site in cfg::may_live_blocking(&tree) {
+                if reported.contains(&(m.path.clone(), site.line)) {
+                    continue;
+                }
+                let locks: Vec<String> = site.locks.iter().map(|l| format!("`{l}`")).collect();
+                diags.push(Diagnostic {
+                    rule: "SL021",
+                    path: m.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` can reach blocking `{}` with {} held on some path — a \
+                         conditional drop or branch-local acquire leaves the guard live \
+                         where the linear scan loses track of it",
+                        f.name,
+                        site.name,
+                        locks.join(", ")
+                    ),
+                });
+            }
+        }
+    }
     diags
 }
 
@@ -290,59 +295,9 @@ fn punct(m: &FileModel, i: usize, c: char) -> bool {
     matches!(m.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
 }
 
-fn is_method(m: &FileModel, i: usize) -> bool {
-    i > 0 && matches!(m.tokens[i - 1].tok, Tok::Punct('.'))
-}
-
-fn is_path_call(m: &FileModel, i: usize) -> bool {
-    i > 0 && matches!(m.tokens[i - 1].tok, Tok::Punct(':'))
-}
-
 fn held_list(guards: &[Guard]) -> String {
     let names: Vec<String> = guards.iter().map(|g| format!("`{}`", g.lock)).collect();
     names.join(", ")
-}
-
-/// Looks back from the `.lock()` call to the statement head for a
-/// `let [mut] NAME =` binding; also reports whether the binding sits in
-/// an `if let`/`while let` condition.
-fn binding_for(m: &FileModel, body_start: usize, i: usize) -> (Option<String>, bool) {
-    let mut j = i;
-    let mut toks: Vec<&Tok> = Vec::new();
-    while j > body_start {
-        j -= 1;
-        match &m.tokens[j].tok {
-            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
-            t => toks.push(t),
-        }
-        if toks.len() > 24 {
-            break;
-        }
-    }
-    toks.reverse(); // statement head → lock call, in source order
-    let mut bind = None;
-    let mut cond = false;
-    for (k, t) in toks.iter().enumerate() {
-        if let Tok::Ident(w) = t {
-            match w.as_str() {
-                "if" | "while" => cond = true,
-                "let" => {
-                    let mut n = k + 1;
-                    while let Some(Tok::Ident(next)) = toks.get(n) {
-                        if next == "mut" {
-                            n += 1;
-                            continue;
-                        }
-                        bind = Some(next.to_string());
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    // `if cond { ... }` without `let` is not a condition binding.
-    (bind, cond)
 }
 
 /// DFS over the lock graph; a gray-node hit yields the cycle from the

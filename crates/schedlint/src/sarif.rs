@@ -1,0 +1,365 @@
+//! Machine-readable output: SARIF 2.1.0, a compact JSON format, and
+//! the baseline-diff machinery CI gates on.
+//!
+//! Fingerprints are the load-bearing piece. A finding's fingerprint is
+//! FNV-1a-64 over `rule | path | message | k`, where `k` is the
+//! finding's occurrence index among identical (rule, path, message)
+//! triples. **Line numbers are deliberately excluded**: editing an
+//! unrelated function above a known finding must not mint a "new"
+//! finding, or `--baseline` mode degenerates into re-blessing the file
+//! on every edit. The occurrence index keeps two identical findings in
+//! one file distinct without reintroducing line sensitivity.
+//!
+//! The serializers are hand-rolled (no `serde` in the offline build);
+//! [`validate_json`] is the well-formedness checker the tests run over
+//! the emitted documents.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::Diagnostic;
+
+/// SARIF tool metadata: every rule ID the analyzer can emit, in the
+/// order they appear in the catalog (lib.rs table, DESIGN.md §11).
+pub const RULE_IDS: &[&str] = &[
+    "SL001", "SL002", "SL003", "SL004", "SL005", "SL010", "SL011", "SL020", "SL021", "SL030",
+    "SL031", "SL040", "SL050",
+];
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprints for `diags`, index-aligned. Line-insensitive;
+/// see the module docs for why.
+pub fn fingerprints(diags: &[Diagnostic]) -> Vec<String> {
+    let mut occurrence: BTreeMap<(&str, &str, &str), u32> = BTreeMap::new();
+    diags
+        .iter()
+        .map(|d| {
+            let k = occurrence
+                .entry((d.rule, d.path.as_str(), d.message.as_str()))
+                .or_insert(0);
+            let key = format!("{}|{}|{}|{k}", d.rule, d.path, d.message);
+            *k += 1;
+            format!("{:016x}", fnv1a(key.as_bytes()))
+        })
+        .collect()
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control
+/// characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The compact native format:
+/// `{"findings":[{rule,path,line,message,fingerprint}, …]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let prints = fingerprints(diags);
+    let mut out = String::from("{\"findings\":[");
+    for (i, (d, fp)) in diags.iter().zip(&prints).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\
+             \"fingerprint\":\"{}\"}}",
+            d.rule,
+            esc(&d.path),
+            d.line,
+            esc(&d.message),
+            fp
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// A minimal valid SARIF 2.1.0 log: one run, the full rule table in
+/// `tool.driver`, one `result` per finding with a `partialFingerprints`
+/// entry under the key `schedlint/v1`.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let prints = fingerprints(diags);
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\
+         \"tool\":{\"driver\":{\"name\":\"schedlint\",\
+         \"informationUri\":\"https://example.invalid/schedlint\",\"rules\":[",
+    );
+    for (i, id) in RULE_IDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":\"{id}\"}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, (d, fp)) in diags.iter().zip(&prints).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}],\
+             \"partialFingerprints\":{{\"schedlint/v1\":\"{}\"}}}}",
+            d.rule,
+            esc(&d.message),
+            esc(&d.path),
+            d.line.max(1),
+            fp
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// Extracts the fingerprint set from a previously emitted JSON or SARIF
+/// document — the committed baseline. Scans for the literal
+/// `"fingerprint-ish key":"16-hex"` shapes both emitters produce, so a
+/// baseline written in either format reads back.
+pub fn baseline_fingerprints(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in ["\"fingerprint\":\"", "\"schedlint/v1\":\""] {
+        let mut rest = text;
+        while let Some(pos) = rest.find(key) {
+            rest = &rest[pos + key.len()..];
+            if let Some(end) = rest.find('"') {
+                let fp = &rest[..end];
+                if fp.len() == 16 && fp.chars().all(|c| c.is_ascii_hexdigit()) {
+                    out.push(fp.to_string());
+                }
+                rest = &rest[end..];
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Checks that `text` is a single well-formed JSON value — the
+/// offline substitute for schema validation, run by the tests over
+/// every emitted document. Returns the first error, if any.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *pos += 1;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        _ => Err(format!("unexpected byte at {pos}")),
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "SL020",
+                path: "crates/x/src/a.rs".into(),
+                line: 10,
+                message: "holds `mu` across \"sleep\"".into(),
+            },
+            Diagnostic {
+                rule: "SL020",
+                path: "crates/x/src/a.rs".into(),
+                line: 40,
+                message: "holds `mu` across \"sleep\"".into(),
+            },
+            Diagnostic {
+                rule: "SL050",
+                path: "crates/x/src/b.rs".into(),
+                line: 3,
+                message: "verb drift".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_line_insensitive() {
+        let a = fingerprints(&diags());
+        let mut moved = diags();
+        for d in &mut moved {
+            d.line += 7; // unrelated edit above every finding
+        }
+        let b = fingerprints(&moved);
+        assert_eq!(a, b);
+        // Identical triples stay distinct via the occurrence index.
+        assert_ne!(a[0], a[1]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn emitted_documents_are_well_formed_and_round_trip() {
+        let ds = diags();
+        let json = to_json(&ds);
+        let sarif = to_sarif(&ds);
+        validate_json(&json).expect("json well-formed");
+        validate_json(&sarif).expect("sarif well-formed");
+        let fps = fingerprints(&ds);
+        let mut expect = fps.clone();
+        expect.sort();
+        assert_eq!(baseline_fingerprints(&json), expect);
+        assert_eq!(baseline_fingerprints(&sarif), expect);
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let sarif = to_sarif(&diags());
+        for needle in [
+            "\"version\":\"2.1.0\"",
+            "\"$schema\"",
+            "\"name\":\"schedlint\"",
+            "\"ruleId\":\"SL020\"",
+            "\"startLine\":10",
+            "\"partialFingerprints\"",
+        ] {
+            assert!(sarif.contains(needle), "missing {needle} in {sarif}");
+        }
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        validate_json(&to_json(&[])).unwrap();
+        validate_json(&to_sarif(&[])).unwrap();
+        assert!(baseline_fingerprints(&to_json(&[])).is_empty());
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2").is_err());
+        assert!(validate_json("{} trailing").is_err());
+    }
+}

@@ -84,6 +84,18 @@ fn sl003_is_scoped_to_registry_crates() {
 }
 
 #[test]
+fn sl004_orphaned_publish() {
+    assert_fires("sl004_bad.rs", "SL004", 1);
+    assert_clean("sl004_good.rs");
+}
+
+#[test]
+fn sl005_one_sided_dekker() {
+    assert_fires("sl005_bad.rs", "SL005", 1);
+    assert_clean("sl005_good.rs");
+}
+
+#[test]
 fn sl010_lock_order_cycle() {
     assert_fires("sl010_bad.rs", "SL010", 1);
     assert_clean("sl010_good.rs");
@@ -102,15 +114,33 @@ fn sl020_blocking_under_lock() {
 }
 
 #[test]
+fn sl021_flow_sensitive_blocking() {
+    assert_fires("sl021_bad.rs", "SL021", 1);
+    assert_clean("sl021_good.rs");
+}
+
+#[test]
 fn sl030_counter_conservation() {
     assert_fires("sl030_bad.rs", "SL030", 3);
     assert_clean("sl030_good.rs");
 }
 
 #[test]
+fn sl031_exit_conservation() {
+    assert_fires("sl031_bad.rs", "SL031", 1);
+    assert_clean("sl031_good.rs");
+}
+
+#[test]
 fn sl040_undocumented_unsafe() {
     assert_fires("sl040_bad.rs", "SL040", 3);
     assert_clean("sl040_good.rs");
+}
+
+#[test]
+fn sl050_protocol_conformance() {
+    assert_fires("sl050_bad.rs", "SL050", 3);
+    assert_clean("sl050_good.rs");
 }
 
 /// The gate itself, as a test: the real workspace must be clean modulo

@@ -15,3 +15,7 @@ fn publish(s: &Shared) {
 fn count(s: &Shared) {
     s.hits.fetch_add(1, Ordering::Relaxed);
 }
+
+fn observe(s: &Shared) -> bool {
+    s.flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,11 @@
+// Fixture: SL004 — orphaned publish (Release store, no Acquire observer).
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Drain {
+    // sched-atomic(handoff): requests the worker drain its queue.
+    requested: AtomicBool,
+}
+
+fn request(d: &Drain) {
+    d.requested.store(true, Ordering::Release); // SL004: nobody acquires this
+}

@@ -1,0 +1,15 @@
+// Fixture: SL004 clean — the publish has an Acquire-side observer.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Drain {
+    // sched-atomic(handoff): requests the worker drain its queue.
+    requested: AtomicBool,
+}
+
+fn request(d: &Drain) {
+    d.requested.store(true, Ordering::Release);
+}
+
+fn requested(d: &Drain) -> bool {
+    d.requested.load(Ordering::Acquire)
+}

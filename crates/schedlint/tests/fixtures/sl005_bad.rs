@@ -1,0 +1,11 @@
+// Fixture: SL005 — one-sided Dekker protocol (store side only).
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Doorbell {
+    // sched-atomic(seqcst): Dekker store-load with the poller's flag.
+    ring: AtomicBool,
+}
+
+fn announce(d: &Doorbell) {
+    d.ring.store(true, Ordering::SeqCst); // SL005: no SeqCst load side anywhere
+}

@@ -1,0 +1,15 @@
+// Fixture: SL005 clean — both Dekker sides are present at SeqCst.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Doorbell {
+    // sched-atomic(seqcst): Dekker store-load with the poller's flag.
+    ring: AtomicBool,
+}
+
+fn announce(d: &Doorbell) {
+    d.ring.store(true, Ordering::SeqCst);
+}
+
+fn poll(d: &Doorbell) -> bool {
+    d.ring.load(Ordering::SeqCst)
+}

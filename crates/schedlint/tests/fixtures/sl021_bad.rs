@@ -1,0 +1,17 @@
+// Fixture: SL021 — guard may-live across a blocking call on one path.
+// The linear SL020 scan sees `drop(g)` and forgets the guard; only the
+// branch-sensitive walk knows the drop happens on one arm.
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct State {
+    mu: Mutex<u32>,
+}
+
+fn flush_or_wait(s: &State, flush: bool) {
+    let g = s.mu.lock().unwrap();
+    if flush {
+        drop(g);
+    }
+    std::thread::sleep(Duration::from_millis(1)); // SL021: g live when !flush
+}

@@ -1,0 +1,14 @@
+// Fixture: SL031 — an exit path skips every claimed counter.
+struct Counters {
+    hits: Counter,
+    misses: Counter,
+}
+
+// sched-counter-exits(hits|misses): every lookup is accounted.
+fn lookup(c: &Counters, key: u32) -> Result<u32, ()> {
+    if key == 0 {
+        return Err(()); // SL031: exits without touching hits or misses
+    }
+    c.hits.incr();
+    Ok(key)
+}

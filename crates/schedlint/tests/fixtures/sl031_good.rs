@@ -1,0 +1,20 @@
+// Fixture: SL031 clean — every exit path accounts the lookup, one of
+// them through a helper whose every path increments (callee summary).
+struct Counters {
+    hits: Counter,
+    misses: Counter,
+}
+
+fn account_miss(c: &Counters) {
+    c.misses.incr();
+}
+
+// sched-counter-exits(hits|misses): every lookup is accounted.
+fn lookup(c: &Counters, key: u32) -> Result<u32, ()> {
+    if key == 0 {
+        account_miss(c);
+        return Err(());
+    }
+    c.hits.incr();
+    Ok(key)
+}

@@ -1,0 +1,19 @@
+// Fixture: SL050 — wire-protocol drift, three ways at once: the
+// dispatcher handles a verb the table forgot (QUIT), the table claims a
+// verb with no arm (STOP), and a reply head the client never learned to
+// parse (GONE).
+pub const WIRE_VERBS: &[&str] = &["PING", "STOP"];
+
+fn handle_line_into(line: &str, out: &mut String) {
+    match line.split_whitespace().next().unwrap_or("") {
+        "PING" => out.push_str("PONG\n"),
+        "QUIT" => out.push_str("GONE 0\n"),
+        _ => {}
+    }
+}
+
+fn client(c: &mut Chan) {
+    c.send("PING\n");
+    let line = c.read_line();
+    if line.starts_with("PONG") {}
+}

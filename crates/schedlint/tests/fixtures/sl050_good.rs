@@ -1,0 +1,22 @@
+// Fixture: SL050 clean — table ⇔ arms, every client-sent verb has an
+// arm, every reply head has a client parse site.
+pub const WIRE_VERBS: &[&str] = &["PING", "QUIT"];
+
+fn handle_line_into(line: &str, out: &mut String) {
+    match line.split_whitespace().next().unwrap_or("") {
+        "PING" => out.push_str("PONG\n"),
+        "QUIT" => out.push_str("OK\n"),
+        _ => out.push_str("OK\n"),
+    }
+}
+
+fn client(c: &mut Chan) {
+    c.send("PING\n");
+    c.send("QUIT\n");
+    let line = c.read_line();
+    match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["PONG"] => {}
+        ["OK"] => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,47 @@
+//! Lexer/model robustness: the analyzer runs on every checkout, so
+//! arbitrary byte soup, unbalanced delimiters, and pathological nesting
+//! must never panic it or hang it — worst case it models garbage and
+//! the rules go conservatively silent.
+
+use proptest::prelude::*;
+use schedlint::{run_rules, Config, FileModel};
+
+proptest! {
+    /// Arbitrary (lossy-decoded) byte soup lexes, models, and survives
+    /// a full rule run.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let m = FileModel::parse("soup.rs", "native-rt", &src);
+        let _ = run_rules(&[m], &Config::for_tests());
+    }
+
+    /// Rust-flavored punctuation soup — unbalanced braces, dangling
+    /// string/char/comment openers, stray `=>` and `?` — terminates
+    /// without panicking.
+    #[test]
+    fn delimiter_soup_never_panics(src in "[{}()\"'/*a-z0-9 =>;?!#._-]{0,200}") {
+        let m = FileModel::parse("soup.rs", "native-rt", &src);
+        let _ = run_rules(&[m], &Config::for_tests());
+    }
+
+    /// Deeply nested block comments (the lexer counts nesting) and
+    /// `if`/brace towers far beyond the CFG's `MAX_DEPTH` degrade to a
+    /// flat scan instead of overflowing the stack — closed or left
+    /// dangling at EOF.
+    #[test]
+    fn pathological_nesting_never_panics(n in 1usize..1500, close in any::<bool>()) {
+        let mut src = String::from("fn f(s: &S) { let g = s.mu.lock();\n");
+        src.push_str(&"/*".repeat(n));
+        if close {
+            src.push_str(&"*/".repeat(n));
+        }
+        src.push_str(&"{ if x ".repeat(n));
+        if close {
+            src.push_str(&"}".repeat(n));
+        }
+        src.push_str("\n}");
+        let m = FileModel::parse("deep.rs", "native-rt", &src);
+        let _ = run_rules(&[m], &Config::for_tests());
+    }
+}
